@@ -1,0 +1,208 @@
+package hetero
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/bounds"
+	"repro/internal/core"
+	"repro/internal/dag"
+	"repro/internal/expr"
+	"repro/internal/platform"
+	"repro/internal/sched"
+	"repro/internal/workloads"
+)
+
+// The benchmarks below regenerate every table and figure of the paper's
+// evaluation (on reduced sweeps so `go test -bench=.` stays fast; the
+// cmd/experiments binary runs the full paper sweep) plus the ablation and
+// scheduling-overhead studies called out in DESIGN.md.
+
+// BenchmarkTable1AccelerationFactors regenerates Table 1.
+func BenchmarkTable1AccelerationFactors(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tb := expr.Table1Table()
+		if len(tb.Rows) != 4 {
+			b.Fatal("table 1 wrong")
+		}
+	}
+}
+
+// BenchmarkTable2WorstCases regenerates Table 2: HeteroPrio on the
+// adversarial instances of Theorems 8, 11 and 14.
+func BenchmarkTable2WorstCases(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := expr.Table2()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) != 3 {
+			b.Fatal("table 2 wrong")
+		}
+	}
+}
+
+// BenchmarkFig6Independent regenerates Figure 6 (independent tasks, ratio
+// to the area bound) on a reduced N sweep.
+func BenchmarkFig6Independent(b *testing.B) {
+	pl := expr.PaperPlatform()
+	for i := 0; i < b.N; i++ {
+		if _, err := expr.Fig6(expr.SmallNs(), pl); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// fig7Rows caches one reduced Figure 7/8/9 run for the three view benches.
+func fig7Rows(b *testing.B) []expr.Fig7Row {
+	b.Helper()
+	rows, err := expr.Fig7(expr.SmallNs(), expr.PaperPlatform())
+	if err != nil {
+		b.Fatal(err)
+	}
+	return rows
+}
+
+// BenchmarkFig7DAGs regenerates Figure 7 (DAGs, ratio to the lower bound).
+func BenchmarkFig7DAGs(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := fig7Rows(b)
+		if len(expr.Fig7Table(rows).Rows) == 0 {
+			b.Fatal("fig 7 empty")
+		}
+	}
+}
+
+// BenchmarkFig8EquivalentAccel regenerates Figure 8 from the Figure 7 run.
+func BenchmarkFig8EquivalentAccel(b *testing.B) {
+	rows := fig7Rows(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if len(expr.Fig8Table(rows).Rows) == 0 {
+			b.Fatal("fig 8 empty")
+		}
+	}
+}
+
+// BenchmarkFig9IdleTime regenerates Figure 9 from the Figure 7 run.
+func BenchmarkFig9IdleTime(b *testing.B) {
+	rows := fig7Rows(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if len(expr.Fig9Table(rows).Rows) == 0 {
+			b.Fatal("fig 9 empty")
+		}
+	}
+}
+
+// BenchmarkAblationSpoliation runs the spoliation/priority ablation.
+func BenchmarkAblationSpoliation(b *testing.B) {
+	pl := expr.PaperPlatform()
+	for i := 0; i < b.N; i++ {
+		if _, err := expr.Ablation([]int{4, 8}, pl); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBoundStress checks Theorem 12's bound on a stream of random
+// instances against the combined lower bound (sanity stress, not a proof).
+func BenchmarkBoundStress(b *testing.B) {
+	pl := platform.NewPlatform(8, 3)
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < b.N; i++ {
+		in := workloads.LogNormalAccelInstance(60, 1, 1.2, rng)
+		res, err := core.ScheduleIndependent(in, pl, core.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		lb, err := bounds.Lower(in, pl)
+		if err != nil {
+			b.Fatal(err)
+		}
+		// The ratio to the *lower bound* can exceed the ratio to the
+		// optimum, but a blow-up beyond 2+sqrt(2) against the bound on
+		// these dense instances would indicate a regression.
+		if res.Makespan() > 3.42*lb {
+			b.Fatalf("iteration %d: ratio %v", i, res.Makespan()/lb)
+		}
+	}
+}
+
+// Scheduler overhead benches: the cost of computing a full schedule per
+// task, supporting the paper's low-complexity claim for HeteroPrio
+// (Sections 1 and 6). Metric: ns per scheduled task.
+
+func overheadGraph(b *testing.B) *dag.Graph {
+	b.Helper()
+	return workloads.Cholesky(16) // 816 tasks
+}
+
+func BenchmarkSchedulerOverheadHeteroPrio(b *testing.B) {
+	g := overheadGraph(b)
+	pl := expr.PaperPlatform()
+	if _, err := g.AssignBottomLevelPriorities(dag.WeightMin, pl); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.ScheduleDAG(g, pl, core.Options{UsePriorities: true}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*g.Len()), "ns/task")
+}
+
+func BenchmarkSchedulerOverheadHEFT(b *testing.B) {
+	g := overheadGraph(b)
+	pl := expr.PaperPlatform()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sched.HEFT(g, pl, dag.WeightAvg); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*g.Len()), "ns/task")
+}
+
+func BenchmarkSchedulerOverheadDualHP(b *testing.B) {
+	g := overheadGraph(b)
+	pl := expr.PaperPlatform()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sched.DualHPDAGWithPriorities(g, pl, sched.RankMin); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*g.Len()), "ns/task")
+}
+
+// Micro-benchmarks of the substrate hot paths.
+
+func BenchmarkAreaBound(b *testing.B) {
+	in, err := workloads.IndependentTasks(workloads.FactCholesky, 16)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pl := expr.PaperPlatform()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := bounds.AreaBound(in, pl); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkHeteroPrioIndependent(b *testing.B) {
+	in, err := workloads.IndependentTasks(workloads.FactCholesky, 16)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pl := expr.PaperPlatform()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.ScheduleIndependent(in, pl, core.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,273 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation section, printing Markdown tables to stdout and writing CSV
+// files to -out (default results/).
+//
+// Usage:
+//
+//	experiments                 # everything, paper-sized sweep (minutes)
+//	experiments -exp fig6       # one experiment
+//	experiments -quick          # reduced sweep (seconds)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/expr"
+	"repro/internal/plot"
+	"repro/internal/stats"
+	"repro/internal/workloads"
+)
+
+func main() {
+	var (
+		exp   = flag.String("exp", "all", "experiment: all, table1, table2, fig6, fig7, fig8, fig9, ablation, shape, bounds, kernelmix, distribution, adversary, transfer, robustness")
+		out   = flag.String("out", "results", "output directory for CSV files")
+		quick = flag.Bool("quick", false, "reduced N sweep (fast)")
+	)
+	flag.Parse()
+	if err := run(*exp, *out, *quick); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(exp, out string, quick bool) error {
+	if err := os.MkdirAll(out, 0o755); err != nil {
+		return err
+	}
+	pl := expr.PaperPlatform()
+	ns := expr.PaperNs()
+	if quick {
+		ns = expr.SmallNs()
+	}
+
+	emit := func(name string, t *stats.Table) error {
+		fmt.Println(t.Markdown())
+		path := filepath.Join(out, name+".csv")
+		if err := os.WriteFile(path, []byte(t.CSV()), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("(written to %s)\n\n", path)
+		return nil
+	}
+	emitCharts := func(charts map[string]*plot.Chart) error {
+		for name, c := range charts {
+			path := filepath.Join(out, name+".svg")
+			if err := os.WriteFile(path, []byte(c.SVG(760, 420)), 0o644); err != nil {
+				return err
+			}
+			fmt.Printf("(chart written to %s)\n", path)
+		}
+		return nil
+	}
+
+	want := func(name string) bool { return exp == "all" || exp == name }
+	ran := false
+
+	if want("table1") {
+		ran = true
+		if err := emit("table1", expr.Table1Table()); err != nil {
+			return err
+		}
+	}
+	if want("table2") {
+		ran = true
+		start := time.Now()
+		rows, err := expr.Table2()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("table2 computed in %v\n", time.Since(start).Round(time.Millisecond))
+		if err := emit("table2", expr.Table2Table(rows)); err != nil {
+			return err
+		}
+	}
+	if want("fig6") {
+		ran = true
+		start := time.Now()
+		rows, err := expr.Fig6(ns, pl)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("fig6 computed in %v\n", time.Since(start).Round(time.Millisecond))
+		if err := emit("fig6", expr.Fig6Table(rows)); err != nil {
+			return err
+		}
+		if err := emitCharts(expr.Fig6Charts(rows)); err != nil {
+			return err
+		}
+	}
+	if want("fig7") || want("fig8") || want("fig9") {
+		ran = true
+		start := time.Now()
+		rows, err := expr.Fig7(ns, pl)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("fig7/8/9 computed in %v\n", time.Since(start).Round(time.Millisecond))
+		if exp == "all" || exp == "fig7" {
+			if err := emit("fig7", expr.Fig7Table(rows)); err != nil {
+				return err
+			}
+		}
+		if exp == "all" || exp == "fig8" {
+			if err := emit("fig8", expr.Fig8Table(rows)); err != nil {
+				return err
+			}
+		}
+		if exp == "all" || exp == "fig9" {
+			if err := emit("fig9", expr.Fig9Table(rows)); err != nil {
+				return err
+			}
+		}
+		charts := map[string]*plot.Chart{}
+		if exp == "all" || exp == "fig7" {
+			for k, v := range expr.Fig7Charts(rows) {
+				charts[k] = v
+			}
+		}
+		if exp == "all" || exp == "fig8" {
+			for k, v := range expr.Fig8Charts(rows) {
+				charts[k] = v
+			}
+		}
+		if exp == "all" || exp == "fig9" {
+			for k, v := range expr.Fig9Charts(rows) {
+				charts[k] = v
+			}
+		}
+		if err := emitCharts(charts); err != nil {
+			return err
+		}
+	}
+	if want("ablation") {
+		ran = true
+		start := time.Now()
+		rows, err := expr.Ablation(ns, pl)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("ablation computed in %v\n", time.Since(start).Round(time.Millisecond))
+		if err := emit("ablation", expr.AblationTable(rows)); err != nil {
+			return err
+		}
+	}
+	if want("shape") {
+		ran = true
+		n := 16
+		if quick {
+			n = 8
+		}
+		rows, err := expr.Shape(n, expr.DefaultShapes())
+		if err != nil {
+			return err
+		}
+		if err := emit("shape", expr.ShapeTable(rows)); err != nil {
+			return err
+		}
+	}
+	if want("bounds") {
+		ran = true
+		bns := []int{4, 8, 12, 16, 24}
+		if quick {
+			bns = []int{4, 8}
+		}
+		rows, err := expr.BoundsCmp(bns, pl)
+		if err != nil {
+			return err
+		}
+		if err := emit("bounds", expr.BoundsCmpTable(rows)); err != nil {
+			return err
+		}
+	}
+	if want("kernelmix") {
+		ran = true
+		n := 16
+		if quick {
+			n = 8
+		}
+		var all []expr.KernelMixRow
+		for _, fact := range workloads.Factorizations() {
+			rows, err := expr.KernelMix(fact, n, pl)
+			if err != nil {
+				return err
+			}
+			all = append(all, rows...)
+		}
+		if err := emit("kernelmix", expr.KernelMixTable(all)); err != nil {
+			return err
+		}
+	}
+	if want("distribution") {
+		ran = true
+		samples := 300
+		if quick {
+			samples = 50
+		}
+		rows, err := expr.Distribution(samples, 120, pl, 2017)
+		if err != nil {
+			return err
+		}
+		if err := emit("distribution", expr.DistributionTable(rows)); err != nil {
+			return err
+		}
+	}
+	if want("adversary") {
+		ran = true
+		iters := 4000
+		if quick {
+			iters = 800
+		}
+		start := time.Now()
+		rows, err := expr.Adversary(iters, 2017)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("adversary computed in %v\n", time.Since(start).Round(time.Millisecond))
+		if err := emit("adversary", expr.AdversaryTable(rows)); err != nil {
+			return err
+		}
+	}
+	if want("transfer") {
+		ran = true
+		n := 16
+		if quick {
+			n = 8
+		}
+		rows, err := expr.Transfer(n, []float64{0, 0.5, 1, 2, 4, 8}, pl)
+		if err != nil {
+			return err
+		}
+		if err := emit("transfer", expr.TransferTable(rows)); err != nil {
+			return err
+		}
+	}
+	if want("robustness") {
+		ran = true
+		start := time.Now()
+		n, seeds := 16, 5
+		if quick {
+			n, seeds = 8, 2
+		}
+		var all []expr.RobustnessRow
+		for _, fact := range workloads.Factorizations() {
+			rows, err := expr.Robustness(fact, n, []float64{0, 0.1, 0.2, 0.4}, seeds, pl)
+			if err != nil {
+				return err
+			}
+			all = append(all, rows...)
+		}
+		fmt.Printf("robustness computed in %v\n", time.Since(start).Round(time.Millisecond))
+		if err := emit("robustness", expr.RobustnessTable(all)); err != nil {
+			return err
+		}
+	}
+	if !ran {
+		return fmt.Errorf("unknown experiment %q", exp)
+	}
+	return nil
+}

@@ -1,0 +1,40 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunSingleExperiments(t *testing.T) {
+	dir := t.TempDir()
+	for _, exp := range []string{"table1", "table2", "shape"} {
+		if err := run(exp, dir, true); err != nil {
+			t.Errorf("%s: %v", exp, err)
+		}
+		if _, err := os.Stat(filepath.Join(dir, exp+".csv")); err != nil {
+			t.Errorf("%s: csv not written: %v", exp, err)
+		}
+	}
+}
+
+func TestRunQuickFigures(t *testing.T) {
+	dir := t.TempDir()
+	if err := run("fig6", dir, true); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(filepath.Join(dir, "fig6.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(raw), "HeteroPrio") {
+		t.Error("fig6 csv content wrong")
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if err := run("nope", t.TempDir(), true); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}

@@ -1,0 +1,163 @@
+// Command hpsched runs one scheduler on one workload and prints the
+// schedule metrics (and optionally an ASCII Gantt chart).
+//
+// Usage examples:
+//
+//	hpsched -alg HeteroPrio-min -workload cholesky -n 8 -cpus 20 -gpus 4
+//	hpsched -alg HEFT-avg -workload qr -n 12 -gantt
+//	hpsched -alg HeteroPrio -independent -workload lu -n 8
+//	hpsched -alg DualHP -independent -workload cholesky -n 8 -csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"repro/internal/bounds"
+	"repro/internal/dag"
+	"repro/internal/expr"
+	"repro/internal/platform"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/workloads"
+)
+
+func main() {
+	var (
+		alg         = flag.String("alg", "HeteroPrio-min", "algorithm: DAG mode accepts "+fmt.Sprint(expr.DAGAlgorithms())+"; independent mode accepts "+fmt.Sprint(expr.IndepAlgorithms()))
+		workload    = flag.String("workload", "cholesky", "workload: cholesky, qr, lu, wavefront, chains or uniform")
+		n           = flag.Int("n", 8, "workload size parameter (tiles, grid side, chain count, task count)")
+		cpus        = flag.Int("cpus", 20, "number of CPU workers")
+		gpus        = flag.Int("gpus", 4, "number of GPU workers")
+		independent = flag.Bool("independent", false, "drop dependencies and schedule the kernel instances as independent tasks")
+		gantt       = flag.Bool("gantt", false, "print an ASCII Gantt chart")
+		csv         = flag.Bool("csv", false, "print the schedule as CSV")
+		chromeOut   = flag.String("chrome", "", "write a Chrome trace-event JSON file (open in chrome://tracing or ui.perfetto.dev)")
+		svgOut      = flag.String("svg", "", "write an SVG Gantt chart to this file")
+	)
+	flag.Parse()
+
+	if err := run(*alg, *workload, *n, *cpus, *gpus, *independent, *gantt, *csv, *chromeOut, *svgOut); err != nil {
+		fmt.Fprintln(os.Stderr, "hpsched:", err)
+		os.Exit(1)
+	}
+}
+
+func run(alg, workload string, n, cpus, gpus int, independent, gantt, csv bool, chromeOut, svgOut string) error {
+	pl := platform.Platform{CPUs: cpus, GPUs: gpus}
+	if err := pl.Validate(); err != nil {
+		return err
+	}
+
+	var (
+		s     *sim.Schedule
+		in    platform.Instance
+		lower float64
+	)
+	if independent {
+		g, err := buildWorkload(workload, n)
+		if err != nil {
+			return err
+		}
+		in = g.Tasks().Clone()
+		s, err = expr.RunIndependent(alg, in, pl)
+		if err != nil {
+			return err
+		}
+		if err := s.Validate(in, nil); err != nil {
+			return fmt.Errorf("schedule validation failed: %w", err)
+		}
+		lower, err = bounds.Lower(in, pl)
+		if err != nil {
+			return err
+		}
+	} else {
+		g, err := buildWorkload(workload, n)
+		if err != nil {
+			return err
+		}
+		in = g.Tasks()
+		s, err = expr.RunDAG(alg, g, pl)
+		if err != nil {
+			return err
+		}
+		if err := s.Validate(in, g); err != nil {
+			return fmt.Errorf("schedule validation failed: %w", err)
+		}
+		lower, err = bounds.DAGLowerRefined(g, pl)
+		if err != nil {
+			return err
+		}
+	}
+
+	fmt.Printf("workload:   %s N=%d (%d tasks), %s\n", workload, n, len(in), pl)
+	fmt.Printf("algorithm:  %s (independent=%v)\n", alg, independent)
+	fmt.Printf("makespan:   %.4g ms\n", s.Makespan())
+	fmt.Printf("lowerbound: %.4g ms (ratio %.4f)\n", lower, s.Makespan()/lower)
+	fmt.Printf("spoliated:  %d runs\n", s.SpoliationCount())
+	for _, k := range []platform.Kind{platform.CPU, platform.GPU} {
+		fmt.Printf("%s: busy %.4g ms, idle %.4g ms, equivalent accel %.4g\n",
+			k, s.BusyTime(k), s.IdleTime(k), s.EquivalentAccel(in, k))
+	}
+	if gantt {
+		fmt.Println()
+		fmt.Print(s.Gantt(100))
+	}
+	if csv {
+		fmt.Println()
+		fmt.Print(s.CSV())
+	}
+	if chromeOut != "" {
+		names := make(map[int]string, len(in))
+		for _, t := range in {
+			names[t.ID] = t.Name
+		}
+		raw, err := trace.Chrome(s, names)
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(chromeOut, raw, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("chrome trace written to %s\n", chromeOut)
+	}
+	if svgOut != "" {
+		if err := os.WriteFile(svgOut, []byte(trace.SVG(s, 1200)), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("svg gantt written to %s\n", svgOut)
+	}
+	return nil
+}
+
+// buildWorkload constructs the requested task graph. Independent mode
+// drops the dependencies afterwards.
+func buildWorkload(name string, n int) (*dag.Graph, error) {
+	switch name {
+	case "cholesky", "qr", "lu":
+		return workloads.Build(workloads.Factorization(name), n)
+	case "wavefront":
+		if n < 1 {
+			return nil, fmt.Errorf("wavefront needs n >= 1")
+		}
+		return workloads.DefaultWavefront(n), nil
+	case "chains":
+		if n < 1 {
+			return nil, fmt.Errorf("chains needs n >= 1")
+		}
+		even := platform.Task{CPUTime: 10, GPUTime: 1}
+		odd := platform.Task{CPUTime: 2, GPUTime: 3}
+		return workloads.BagOfChains(n, 10, even, odd), nil
+	case "uniform":
+		if n < 1 {
+			return nil, fmt.Errorf("uniform needs n >= 1")
+		}
+		rng := rand.New(rand.NewSource(1))
+		in := workloads.UniformInstance(n, 1, 100, 0.2, 40, rng)
+		return dag.FromInstance(in), nil
+	default:
+		return nil, fmt.Errorf("unknown workload %q", name)
+	}
+}

@@ -1,0 +1,75 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunDAGMode(t *testing.T) {
+	for _, alg := range []string{"HeteroPrio-min", "HEFT-avg", "DualHP-fifo"} {
+		if err := run(alg, "cholesky", 4, 4, 2, false, true, false, "", ""); err != nil {
+			t.Errorf("%s: %v", alg, err)
+		}
+	}
+}
+
+func TestRunIndependentMode(t *testing.T) {
+	for _, alg := range []string{"HeteroPrio", "DualHP", "HEFT"} {
+		if err := run(alg, "lu", 4, 4, 2, true, false, true, "", ""); err != nil {
+			t.Errorf("%s: %v", alg, err)
+		}
+	}
+}
+
+func TestRunExtraWorkloads(t *testing.T) {
+	for _, wl := range []string{"wavefront", "chains", "uniform"} {
+		if err := run("HeteroPrio-min", wl, 5, 4, 2, false, false, false, "", ""); err != nil {
+			t.Errorf("%s: %v", wl, err)
+		}
+	}
+	if err := run("HeteroPrio", "uniform", 12, 4, 2, true, false, false, "", ""); err != nil {
+		t.Errorf("independent uniform: %v", err)
+	}
+	for _, wl := range []string{"wavefront", "chains", "uniform"} {
+		if err := run("HeteroPrio-min", wl, 0, 4, 2, false, false, false, "", ""); err == nil {
+			t.Errorf("%s: size 0 accepted", wl)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run("nope", "cholesky", 4, 4, 2, false, false, false, "", ""); err == nil {
+		t.Error("unknown algorithm accepted")
+	}
+	if err := run("HeteroPrio-min", "nope", 4, 4, 2, false, false, false, "", ""); err == nil {
+		t.Error("unknown workload accepted")
+	}
+	if err := run("HeteroPrio-min", "cholesky", 4, -1, 0, false, false, false, "", ""); err == nil {
+		t.Error("invalid platform accepted")
+	}
+}
+
+func TestRunTraceOutputs(t *testing.T) {
+	dir := t.TempDir()
+	chrome := filepath.Join(dir, "trace.json")
+	svg := filepath.Join(dir, "gantt.svg")
+	if err := run("HeteroPrio-min", "qr", 4, 4, 2, false, false, false, chrome, svg); err != nil {
+		t.Fatal(err)
+	}
+	cj, err := os.ReadFile(chrome)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(cj), "\"ph\"") {
+		t.Error("chrome trace content wrong")
+	}
+	sv, err := os.ReadFile(svg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(sv), "<svg") {
+		t.Error("svg content wrong")
+	}
+}

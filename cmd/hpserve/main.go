@@ -1,0 +1,26 @@
+// Command hpserve is a small web dashboard for exploring schedules: pick
+// a workload, a platform shape and an algorithm, and the server renders
+// the SVG Gantt chart, the metrics and the comparison against the lower
+// bound in the browser.
+//
+//	hpserve -addr :8080
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8080", "listen address")
+	flag.Parse()
+	srv := newServer()
+	log.Printf("hpserve listening on http://%s", *addr)
+	if err := http.ListenAndServe(*addr, srv); err != nil {
+		fmt.Fprintln(os.Stderr, "hpserve:", err)
+		os.Exit(1)
+	}
+}

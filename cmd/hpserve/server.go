@@ -1,0 +1,299 @@
+package main
+
+import (
+	"fmt"
+	"html/template"
+	"math/rand"
+	"net/http"
+	"strconv"
+
+	"repro/internal/bounds"
+	"repro/internal/dag"
+	"repro/internal/expr"
+	"repro/internal/platform"
+	"repro/internal/trace"
+	"repro/internal/workloads"
+)
+
+// server carries the parsed templates; handlers are pure functions of the
+// request, so it is safe for concurrent use.
+type server struct {
+	mux  *http.ServeMux
+	page *template.Template
+}
+
+func newServer() *server {
+	s := &server{mux: http.NewServeMux()}
+	s.page = template.Must(template.New("page").Parse(pageHTML))
+	s.mux.HandleFunc("/", s.handleIndex)
+	s.mux.HandleFunc("/schedule", s.handleSchedule)
+	s.mux.HandleFunc("/compare", s.handleCompare)
+	return s
+}
+
+func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// viewModel feeds the page template.
+type viewModel struct {
+	Workloads  []string
+	Algorithms []string
+	Form       scheduleForm
+	Result     *scheduleResult
+	Compare    []compareRow
+	Error      string
+}
+
+type scheduleForm struct {
+	Workload string
+	N        int
+	CPUs     int
+	GPUs     int
+	Alg      string
+}
+
+type scheduleResult struct {
+	Tasks       int
+	Makespan    float64
+	Lower       float64
+	Ratio       float64
+	Spoliations int
+	CPUAccel    float64
+	GPUAccel    float64
+	SVG         template.HTML
+}
+
+// compareRow is one algorithm's line in the comparison view.
+type compareRow struct {
+	Algorithm   string
+	Makespan    float64
+	Ratio       float64
+	Spoliations int
+	CPUAccel    float64
+	GPUAccel    float64
+}
+
+func defaultForm() scheduleForm {
+	return scheduleForm{Workload: "cholesky", N: 8, CPUs: 8, GPUs: 2, Alg: "HeteroPrio-min"}
+}
+
+func (s *server) handleIndex(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	s.render(w, viewModel{
+		Workloads:  []string{"cholesky", "qr", "lu", "wavefront", "chains", "uniform"},
+		Algorithms: expr.DAGAlgorithms(),
+		Form:       defaultForm(),
+	})
+}
+
+func (s *server) handleSchedule(w http.ResponseWriter, r *http.Request) {
+	form := defaultForm()
+	form.Workload = r.FormValue("workload")
+	form.Alg = r.FormValue("alg")
+	form.N = atoiDefault(r.FormValue("n"), 8)
+	form.CPUs = atoiDefault(r.FormValue("cpus"), 8)
+	form.GPUs = atoiDefault(r.FormValue("gpus"), 2)
+
+	vm := viewModel{
+		Workloads:  []string{"cholesky", "qr", "lu", "wavefront", "chains", "uniform"},
+		Algorithms: expr.DAGAlgorithms(),
+		Form:       form,
+	}
+	res, err := runSchedule(form)
+	if err != nil {
+		vm.Error = err.Error()
+	} else {
+		vm.Result = res
+	}
+	s.render(w, vm)
+}
+
+// handleCompare runs every DAG algorithm on the same workload and renders
+// a comparison table.
+func (s *server) handleCompare(w http.ResponseWriter, r *http.Request) {
+	form := defaultForm()
+	form.Workload = r.FormValue("workload")
+	form.N = atoiDefault(r.FormValue("n"), 8)
+	form.CPUs = atoiDefault(r.FormValue("cpus"), 8)
+	form.GPUs = atoiDefault(r.FormValue("gpus"), 2)
+	vm := viewModel{
+		Workloads:  []string{"cholesky", "qr", "lu", "wavefront", "chains", "uniform"},
+		Algorithms: expr.DAGAlgorithms(),
+		Form:       form,
+	}
+	rows, err := runCompare(form)
+	if err != nil {
+		vm.Error = err.Error()
+	} else {
+		vm.Compare = rows
+	}
+	s.render(w, vm)
+}
+
+func runCompare(form scheduleForm) ([]compareRow, error) {
+	if form.N < 1 || form.N > 16 {
+		return nil, fmt.Errorf("compare limits n to [1, 16], got %d", form.N)
+	}
+	pl := platform.Platform{CPUs: form.CPUs, GPUs: form.GPUs}
+	if err := pl.Validate(); err != nil {
+		return nil, err
+	}
+	var rows []compareRow
+	for _, alg := range expr.DAGAlgorithms() {
+		g, err := buildServeWorkload(form.Workload, form.N)
+		if err != nil {
+			return nil, err
+		}
+		sched, err := expr.RunDAG(alg, g, pl)
+		if err != nil {
+			return nil, err
+		}
+		lower, err := bounds.DAGLowerRefined(g, pl)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, compareRow{
+			Algorithm:   alg,
+			Makespan:    sched.Makespan(),
+			Ratio:       sched.Makespan() / lower,
+			Spoliations: sched.SpoliationCount(),
+			CPUAccel:    sched.EquivalentAccel(g.Tasks(), platform.CPU),
+			GPUAccel:    sched.EquivalentAccel(g.Tasks(), platform.GPU),
+		})
+	}
+	return rows, nil
+}
+
+func (s *server) render(w http.ResponseWriter, vm viewModel) {
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	if err := s.page.Execute(w, vm); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+func atoiDefault(s string, def int) int {
+	if v, err := strconv.Atoi(s); err == nil {
+		return v
+	}
+	return def
+}
+
+// runSchedule builds the workload, runs the algorithm and packages the
+// metrics; sizes are clamped so a stray request cannot wedge the server.
+func runSchedule(form scheduleForm) (*scheduleResult, error) {
+	if form.N < 1 || form.N > 24 {
+		return nil, fmt.Errorf("n must be in [1, 24], got %d", form.N)
+	}
+	if form.CPUs < 0 || form.CPUs > 64 || form.GPUs < 0 || form.GPUs > 16 {
+		return nil, fmt.Errorf("platform out of range: %d CPUs, %d GPUs", form.CPUs, form.GPUs)
+	}
+	pl := platform.Platform{CPUs: form.CPUs, GPUs: form.GPUs}
+	if err := pl.Validate(); err != nil {
+		return nil, err
+	}
+	g, err := buildServeWorkload(form.Workload, form.N)
+	if err != nil {
+		return nil, err
+	}
+	sched, err := expr.RunDAG(form.Alg, g, pl)
+	if err != nil {
+		return nil, err
+	}
+	if err := sched.Validate(g.Tasks(), g); err != nil {
+		return nil, err
+	}
+	lower, err := bounds.DAGLowerRefined(g, pl)
+	if err != nil {
+		return nil, err
+	}
+	return &scheduleResult{
+		Tasks:       g.Len(),
+		Makespan:    sched.Makespan(),
+		Lower:       lower,
+		Ratio:       sched.Makespan() / lower,
+		Spoliations: sched.SpoliationCount(),
+		CPUAccel:    sched.EquivalentAccel(g.Tasks(), platform.CPU),
+		GPUAccel:    sched.EquivalentAccel(g.Tasks(), platform.GPU),
+		SVG:         template.HTML(trace.SVG(sched, 1100)),
+	}, nil
+}
+
+func buildServeWorkload(name string, n int) (*dag.Graph, error) {
+	switch name {
+	case "cholesky", "qr", "lu":
+		return workloads.Build(workloads.Factorization(name), n)
+	case "wavefront":
+		return workloads.DefaultWavefront(n), nil
+	case "chains":
+		even := platform.Task{CPUTime: 10, GPUTime: 1}
+		odd := platform.Task{CPUTime: 2, GPUTime: 3}
+		return workloads.BagOfChains(n, 10, even, odd), nil
+	case "uniform":
+		rng := rand.New(rand.NewSource(1))
+		in := workloads.UniformInstance(n*10, 1, 100, 0.2, 40, rng)
+		return dag.FromInstance(in), nil
+	default:
+		return nil, fmt.Errorf("unknown workload %q", name)
+	}
+}
+
+const pageHTML = `<!DOCTYPE html>
+<html>
+<head>
+<title>HeteroPrio schedule explorer</title>
+<style>
+body { font-family: sans-serif; margin: 2em; max-width: 1200px; }
+fieldset { display: inline-block; border: 1px solid #ccc; padding: 0.8em 1.2em; }
+label { margin-right: 1em; }
+table { border-collapse: collapse; margin: 1em 0; }
+td, th { border: 1px solid #ccc; padding: 0.3em 0.8em; text-align: right; }
+.error { color: #b00; font-weight: bold; }
+</style>
+</head>
+<body>
+<h1>HeteroPrio schedule explorer</h1>
+<p>Affinity-based list scheduling with spoliation on a simulated CPU+GPU
+node (Beaumont, Eyraud-Dubois, Kumar — IPDPS 2017).</p>
+<form action="/schedule" method="get">
+<fieldset>
+<label>workload
+<select name="workload">
+{{range .Workloads}}<option value="{{.}}" {{if eq . $.Form.Workload}}selected{{end}}>{{.}}</option>{{end}}
+</select></label>
+<label>N <input type="number" name="n" value="{{.Form.N}}" min="1" max="24" size="4"></label>
+<label>CPUs <input type="number" name="cpus" value="{{.Form.CPUs}}" min="0" max="64" size="4"></label>
+<label>GPUs <input type="number" name="gpus" value="{{.Form.GPUs}}" min="0" max="16" size="4"></label>
+<label>algorithm
+<select name="alg">
+{{range .Algorithms}}<option value="{{.}}" {{if eq . $.Form.Alg}}selected{{end}}>{{.}}</option>{{end}}
+</select></label>
+<button type="submit">schedule</button>
+<button type="submit" formaction="/compare">compare all</button>
+</fieldset>
+</form>
+{{if .Error}}<p class="error">{{.Error}}</p>{{end}}
+{{if .Compare}}
+<table>
+<tr><th>algorithm</th><th>makespan (ms)</th><th>ratio</th><th>spoliations</th>
+<th>CPU equiv. accel</th><th>GPU equiv. accel</th></tr>
+{{range .Compare}}
+<tr><td style="text-align:left">{{.Algorithm}}</td><td>{{printf "%.2f" .Makespan}}</td>
+<td>{{printf "%.3f" .Ratio}}</td><td>{{.Spoliations}}</td>
+<td>{{printf "%.2f" .CPUAccel}}</td><td>{{printf "%.2f" .GPUAccel}}</td></tr>
+{{end}}
+</table>
+{{end}}
+{{with .Result}}
+<table>
+<tr><th>tasks</th><th>makespan (ms)</th><th>lower bound (ms)</th><th>ratio</th>
+<th>spoliations</th><th>CPU equiv. accel</th><th>GPU equiv. accel</th></tr>
+<tr><td>{{.Tasks}}</td><td>{{printf "%.2f" .Makespan}}</td><td>{{printf "%.2f" .Lower}}</td>
+<td>{{printf "%.3f" .Ratio}}</td><td>{{.Spoliations}}</td>
+<td>{{printf "%.2f" .CPUAccel}}</td><td>{{printf "%.2f" .GPUAccel}}</td></tr>
+</table>
+{{.SVG}}
+{{end}}
+</body>
+</html>`

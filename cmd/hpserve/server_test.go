@@ -1,0 +1,112 @@
+package main
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"testing"
+)
+
+func get(t *testing.T, srv http.Handler, path string) (int, string) {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodGet, path, nil)
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, req)
+	body, err := io.ReadAll(rec.Result().Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rec.Code, string(body)
+}
+
+func TestIndexPage(t *testing.T) {
+	srv := newServer()
+	code, body := get(t, srv, "/")
+	if code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	for _, want := range []string{"HeteroPrio schedule explorer", "cholesky", "HeteroPrio-min"} {
+		if !strings.Contains(body, want) {
+			t.Errorf("index missing %q", want)
+		}
+	}
+}
+
+func TestNotFound(t *testing.T) {
+	srv := newServer()
+	if code, _ := get(t, srv, "/nope"); code != http.StatusNotFound {
+		t.Errorf("status %d, want 404", code)
+	}
+}
+
+func TestScheduleEndpoint(t *testing.T) {
+	srv := newServer()
+	q := url.Values{
+		"workload": {"cholesky"}, "n": {"6"}, "cpus": {"4"}, "gpus": {"2"},
+		"alg": {"HeteroPrio-min"},
+	}
+	code, body := get(t, srv, "/schedule?"+q.Encode())
+	if code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	for _, want := range []string{"<svg", "makespan", "spoliations"} {
+		if !strings.Contains(body, want) {
+			t.Errorf("schedule page missing %q", want)
+		}
+	}
+}
+
+func TestScheduleEndpointAllWorkloads(t *testing.T) {
+	srv := newServer()
+	for _, wl := range []string{"qr", "lu", "wavefront", "chains", "uniform"} {
+		q := url.Values{"workload": {wl}, "n": {"4"}, "cpus": {"4"}, "gpus": {"1"}, "alg": {"HEFT-avg"}}
+		code, body := get(t, srv, "/schedule?"+q.Encode())
+		if code != http.StatusOK || !strings.Contains(body, "<svg") {
+			t.Errorf("%s: status %d, svg present %v", wl, code, strings.Contains(body, "<svg"))
+		}
+	}
+}
+
+func TestScheduleEndpointErrors(t *testing.T) {
+	srv := newServer()
+	cases := []url.Values{
+		{"workload": {"nope"}, "n": {"4"}, "cpus": {"2"}, "gpus": {"1"}, "alg": {"HeteroPrio-min"}},
+		{"workload": {"cholesky"}, "n": {"999"}, "cpus": {"2"}, "gpus": {"1"}, "alg": {"HeteroPrio-min"}},
+		{"workload": {"cholesky"}, "n": {"4"}, "cpus": {"0"}, "gpus": {"0"}, "alg": {"HeteroPrio-min"}},
+		{"workload": {"cholesky"}, "n": {"4"}, "cpus": {"2"}, "gpus": {"1"}, "alg": {"bogus"}},
+	}
+	for i, q := range cases {
+		code, body := get(t, srv, "/schedule?"+q.Encode())
+		if code != http.StatusOK {
+			t.Errorf("case %d: status %d", i, code)
+		}
+		if !strings.Contains(body, "class=\"error\"") {
+			t.Errorf("case %d: error not surfaced", i)
+		}
+	}
+}
+
+func TestCompareEndpoint(t *testing.T) {
+	srv := newServer()
+	q := url.Values{"workload": {"cholesky"}, "n": {"5"}, "cpus": {"4"}, "gpus": {"2"}}
+	code, body := get(t, srv, "/compare?"+q.Encode())
+	if code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	for _, want := range []string{"HeteroPrio-min", "DualHP-fifo", "HEFT-avg"} {
+		if !strings.Contains(body, want) {
+			t.Errorf("compare missing %q", want)
+		}
+	}
+}
+
+func TestCompareEndpointLimits(t *testing.T) {
+	srv := newServer()
+	q := url.Values{"workload": {"cholesky"}, "n": {"99"}, "cpus": {"4"}, "gpus": {"2"}}
+	_, body := get(t, srv, "/compare?"+q.Encode())
+	if !strings.Contains(body, "class=\"error\"") {
+		t.Error("oversized n not rejected")
+	}
+}

@@ -1,0 +1,58 @@
+// Quickstart: schedule a handful of independent tasks with HeteroPrio on a
+// small CPU+GPU node and inspect the result.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	hetero "repro"
+)
+
+func main() {
+	// A node with 2 CPU cores and 1 GPU.
+	pl := hetero.NewPlatform(2, 1)
+
+	// Five independent tasks. CPUTime is the duration on one CPU core,
+	// GPUTime on one GPU; the ratio is the task's acceleration factor.
+	in := hetero.Instance{
+		{ID: 0, Name: "dgemm-0", CPUTime: 50, GPUTime: 1.74}, // loves the GPU
+		{ID: 1, Name: "dgemm-1", CPUTime: 50, GPUTime: 1.74},
+		{ID: 2, Name: "dsyrk-0", CPUTime: 25, GPUTime: 0.93},
+		{ID: 3, Name: "dpotrf-0", CPUTime: 11.8, GPUTime: 6.9}, // barely accelerated
+		{ID: 4, Name: "dtrsm-0", CPUTime: 28, GPUTime: 3.2},
+	}
+
+	// Run HeteroPrio (Algorithm 1 of the paper) with spoliation enabled.
+	res, err := hetero.ScheduleIndependent(in, pl, hetero.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("makespan: %.3f ms (first idle at %.3f ms, %d spoliations)\n",
+		res.Makespan(), res.TFirstIdle, res.Spoliations)
+
+	// Compare against the area bound, the paper's lower bound on any
+	// schedule (Section 4.2).
+	lb, err := hetero.LowerBound(in, pl)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("lower bound: %.3f ms  ->  ratio %.3f\n", lb, res.Makespan()/lb)
+
+	// Where did everything run?
+	fmt.Println("\nschedule:")
+	for _, e := range res.Schedule.Entries {
+		state := "ok"
+		if e.Aborted {
+			state = "aborted (spoliated)"
+		} else if e.Spoliation {
+			state = "restarted by spoliation"
+		}
+		fmt.Printf("  task %d on %-4s  [%7.3f, %7.3f)  %s\n",
+			e.TaskID, pl.WorkerName(e.Worker), e.Start, e.End, state)
+	}
+
+	fmt.Println("\nGantt:")
+	fmt.Print(res.Schedule.Gantt(72))
+}

@@ -1,0 +1,62 @@
+// Worstcase: reproduce the paper's tight approximation-ratio examples
+// (Table 2): the golden-ratio instance of Theorem 8, the (m,1) family of
+// Theorem 11 and the (m,n) family of Theorem 14, showing the HeteroPrio
+// makespans hitting the predicted adversarial values.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	hetero "repro"
+	"repro/internal/workloads"
+)
+
+func main() {
+	phi := workloads.Phi
+
+	// Theorem 8: 1 CPU + 1 GPU, two tasks, ratio exactly phi.
+	{
+		in, pl := workloads.Theorem8Instance()
+		res, err := hetero.ScheduleIndependent(in, pl, hetero.Options{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		opt, err := hetero.OptimalIndependent(in, pl)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("Theorem 8  (1 CPU, 1 GPU):   HeteroPrio %.6f, optimum %.6f, ratio %.6f (phi = %.6f)\n",
+			res.Makespan(), opt, res.Makespan()/opt, phi)
+		fmt.Print(res.Schedule.Gantt(60))
+		fmt.Println()
+	}
+
+	// Theorem 11: m CPUs + 1 GPU, ratio x + phi -> 1 + phi.
+	fmt.Println("Theorem 11 (m CPUs, 1 GPU): ratio x + phi -> 1 + phi =", 1+phi)
+	for _, m := range []int{5, 20, 80} {
+		in, pl := workloads.Theorem11Instance(m, 8)
+		res, err := hetero.ScheduleIndependent(in, pl, hetero.Options{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  m=%3d: HeteroPrio %.6f vs optimum 1  (predicted %.6f)\n",
+			m, res.Makespan(), workloads.Theorem11ExpectedMakespan(m))
+	}
+	fmt.Println()
+
+	// Theorem 14: n GPUs + n^2 CPUs, ratio -> 2 + 2/sqrt(3).
+	fmt.Printf("Theorem 14 (m CPUs, n GPUs): ratio -> 2 + 2/sqrt(3) = %.6f\n", 2+2/math.Sqrt(3))
+	for _, k := range []int{1, 2, 3} {
+		in, pl := workloads.Theorem14Instance(k, 4)
+		res, err := hetero.ScheduleIndependent(in, pl, hetero.Options{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		opt := workloads.Theorem14OptimalMakespan(k)
+		fmt.Printf("  n=%3d GPUs, m=%4d CPUs: ratio %.6f (predicted %.6f), %d spoliations\n",
+			pl.GPUs, pl.CPUs, res.Makespan()/opt,
+			workloads.Theorem14ExpectedMakespan(k)/opt, res.Spoliations)
+	}
+}

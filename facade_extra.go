@@ -1,0 +1,140 @@
+package hetero
+
+import (
+	"math/rand"
+
+	"repro/internal/adversary"
+	"repro/internal/cancel"
+	"repro/internal/core"
+	"repro/internal/runtime"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/stf"
+	"repro/internal/tile"
+	"repro/internal/trace"
+	"repro/internal/workloads"
+)
+
+// CancelFlag is the cooperative cancellation token passed to real tasks;
+// kernels poll it and abandon the run when spoliated.
+type CancelFlag = cancel.Flag
+
+// Queue is HeteroPrio's double-ended acceleration-factor queue, exported
+// for building custom policies (GPU workers pop the front, CPU workers the
+// back).
+type Queue = core.Queue
+
+// NewQueue returns an empty queue; usePrio enables priority tie-breaking.
+func NewQueue(usePrio bool) *Queue { return core.NewQueue(usePrio) }
+
+// ReleasedTask is a task with a release date for the online setting.
+type ReleasedTask = core.ReleasedTask
+
+// ScheduleOnline runs HeteroPrio with tasks arriving at release dates.
+func ScheduleOnline(tasks []ReleasedTask, pl Platform, opt Options) (Result, error) {
+	return core.ScheduleOnline(tasks, pl, opt)
+}
+
+// MCTIndependent schedules independent tasks with the classic Minimum
+// Completion Time greedy baseline.
+func MCTIndependent(in Instance, pl Platform) (*Schedule, error) {
+	return sched.MCTIndependent(in, pl)
+}
+
+// MCTDAG schedules a task graph online with the MCT rule.
+func MCTDAG(g *Graph, pl Platform) (*Schedule, error) {
+	return sched.MCTDAG(g, pl)
+}
+
+// Flow is the sequential-task-flow submission interface: tasks declare
+// data accesses and the dependency DAG is inferred from the hazards.
+type Flow = stf.Flow
+
+// DataHandle identifies a piece of data registered with a Flow.
+type DataHandle = stf.Handle
+
+// DataAccess pairs a handle with an access mode.
+type DataAccess = stf.Access
+
+// NewFlow returns an empty sequential task flow.
+func NewFlow() *Flow { return stf.New() }
+
+// STF access constructors (read, write, read-write).
+var (
+	ReadAccess      = stf.R
+	WriteAccess     = stf.W
+	ReadWriteAccess = stf.RW
+)
+
+// ChromeTrace renders a schedule in the Chrome trace-event JSON format.
+func ChromeTrace(s *Schedule, names map[int]string) ([]byte, error) {
+	return trace.Chrome(s, names)
+}
+
+// SVGGantt renders a schedule as a standalone SVG Gantt chart.
+func SVGGantt(s *Schedule, width int) string { return trace.SVG(s, width) }
+
+// Jitter perturbs every processing time of a copy of the instance with
+// log-normal noise exp(sigma*N(0,1)).
+func Jitter(in Instance, sigma float64, rng *rand.Rand) Instance {
+	return workloads.Jitter(in, sigma, rng)
+}
+
+// Real-execution runtime (see examples/realcholesky): RuntimeGraph holds
+// real Go closures with per-class duration estimates, RunGraph executes it
+// on goroutine worker pools with HeteroPrio scheduling and cooperative
+// spoliation.
+type (
+	// RuntimeGraph is a DAG of real tasks for the real-time executor.
+	RuntimeGraph = runtime.Graph
+	// RuntimeTask is one unit of real work with duration estimates.
+	RuntimeTask = runtime.Task
+	// RuntimeConfig parameterizes a real execution.
+	RuntimeConfig = runtime.Config
+	// RuntimeReport is the outcome of a real execution.
+	RuntimeReport = runtime.Report
+)
+
+// NewRuntimeGraph returns an empty real-task graph.
+func NewRuntimeGraph() *RuntimeGraph { return runtime.NewGraph() }
+
+// RunGraph executes a real-task graph with the HeteroPrio policy.
+func RunGraph(g *RuntimeGraph, cfg RuntimeConfig) (*RuntimeReport, error) {
+	return runtime.Run(g, cfg)
+}
+
+// Dense tile substrate (real kernels).
+type (
+	// Matrix is a dense row-major float64 matrix.
+	Matrix = tile.Matrix
+	// TiledMatrix is a matrix partitioned into square tiles.
+	TiledMatrix = tile.Tiled
+)
+
+// NewMatrix returns a zeroed r x c matrix.
+func NewMatrix(r, c int) *Matrix { return tile.NewMatrix(r, c) }
+
+// RandomSPD returns a random symmetric positive-definite matrix.
+func RandomSPD(n int, rng *rand.Rand) *Matrix { return tile.RandomSPD(n, rng) }
+
+// ValidateSchedule checks the structural invariants of a schedule against
+// its instance and optional DAG (nil for independent tasks).
+func ValidateSchedule(s *Schedule, in Instance, g *Graph) error {
+	return s.Validate(in, g)
+}
+
+// Running re-export for custom policies inspecting kernel state.
+type Running = sim.Running
+
+// WorstCaseConfig parameterizes WorstCaseSearch.
+type WorstCaseConfig = adversary.Config
+
+// WorstCaseResult is the outcome of a WorstCaseSearch.
+type WorstCaseResult = adversary.Result
+
+// WorstCaseSearch hill-climbs over small independent instances to find
+// the worst HeteroPrio/optimum ratio on the configured platform shape —
+// the empirical companion of the paper's Section 5 constructions.
+func WorstCaseSearch(cfg WorstCaseConfig) (WorstCaseResult, error) {
+	return adversary.Search(cfg)
+}

@@ -1,0 +1,140 @@
+package hetero
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestFacadeQueue(t *testing.T) {
+	q := NewQueue(false)
+	q.Push(Task{ID: 0, CPUTime: 4, GPUTime: 1})
+	q.Push(Task{ID: 1, CPUTime: 1, GPUTime: 4})
+	if q.Len() != 2 {
+		t.Fatal("queue len")
+	}
+	if q.PopFront().ID != 0 || q.PopBack().ID != 1 {
+		t.Error("queue ends wrong")
+	}
+}
+
+func TestFacadeOnline(t *testing.T) {
+	pl := NewPlatform(1, 1)
+	res, err := ScheduleOnline([]ReleasedTask{
+		{Task: Task{ID: 0, CPUTime: 2, GPUTime: 1}, Release: 0},
+		{Task: Task{ID: 1, CPUTime: 2, GPUTime: 1}, Release: 5},
+	}, pl, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Makespan() != 6 {
+		t.Errorf("makespan = %v, want 6", res.Makespan())
+	}
+}
+
+func TestFacadeMCT(t *testing.T) {
+	pl := NewPlatform(1, 1)
+	in := Instance{{ID: 0, CPUTime: 2, GPUTime: 1}}
+	s, err := MCTIndependent(in, pl)
+	if err != nil || s.Makespan() != 1 {
+		t.Errorf("MCTIndependent: %v %v", s.Makespan(), err)
+	}
+	g := Cholesky(3)
+	sd, err := MCTDAG(g, pl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateSchedule(sd, g.Tasks(), g); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFacadeTraceExports(t *testing.T) {
+	pl := NewPlatform(1, 1)
+	in := Instance{{ID: 0, Name: "k", CPUTime: 2, GPUTime: 1}}
+	res, err := ScheduleIndependent(in, pl, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := ChromeTrace(res.Schedule, map[int]string{0: "k"})
+	if err != nil || !strings.Contains(string(raw), "\"k\"") {
+		t.Errorf("chrome trace: %v", err)
+	}
+	if svg := SVGGantt(res.Schedule, 400); !strings.Contains(svg, "<svg") {
+		t.Error("svg gantt broken")
+	}
+}
+
+func TestFacadeJitterAndMatrix(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	in := Instance{{ID: 0, CPUTime: 10, GPUTime: 1}}
+	out := Jitter(in, 0.2, rng)
+	if out[0].CPUTime == 10 && out[0].GPUTime == 1 {
+		t.Error("jitter no-op")
+	}
+	m := NewMatrix(2, 2)
+	if m.Rows != 2 {
+		t.Error("matrix")
+	}
+	spd := RandomSPD(8, rng)
+	if spd.Rows != 8 {
+		t.Error("spd")
+	}
+}
+
+func TestFacadeRuntime(t *testing.T) {
+	g := NewRuntimeGraph()
+	ran := false
+	a := g.Add(RuntimeTask{
+		Name: "t", EstCPU: 0.001, EstGPU: 0.001,
+		Run: func(kind Kind, flag *CancelFlag) (bool, error) {
+			ran = true
+			return true, nil
+		},
+	})
+	b := g.Add(RuntimeTask{
+		Name: "u", EstCPU: 0.001, EstGPU: 0.001,
+		Run: func(kind Kind, flag *CancelFlag) (bool, error) {
+			if !ran {
+				t.Error("dependency order violated")
+			}
+			return true, nil
+		},
+	})
+	g.AddDep(a, b)
+	rep, err := RunGraph(g, RuntimeConfig{CPUWorkers: 1, GPUWorkers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ran || rep.Wall <= 0 {
+		t.Error("runtime did not execute")
+	}
+}
+
+func TestFacadeRefinedBound(t *testing.T) {
+	g := Cholesky(4)
+	pl := NewPlatform(4, 2)
+	base, err := DAGLowerBound(g, pl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refined, err := DAGLowerBoundRefined(g, pl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if refined < base-1e-9 {
+		t.Errorf("refined %v below base %v", refined, base)
+	}
+}
+
+func TestFacadeWorstCaseSearch(t *testing.T) {
+	res, err := WorstCaseSearch(WorstCaseConfig{
+		Platform: NewPlatform(1, 1), MaxTasks: 3, Iters: 200, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ratio < 1 || res.Ratio > 1.619 {
+		t.Errorf("ratio %v outside [1, phi]", res.Ratio)
+	}
+}

@@ -1,0 +1,121 @@
+package hetero
+
+import (
+	"math"
+	"testing"
+)
+
+// TestFacadeQuickstart exercises the README quickstart path end to end.
+func TestFacadeQuickstart(t *testing.T) {
+	pl := NewPlatform(2, 1)
+	in := Instance{
+		{ID: 0, Name: "dgemm", CPUTime: 50, GPUTime: 1.7},
+		{ID: 1, Name: "dpotrf", CPUTime: 12, GPUTime: 7},
+		{ID: 2, Name: "dtrsm", CPUTime: 28, GPUTime: 3.2},
+	}
+	res, err := ScheduleIndependent(in, pl, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Schedule.Validate(in, nil); err != nil {
+		t.Fatal(err)
+	}
+	lb, err := LowerBound(in, pl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Makespan() < lb-1e-9 {
+		t.Errorf("makespan %v below lower bound %v", res.Makespan(), lb)
+	}
+}
+
+func TestFacadeDAGPath(t *testing.T) {
+	g := Cholesky(4)
+	pl := NewPlatform(4, 2)
+	if _, err := g.AssignBottomLevelPriorities(WeightMin, pl); err != nil {
+		t.Fatal(err)
+	}
+	res, err := ScheduleDAG(g, pl, Options{UsePriorities: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Schedule.Validate(g.Tasks(), g); err != nil {
+		t.Fatal(err)
+	}
+	lb, err := DAGLowerBound(g, pl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Makespan() < lb-1e-9 {
+		t.Errorf("makespan %v below DAG lower bound %v", res.Makespan(), lb)
+	}
+
+	heft, err := HEFT(g, pl, WeightAvg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dual, err := DualHPDAG(g, pl, RankMin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, s := range map[string]*Schedule{"HEFT": heft, "DualHP": dual} {
+		if err := s.Validate(g.Tasks(), g); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestFacadeBaselinesAndBounds(t *testing.T) {
+	pl := NewPlatform(1, 1)
+	in := Instance{
+		{ID: 0, CPUTime: 4, GPUTime: 1},
+		{ID: 1, CPUTime: 1, GPUTime: 4},
+	}
+	opt, err := OptimalIndependent(in, pl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(opt-1) > 1e-9 {
+		t.Errorf("opt = %v, want 1", opt)
+	}
+	h, err := HEFTIndependent(in, pl, WeightAvg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := DualHPIndependent(in, pl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Makespan() < opt-1e-9 || d.Makespan() < opt-1e-9 {
+		t.Error("heuristics beat the optimum")
+	}
+	sol, err := Area(in, pl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ab, err := AreaBound(in, pl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Bound != ab {
+		t.Errorf("Area and AreaBound disagree: %v vs %v", sol.Bound, ab)
+	}
+}
+
+func TestFacadeWorkloadBuilders(t *testing.T) {
+	for name, g := range map[string]*Graph{
+		"cholesky": Cholesky(3),
+		"qr":       QR(3),
+		"lu":       LU(3),
+	} {
+		if err := g.Validate(); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+		if g.Len() == 0 {
+			t.Errorf("%s: empty graph", name)
+		}
+	}
+	if NewGraph().Len() != 0 {
+		t.Error("NewGraph not empty")
+	}
+}

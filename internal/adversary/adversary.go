@@ -1,0 +1,168 @@
+// Package adversary searches for worst-case HeteroPrio instances
+// automatically: a randomized hill climber over small independent
+// instances, scoring each candidate by the ratio of the HeteroPrio
+// makespan to the exact optimum (branch and bound). It is the empirical
+// counterpart of the paper's Section 5 lower-bound constructions — on a
+// (1,1) platform it rediscovers golden-ratio-like instances without being
+// told about phi.
+package adversary
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/platform"
+	"repro/internal/sched"
+)
+
+// Config parameterizes a search.
+type Config struct {
+	// Platform is the target node shape.
+	Platform platform.Platform
+	// MaxTasks bounds the instance size (must stay exactly solvable;
+	// capped at sched.MaxExactTasks). Default 6.
+	MaxTasks int
+	// Iters is the number of mutation steps. Default 2000.
+	Iters int
+	// Restarts is the number of independent climbs; the best result wins.
+	// Default 4.
+	Restarts int
+	// Seed makes the search reproducible.
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxTasks <= 0 {
+		c.MaxTasks = 6
+	}
+	if c.MaxTasks > sched.MaxExactTasks {
+		c.MaxTasks = sched.MaxExactTasks
+	}
+	if c.Iters <= 0 {
+		c.Iters = 2000
+	}
+	if c.Restarts <= 0 {
+		c.Restarts = 4
+	}
+	return c
+}
+
+// Result is the worst instance found.
+type Result struct {
+	Instance platform.Instance
+	HP       float64 // HeteroPrio makespan
+	Opt      float64 // exact optimal makespan
+	Ratio    float64 // HP / Opt
+	Evals    int     // number of exact evaluations performed
+}
+
+// Search runs the hill climber and returns the worst instance found.
+func Search(cfg Config) (Result, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Platform.Validate(); err != nil {
+		return Result{}, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	var best Result
+	evals := 0
+
+	evaluate := func(in platform.Instance) (float64, error) {
+		evals++
+		res, err := core.ScheduleIndependent(in, cfg.Platform, core.Options{})
+		if err != nil {
+			return 0, err
+		}
+		opt, err := sched.OptimalIndependent(in, cfg.Platform)
+		if err != nil {
+			return 0, err
+		}
+		if opt <= 0 {
+			return 0, fmt.Errorf("adversary: degenerate optimum %v", opt)
+		}
+		return res.Makespan() / opt, nil
+	}
+
+	for restart := 0; restart < cfg.Restarts; restart++ {
+		cur := randomInstance(rng, 2+rng.Intn(cfg.MaxTasks-1))
+		curRatio, err := evaluate(cur)
+		if err != nil {
+			return Result{}, err
+		}
+		for it := 0; it < cfg.Iters/cfg.Restarts; it++ {
+			cand := mutate(cur, cfg.MaxTasks, rng)
+			r, err := evaluate(cand)
+			if err != nil {
+				return Result{}, err
+			}
+			// Plain hill climbing with plateau acceptance: ties are
+			// accepted so the climber can drift across flat regions.
+			if r >= curRatio {
+				cur, curRatio = cand, r
+			}
+			if curRatio > best.Ratio {
+				res, err := core.ScheduleIndependent(cur, cfg.Platform, core.Options{})
+				if err != nil {
+					return Result{}, err
+				}
+				optVal, err := sched.OptimalIndependent(cur, cfg.Platform)
+				if err != nil {
+					return Result{}, err
+				}
+				best = Result{
+					Instance: cur.Clone(),
+					HP:       res.Makespan(),
+					Opt:      optVal,
+					Ratio:    curRatio,
+				}
+			}
+		}
+	}
+	best.Evals = evals
+	return best, nil
+}
+
+// randomInstance draws T tasks with log-uniform acceleration factors.
+func randomInstance(rng *rand.Rand, T int) platform.Instance {
+	in := make(platform.Instance, 0, T)
+	for i := 0; i < T; i++ {
+		p := 0.2 + rng.Float64()*4
+		accel := math.Exp(rng.Float64()*4 - 1) // ~[0.37, 20]
+		in = append(in, platform.Task{ID: i, CPUTime: p, GPUTime: p / accel})
+	}
+	return in
+}
+
+// mutate returns a perturbed copy: tweak a duration, duplicate a task, or
+// drop one (keeping at least two).
+func mutate(in platform.Instance, maxTasks int, rng *rand.Rand) platform.Instance {
+	out := in.Clone()
+	switch op := rng.Intn(6); {
+	case op <= 3: // perturb one time multiplicatively (most common)
+		i := rng.Intn(len(out))
+		f := math.Exp(rng.NormFloat64() * 0.25)
+		if rng.Intn(2) == 0 {
+			out[i].CPUTime = clampTime(out[i].CPUTime * f)
+		} else {
+			out[i].GPUTime = clampTime(out[i].GPUTime * f)
+		}
+	case op == 4 && len(out) < maxTasks: // duplicate + jitter
+		src := out[rng.Intn(len(out))]
+		src.CPUTime = clampTime(src.CPUTime * math.Exp(rng.NormFloat64()*0.1))
+		src.GPUTime = clampTime(src.GPUTime * math.Exp(rng.NormFloat64()*0.1))
+		out = append(out, src)
+	case op == 5 && len(out) > 2: // drop one
+		i := rng.Intn(len(out))
+		out = append(out[:i], out[i+1:]...)
+	default: // fall back to a perturbation
+		i := rng.Intn(len(out))
+		out[i].CPUTime = clampTime(out[i].CPUTime * math.Exp(rng.NormFloat64()*0.25))
+	}
+	return out.Renumber()
+}
+
+// clampTime keeps durations positive and the exact solver well-behaved.
+func clampTime(v float64) float64 {
+	return math.Min(math.Max(v, 1e-3), 1e3)
+}

@@ -1,0 +1,86 @@
+package adversary
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/platform"
+)
+
+func TestSearchFindsBadInstancesOnOneOne(t *testing.T) {
+	res, err := Search(Config{
+		Platform: platform.NewPlatform(1, 1),
+		MaxTasks: 4,
+		Iters:    3000,
+		Seed:     2017,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	phi := (1 + math.Sqrt(5)) / 2
+	if res.Ratio > phi+1e-6 {
+		t.Fatalf("found ratio %v above the proven phi bound — Theorem 7 violated?!\ninstance: %v", res.Ratio, res.Instance)
+	}
+	// The climber should get well past trivial ratios on (1,1); the
+	// supremum is phi ~ 1.618.
+	if res.Ratio < 1.3 {
+		t.Errorf("search only reached ratio %v; expected > 1.3 (sup is phi)", res.Ratio)
+	}
+	if res.HP/res.Opt != res.Ratio {
+		t.Errorf("inconsistent result: HP %v, Opt %v, Ratio %v", res.HP, res.Opt, res.Ratio)
+	}
+	if res.Evals <= 0 || len(res.Instance) < 2 {
+		t.Errorf("bookkeeping wrong: %+v", res)
+	}
+	t.Logf("worst found on (1,1): ratio %.4f (phi = %.4f) with %d tasks after %d evals",
+		res.Ratio, phi, len(res.Instance), res.Evals)
+}
+
+func TestSearchRespectsBoundsOnGeneralShape(t *testing.T) {
+	res, err := Search(Config{
+		Platform: platform.NewPlatform(3, 2),
+		MaxTasks: 6,
+		Iters:    1200,
+		Seed:     7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ratio > 2+math.Sqrt2+1e-6 {
+		t.Fatalf("ratio %v exceeds the Theorem 12 bound", res.Ratio)
+	}
+	if err := res.Instance.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSearchDeterministic(t *testing.T) {
+	cfg := Config{Platform: platform.NewPlatform(1, 1), MaxTasks: 4, Iters: 400, Seed: 5}
+	a, err := Search(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Search(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Ratio != b.Ratio || len(a.Instance) != len(b.Instance) {
+		t.Errorf("same seed, different results: %v vs %v", a.Ratio, b.Ratio)
+	}
+}
+
+func TestSearchInvalidPlatform(t *testing.T) {
+	if _, err := Search(Config{}); err == nil {
+		t.Error("empty platform accepted")
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	c := Config{MaxTasks: 99}.withDefaults()
+	if c.MaxTasks > 16 {
+		t.Errorf("MaxTasks not capped: %d", c.MaxTasks)
+	}
+	if c.Iters == 0 || c.Restarts == 0 {
+		t.Error("defaults not applied")
+	}
+}

@@ -1,0 +1,53 @@
+package bounds
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/platform"
+	"repro/internal/workloads"
+)
+
+// BenchmarkArea measures the combinatorial area bound across sizes.
+func BenchmarkArea(b *testing.B) {
+	pl := platform.NewPlatform(20, 4)
+	for _, T := range []int{100, 1000, 10000} {
+		b.Run(fmt.Sprintf("tasks=%d", T), func(b *testing.B) {
+			rng := rand.New(rand.NewSource(1))
+			in := workloads.UniformInstance(T, 1, 100, 0.2, 40, rng)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := Area(in, pl); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAreaBoundLP measures the simplex cross-check (small sizes only;
+// the LP is the validation path, not the production path).
+func BenchmarkAreaBoundLP(b *testing.B) {
+	pl := platform.NewPlatform(4, 2)
+	rng := rand.New(rand.NewSource(2))
+	in := workloads.UniformInstance(30, 1, 100, 0.2, 40, rng)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := AreaBoundLP(in, pl); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDAGLowerRefined measures the dependency-restricted sweep.
+func BenchmarkDAGLowerRefined(b *testing.B) {
+	g := workloads.Cholesky(12)
+	pl := platform.NewPlatform(20, 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := DAGLowerRefined(g, pl); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

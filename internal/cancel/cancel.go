@@ -1,0 +1,25 @@
+// Package cancel provides the cooperative cancellation token shared by the
+// computational kernels (package tile) and the real-time executor
+// (package runtime). Spoliation in a real runtime cannot preempt a running
+// kernel; instead the kernel polls its flag between row blocks and
+// abandons the run, after which the task restarts from restored inputs on
+// the other resource class.
+package cancel
+
+import "sync/atomic"
+
+// Flag is a one-shot cooperative cancellation token. The zero value is
+// ready to use. A nil *Flag is never cancelled, so kernels can take nil
+// when cancellation is not needed.
+type Flag struct {
+	v atomic.Bool
+}
+
+// Cancel requests cancellation. It is safe to call from any goroutine and
+// more than once.
+func (f *Flag) Cancel() { f.v.Store(true) }
+
+// Cancelled reports whether cancellation was requested.
+func (f *Flag) Cancelled() bool {
+	return f != nil && f.v.Load()
+}

@@ -1,0 +1,47 @@
+package cancel
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestFlagZeroValue(t *testing.T) {
+	var f Flag
+	if f.Cancelled() {
+		t.Error("zero flag should not be cancelled")
+	}
+	f.Cancel()
+	if !f.Cancelled() {
+		t.Error("flag should be cancelled after Cancel")
+	}
+	f.Cancel() // idempotent
+	if !f.Cancelled() {
+		t.Error("flag should stay cancelled")
+	}
+}
+
+func TestNilFlag(t *testing.T) {
+	var f *Flag
+	if f.Cancelled() {
+		t.Error("nil flag should never be cancelled")
+	}
+}
+
+func TestFlagConcurrent(t *testing.T) {
+	var f Flag
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				f.Cancelled()
+			}
+		}()
+	}
+	f.Cancel()
+	wg.Wait()
+	if !f.Cancelled() {
+		t.Error("flag lost its cancellation")
+	}
+}

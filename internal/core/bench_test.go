@@ -1,0 +1,71 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/platform"
+	"repro/internal/workloads"
+)
+
+// BenchmarkQueuePush measures the ordered-insert cost at several queue
+// sizes (the scheduler's hottest data structure).
+func BenchmarkQueuePush(b *testing.B) {
+	for _, size := range []int{100, 1000, 10000} {
+		b.Run(fmt.Sprintf("size=%d", size), func(b *testing.B) {
+			rng := rand.New(rand.NewSource(1))
+			tasks := make([]platform.Task, size)
+			for i := range tasks {
+				p := 1 + rng.Float64()*10
+				tasks[i] = platform.Task{ID: i, CPUTime: p, GPUTime: p / (0.5 + rng.Float64()*20)}
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				q := NewQueue(false)
+				for _, t := range tasks {
+					q.Push(t)
+				}
+			}
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*size), "ns/push")
+		})
+	}
+}
+
+// BenchmarkScheduleIndependentScaling measures end-to-end scheduling
+// throughput at growing instance sizes (the "sublinear decision cost"
+// requirement of Section 1 in aggregate form).
+func BenchmarkScheduleIndependentScaling(b *testing.B) {
+	pl := platform.NewPlatform(20, 4)
+	for _, T := range []int{100, 1000, 10000} {
+		b.Run(fmt.Sprintf("tasks=%d", T), func(b *testing.B) {
+			rng := rand.New(rand.NewSource(2))
+			in := workloads.UniformInstance(T, 1, 100, 0.2, 40, rng)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := ScheduleIndependent(in, pl, Options{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*T), "ns/task")
+		})
+	}
+}
+
+// BenchmarkScheduleDAGCholesky measures the DAG event loop on the paper's
+// flagship workload.
+func BenchmarkScheduleDAGCholesky(b *testing.B) {
+	for _, N := range []int{8, 16, 32} {
+		b.Run(fmt.Sprintf("N=%d", N), func(b *testing.B) {
+			g := workloads.Cholesky(N)
+			pl := platform.NewPlatform(20, 4)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := ScheduleDAG(g, pl, Options{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*g.Len()), "ns/task")
+		})
+	}
+}

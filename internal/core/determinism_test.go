@@ -1,0 +1,53 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/dag"
+	"repro/internal/platform"
+	"repro/internal/workloads"
+)
+
+// HeteroPrio is fully deterministic: identical inputs must produce
+// byte-identical schedules, run after run. Runtime systems rely on this
+// for reproducible performance debugging.
+func TestScheduleIndependentDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	in := workloads.UniformInstance(200, 1, 100, 0.2, 40, rng)
+	pl := platform.NewPlatform(6, 2)
+	first, err := ScheduleIndependent(in, pl, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for rep := 0; rep < 3; rep++ {
+		again, err := ScheduleIndependent(in, pl, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got, want := again.Schedule.CSV(), first.Schedule.CSV(); got != want {
+			t.Fatalf("rep %d: schedules differ", rep)
+		}
+	}
+}
+
+func TestScheduleDAGDeterministic(t *testing.T) {
+	g := workloads.Cholesky(8)
+	pl := platform.NewPlatform(6, 2)
+	if _, err := g.AssignBottomLevelPriorities(dag.WeightMin, pl); err != nil {
+		t.Fatal(err)
+	}
+	first, err := ScheduleDAG(g, pl, Options{UsePriorities: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for rep := 0; rep < 3; rep++ {
+		again, err := ScheduleDAG(g, pl, Options{UsePriorities: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if again.Schedule.CSV() != first.Schedule.CSV() {
+			t.Fatalf("rep %d: DAG schedules differ", rep)
+		}
+	}
+}

@@ -1,0 +1,361 @@
+// Package core implements HeteroPrio, the paper's primary contribution: an
+// affinity-based list scheduling algorithm with spoliation for platforms
+// made of two unrelated resource classes (CPUs and GPUs).
+//
+// Algorithm 1 of the paper, for a set of independent tasks:
+//
+//  1. Sort ready tasks in a queue Q by non-increasing acceleration factor
+//     rho = p/q.
+//  2. When a worker becomes idle, it removes a task from the beginning of Q
+//     if it is a GPU worker, from the end otherwise, and starts processing
+//     it.
+//  3. If Q is empty, the idle worker considers the tasks running on the
+//     other resource class in decreasing order of their expected completion
+//     time; if it could finish one of them strictly earlier than its
+//     current expected completion time, that task is spoliated: the victim
+//     run is aborted (all progress lost) and the task restarts on the idle
+//     worker.
+//
+// The DAG variant applies the same rule to the set of currently ready
+// tasks, inserting tasks into Q as their predecessors complete; priorities
+// (typically bottom levels, Section 6.2) break acceleration-factor ties and
+// select among equal-completion-time spoliation victims.
+package core
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/dag"
+	"repro/internal/platform"
+	"repro/internal/sim"
+)
+
+// Options configures a HeteroPrio run. The zero value is the paper's
+// algorithm with spoliation enabled and priority tie-breaking off.
+type Options struct {
+	// DisableSpoliation turns spoliation off, leaving a pure double-ended
+	// list scheduler. Used for the ablation study: without spoliation the
+	// algorithm has no bounded approximation ratio (Section 3).
+	DisableSpoliation bool
+	// UsePriorities applies the paper's priority tie-break when ordering
+	// the queue: among tasks with equal acceleration factor, highest
+	// priority first when rho >= 1 and last when rho < 1.
+	UsePriorities bool
+	// Eps is the tolerance used for the strict-improvement test of
+	// spoliation: a task is spoliated only if the new completion time
+	// improves on the current one by more than Eps. Defaults to 1e-9.
+	Eps float64
+	// ActualTime, if non-nil, gives the actual execution duration of a
+	// task on a class, which may differ from the nominal processing time
+	// the scheduler bases its decisions on (estimation-noise
+	// experiments). Nil means actual == nominal.
+	ActualTime func(t platform.Task, k platform.Kind) float64
+	// TransferDelay, if positive, models data movement in DAG mode: a
+	// task whose predecessor executed on the other resource class may not
+	// start on a worker before the predecessor's completion plus this
+	// delay; the worker blocks (occupied) until the transfer finishes.
+	// Schedules produced with a transfer delay validate with
+	// sim.Schedule.ValidateRelaxed (runs appear longer than nominal).
+	TransferDelay float64
+}
+
+func (o Options) actual(t platform.Task, k platform.Kind) float64 {
+	if o.ActualTime == nil {
+		return t.Time(k)
+	}
+	return o.ActualTime(t, k)
+}
+
+func (o Options) eps() float64 {
+	if o.Eps > 0 {
+		return o.Eps
+	}
+	return 1e-9
+}
+
+// Result is the outcome of a HeteroPrio run.
+type Result struct {
+	// Schedule is the final schedule S_HP, including aborted runs.
+	Schedule *sim.Schedule
+	// NoSpoliation is S_HP^NS, the list schedule the algorithm would build
+	// with spoliation disabled. It is computed alongside the main run for
+	// independent instances (the paper's analysis object) and nil for DAG
+	// runs.
+	NoSpoliation *sim.Schedule
+	// TFirstIdle is the first time any worker was idle while unfinished
+	// tasks remained; +Inf if no worker was ever idle before the end.
+	TFirstIdle float64
+	// Spoliations is the number of aborted (spoliated) runs in Schedule.
+	Spoliations int
+}
+
+// Makespan returns the makespan of the final schedule.
+func (r Result) Makespan() float64 { return r.Schedule.Makespan() }
+
+// Queue is HeteroPrio's double-ended ready queue, ordered by non-increasing
+// acceleration factor with optional priority tie-breaks and stable
+// insertion order. GPU workers pop from the front, CPU workers from the
+// back. It is exported for reuse by custom policies and the real-time
+// executor (package runtime).
+type Queue struct {
+	items   []queueItem
+	usePrio bool
+	seq     int
+}
+
+// NewQueue returns an empty queue; usePrio enables the paper's priority
+// tie-break among equal acceleration factors.
+func NewQueue(usePrio bool) *Queue { return &Queue{usePrio: usePrio} }
+
+type queueItem struct {
+	task  platform.Task
+	accel float64
+	seq   int
+}
+
+// before reports whether a precedes b in queue order (front first).
+func (q *Queue) before(a, b queueItem) bool {
+	if a.accel != b.accel {
+		return a.accel > b.accel
+	}
+	if q.usePrio && a.task.Priority != b.task.Priority {
+		if a.accel >= 1 {
+			return a.task.Priority > b.task.Priority
+		}
+		return a.task.Priority < b.task.Priority
+	}
+	return a.seq < b.seq
+}
+
+// Len returns the number of queued tasks.
+func (q *Queue) Len() int { return len(q.items) }
+
+// Push inserts t keeping the queue ordered; equal keys go after existing
+// ones (stability).
+func (q *Queue) Push(t platform.Task) {
+	it := queueItem{task: t, accel: t.Accel(), seq: q.seq}
+	q.seq++
+	i := sort.Search(len(q.items), func(i int) bool { return q.before(it, q.items[i]) })
+	q.items = append(q.items, queueItem{})
+	copy(q.items[i+1:], q.items[i:])
+	q.items[i] = it
+}
+
+// PopFront removes and returns the highest-acceleration task (GPU side).
+func (q *Queue) PopFront() platform.Task {
+	t := q.items[0].task
+	q.items = q.items[1:]
+	return t
+}
+
+// PopBack removes and returns the lowest-acceleration task (CPU side).
+func (q *Queue) PopBack() platform.Task {
+	t := q.items[len(q.items)-1].task
+	q.items = q.items[:len(q.items)-1]
+	return t
+}
+
+// ScheduleIndependent runs HeteroPrio (Algorithm 1) on a set of independent
+// tasks. The returned Result contains both S_HP and S_HP^NS.
+func ScheduleIndependent(in platform.Instance, pl platform.Platform, opt Options) (Result, error) {
+	if err := pl.Validate(); err != nil {
+		return Result{}, err
+	}
+	if err := in.Validate(); err != nil {
+		return Result{}, err
+	}
+	res := runList(in, nil, pl, opt)
+	if !opt.DisableSpoliation {
+		nsOpt := opt
+		nsOpt.DisableSpoliation = true
+		ns := runList(in, nil, pl, nsOpt)
+		res.NoSpoliation = ns.Schedule
+	} else {
+		res.NoSpoliation = res.Schedule
+	}
+	return res, nil
+}
+
+// ScheduleDAG runs the DAG variant of HeteroPrio: at any instant the
+// algorithm of the independent case is applied to the set of currently
+// ready tasks, and spoliation is attempted when an idle worker finds the
+// queue empty.
+func ScheduleDAG(g *dag.Graph, pl platform.Platform, opt Options) (Result, error) {
+	if err := pl.Validate(); err != nil {
+		return Result{}, err
+	}
+	if err := g.Validate(); err != nil {
+		return Result{}, err
+	}
+	return runList(nil, g, pl, opt), nil
+}
+
+// runList is the shared event loop. Exactly one of in (independent mode)
+// and g (DAG mode) is non-nil.
+func runList(in platform.Instance, g *dag.Graph, pl platform.Platform, opt Options) Result {
+	k := sim.NewKernel(pl)
+	q := NewQueue(opt.UsePriorities)
+	eps := opt.eps()
+
+	var rt *dag.ReadyTracker
+	remaining := 0
+	// classReady[id][k] is the earliest instant task id may start on class
+	// k once ready (predecessor completion plus transfer delay when the
+	// predecessor ran on the other class). Only tracked with a transfer
+	// delay configured.
+	var classReady [][platform.NumKinds]float64
+	if g != nil {
+		rt = dag.NewReadyTracker(g)
+		remaining = g.Len()
+		if opt.TransferDelay > 0 {
+			classReady = make([][platform.NumKinds]float64, g.Len())
+		}
+		for _, id := range rt.Drain() {
+			q.Push(g.Task(id))
+		}
+	} else {
+		remaining = len(in)
+		// Stable order: queue stability reproduces the paper's tie cases.
+		for _, t := range in {
+			q.Push(t)
+		}
+	}
+
+	tFirstIdle := math.Inf(1)
+	spoliations := 0
+
+	// startDuration returns the actual occupation time of a run: the
+	// execution duration plus any transfer wait the worker blocks on.
+	startDuration := func(t platform.Task, kind platform.Kind) float64 {
+		d := opt.actual(t, kind)
+		if classReady != nil {
+			if wait := classReady[t.ID][kind] - k.Now; wait > 0 {
+				d += wait
+			}
+		}
+		return d
+	}
+
+	// trySpoliate attempts a spoliation for idle worker w (queue known
+	// empty). Victims are the runs on the other class, visited in
+	// decreasing expected completion time; ties by higher priority, then by
+	// smaller task ID (deterministic, and the lever used by the adversarial
+	// worst-case instances). Returns true if a task was restarted on w.
+	trySpoliate := func(w int) bool {
+		kind := pl.KindOf(w)
+		victims := k.RunningOn(kind.Other())
+		if len(victims) == 0 {
+			return false
+		}
+		// Decisions use EstEnd, the completion time the scheduler believes
+		// in: with perfect estimates it equals the true End; under
+		// estimation noise the true End is not observable.
+		sort.Slice(victims, func(i, j int) bool {
+			a, b := victims[i], victims[j]
+			if a.EstEnd != b.EstEnd {
+				return a.EstEnd > b.EstEnd
+			}
+			if a.Task.Priority != b.Task.Priority {
+				return a.Task.Priority > b.Task.Priority
+			}
+			return a.Task.ID < b.Task.ID
+		})
+		for _, v := range victims {
+			newEnd := k.Now + v.Task.Time(kind)
+			if newEnd < v.EstEnd-eps {
+				k.Abort(v.Worker)
+				k.StartTimed(w, v.Task, startDuration(v.Task, kind), true)
+				spoliations++
+				return true
+			}
+		}
+		return false
+	}
+
+	// assign fills idle workers from the queue and, once the queue is
+	// exhausted, attempts spoliations until no more progress is possible.
+	assign := func() {
+		for {
+			changed := false
+			for _, w := range k.IdleWorkers(platform.GPU) {
+				if q.Len() == 0 {
+					break
+				}
+				t := q.PopFront()
+				k.StartTimed(w, t, startDuration(t, platform.GPU), false)
+				changed = true
+			}
+			for _, w := range k.IdleWorkers(platform.CPU) {
+				if q.Len() == 0 {
+					break
+				}
+				t := q.PopBack()
+				k.StartTimed(w, t, startDuration(t, platform.CPU), false)
+				changed = true
+			}
+			if q.Len() == 0 && !opt.DisableSpoliation {
+				for _, kind := range []platform.Kind{platform.GPU, platform.CPU} {
+					for _, w := range k.IdleWorkers(kind) {
+						if trySpoliate(w) {
+							changed = true
+						}
+					}
+				}
+			}
+			if !changed {
+				return
+			}
+		}
+	}
+
+	complete := func(run sim.Running) {
+		remaining--
+		if rt != nil {
+			if classReady != nil {
+				kind := pl.KindOf(run.Worker)
+				for _, s := range g.Succs(run.Task.ID) {
+					if run.End > classReady[s][kind] {
+						classReady[s][kind] = run.End
+					}
+					if other := kind.Other(); run.End+opt.TransferDelay > classReady[s][other] {
+						classReady[s][other] = run.End + opt.TransferDelay
+					}
+				}
+			}
+			rt.Complete(run.Task.ID)
+			for _, id := range rt.Drain() {
+				q.Push(g.Task(id))
+			}
+		}
+	}
+	for {
+		assign()
+		if remaining > 0 && k.NumBusy() < pl.Workers() && k.Now < tFirstIdle {
+			tFirstIdle = k.Now
+		}
+		run, ok := k.CompleteNext()
+		if !ok {
+			break
+		}
+		complete(run)
+		// Drain every completion with the same timestamp before letting the
+		// policy reassign: all workers that become idle at this instant must
+		// see the same queue, with GPUs served first (otherwise a CPU could
+		// steal a high-affinity task from a GPU that frees up at the very
+		// same time).
+		for k.NextCompletion() == k.Now {
+			run, ok = k.CompleteNext()
+			if !ok {
+				break
+			}
+			complete(run)
+		}
+	}
+
+	return Result{
+		Schedule:    k.Schedule(),
+		TFirstIdle:  tFirstIdle,
+		Spoliations: spoliations,
+	}
+}

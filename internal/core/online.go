@@ -1,0 +1,149 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/platform"
+	"repro/internal/sim"
+)
+
+// ReleasedTask is a task with a release date for the online setting
+// (tasks arrive over time, the scheduler learns a task at its release).
+type ReleasedTask struct {
+	Task    platform.Task
+	Release float64
+}
+
+// ScheduleOnline runs HeteroPrio in the online-arrival setting studied by
+// Imreh [14] and pointed at by the paper's related work: tasks enter the
+// ready queue at their release dates, and at any instant the algorithm of
+// the independent case (including spoliation) is applied to the tasks
+// released so far. The result is the same event loop as ScheduleDAG with
+// timed arrivals instead of dependency releases.
+func ScheduleOnline(tasks []ReleasedTask, pl platform.Platform, opt Options) (Result, error) {
+	if err := pl.Validate(); err != nil {
+		return Result{}, err
+	}
+	in := make(platform.Instance, len(tasks))
+	for i, rt := range tasks {
+		if rt.Release < 0 || math.IsNaN(rt.Release) || math.IsInf(rt.Release, 0) {
+			return Result{}, fmt.Errorf("core: task %d has invalid release date %v", rt.Task.ID, rt.Release)
+		}
+		in[i] = rt.Task
+	}
+	if err := in.Validate(); err != nil {
+		return Result{}, err
+	}
+
+	arrivals := append([]ReleasedTask(nil), tasks...)
+	sort.SliceStable(arrivals, func(i, j int) bool { return arrivals[i].Release < arrivals[j].Release })
+
+	k := sim.NewKernel(pl)
+	q := NewQueue(opt.UsePriorities)
+	eps := opt.eps()
+	next := 0 // next arrival index
+	remaining := len(arrivals)
+	spoliations := 0
+	tFirstIdle := math.Inf(1)
+
+	admit := func() {
+		for next < len(arrivals) && arrivals[next].Release <= k.Now+1e-12 {
+			q.Push(arrivals[next].Task)
+			next++
+		}
+	}
+
+	trySpoliate := func(w int) bool {
+		kind := pl.KindOf(w)
+		victims := k.RunningOn(kind.Other())
+		sort.Slice(victims, func(i, j int) bool {
+			a, b := victims[i], victims[j]
+			if a.EstEnd != b.EstEnd {
+				return a.EstEnd > b.EstEnd
+			}
+			return a.Task.ID < b.Task.ID
+		})
+		for _, v := range victims {
+			newEnd := k.Now + v.Task.Time(kind)
+			if newEnd < v.EstEnd-eps {
+				k.Abort(v.Worker)
+				k.StartTimed(w, v.Task, opt.actual(v.Task, kind), true)
+				spoliations++
+				return true
+			}
+		}
+		return false
+	}
+
+	assign := func() {
+		for {
+			changed := false
+			for _, w := range k.IdleWorkers(platform.GPU) {
+				if q.Len() == 0 {
+					break
+				}
+				t := q.PopFront()
+				k.StartTimed(w, t, opt.actual(t, platform.GPU), false)
+				changed = true
+			}
+			for _, w := range k.IdleWorkers(platform.CPU) {
+				if q.Len() == 0 {
+					break
+				}
+				t := q.PopBack()
+				k.StartTimed(w, t, opt.actual(t, platform.CPU), false)
+				changed = true
+			}
+			if q.Len() == 0 && !opt.DisableSpoliation {
+				for _, kind := range []platform.Kind{platform.GPU, platform.CPU} {
+					for _, w := range k.IdleWorkers(kind) {
+						if trySpoliate(w) {
+							changed = true
+						}
+					}
+				}
+			}
+			if !changed {
+				return
+			}
+		}
+	}
+
+	for remaining > 0 || k.NumBusy() > 0 {
+		admit()
+		assign()
+		if remaining > 0 && k.NumBusy() < pl.Workers() && k.Now < tFirstIdle {
+			tFirstIdle = k.Now
+		}
+		// Advance to the earlier of next completion and next arrival.
+		nextArrival := math.Inf(1)
+		if next < len(arrivals) {
+			nextArrival = arrivals[next].Release
+		}
+		nextDone := k.NextCompletion()
+		if nextArrival < nextDone {
+			k.Now = nextArrival
+			continue
+		}
+		if _, ok := k.CompleteNext(); !ok {
+			break
+		}
+		remaining--
+		for k.NextCompletion() == k.Now {
+			if _, ok := k.CompleteNext(); !ok {
+				break
+			}
+			remaining--
+		}
+	}
+	if remaining != 0 {
+		return Result{}, fmt.Errorf("core: online run stalled with %d tasks remaining", remaining)
+	}
+	return Result{
+		Schedule:    k.Schedule(),
+		TFirstIdle:  tFirstIdle,
+		Spoliations: spoliations,
+	}, nil
+}

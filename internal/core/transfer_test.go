@@ -1,0 +1,114 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/bounds"
+	"repro/internal/dag"
+	"repro/internal/platform"
+	"repro/internal/workloads"
+)
+
+func TestTransferDelayChainCrossClass(t *testing.T) {
+	// Chain a -> b where a prefers the CPU and b the GPU: b must wait for
+	// the transfer after a's completion.
+	g := dag.New()
+	a := g.AddTask(platform.Task{CPUTime: 1, GPUTime: 10})
+	b := g.AddTask(platform.Task{CPUTime: 10, GPUTime: 1})
+	g.AddEdge(a, b)
+	pl := platform.NewPlatform(1, 1)
+	const delta = 2.5
+	res, err := ScheduleDAG(g, pl, Options{TransferDelay: delta})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Schedule.ValidateRelaxed(g.Tasks(), g); err != nil {
+		t.Fatal(err)
+	}
+	// a on CPU [0,1]; b on GPU: waits delta, then runs 1: makespan 4.5.
+	if math.Abs(res.Makespan()-(1+delta+1)) > 1e-9 {
+		t.Errorf("makespan = %v, want %v", res.Makespan(), 1+delta+1)
+	}
+}
+
+func TestTransferDelaySameClassFree(t *testing.T) {
+	// Same-class chains pay no transfer.
+	g := dag.Chain(3, platform.Task{CPUTime: 5, GPUTime: 1})
+	pl := platform.NewPlatform(1, 1)
+	res, err := ScheduleDAG(g, pl, Options{TransferDelay: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Makespan() != 3 {
+		t.Errorf("makespan = %v, want 3 (all on GPU, no transfers)", res.Makespan())
+	}
+}
+
+func TestTransferDelayZeroMatchesPlain(t *testing.T) {
+	g := workloads.Cholesky(6)
+	pl := platform.NewPlatform(4, 2)
+	plain, err := ScheduleDAG(g, pl, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	zero, err := ScheduleDAG(g, pl, Options{TransferDelay: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Makespan() != zero.Makespan() {
+		t.Errorf("zero delay changed makespan: %v vs %v", plain.Makespan(), zero.Makespan())
+	}
+}
+
+func TestTransferDelaySweep(t *testing.T) {
+	// Transfer delays change list-scheduling decisions, so the makespan is
+	// NOT guaranteed monotone in the delay (Graham-style anomalies: the
+	// delta sweep on this very workload exhibits a small dip). What must
+	// hold: every schedule validates, never beats the zero-delay lower
+	// bound, and a delay larger than every task clearly hurts.
+	g := workloads.Cholesky(8)
+	pl := platform.NewPlatform(4, 2)
+	var base float64
+	for _, delta := range []float64{0, 0.5, 2, 8, 200} {
+		res, err := ScheduleDAG(g, pl, Options{TransferDelay: delta})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := res.Schedule.ValidateRelaxed(g.Tasks(), g); err != nil {
+			t.Fatalf("delta %v: %v", delta, err)
+		}
+		if delta == 0 {
+			base = res.Makespan()
+			continue
+		}
+		// Anomalies can beat the zero-delay makespan by a few percent, but
+		// never the zero-delay lower bound.
+		lb, err := bounds.DAGLower(g, pl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Makespan() < lb-1e-6 {
+			t.Errorf("delta %v: makespan %v below the lower bound %v", delta, res.Makespan(), lb)
+		}
+		if delta == 200 && res.Makespan() < 2*base {
+			t.Errorf("huge delay %v barely hurt: %v vs base %v", delta, res.Makespan(), base)
+		}
+	}
+}
+
+func TestTransferDelayRandomValid(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 30; trial++ {
+		g := dag.RandomLayered(dag.DefaultRandomLayeredConfig(), rng)
+		pl := platform.NewPlatform(1+rng.Intn(3), 1+rng.Intn(2))
+		res, err := ScheduleDAG(g, pl, Options{TransferDelay: rng.Float64() * 10})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := res.Schedule.ValidateRelaxed(g.Tasks(), g); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+	}
+}

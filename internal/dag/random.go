@@ -1,0 +1,125 @@
+package dag
+
+import (
+	"math/rand"
+
+	"repro/internal/platform"
+)
+
+// RandomLayeredConfig parameterizes RandomLayered.
+type RandomLayeredConfig struct {
+	Layers     int     // number of layers (>= 1)
+	WidthMin   int     // minimum tasks per layer (>= 1)
+	WidthMax   int     // maximum tasks per layer
+	EdgeProb   float64 // probability of an edge between consecutive layers
+	SkipProb   float64 // probability of a skip edge (two layers apart)
+	CPUTimeMin float64 // uniform CPU time range
+	CPUTimeMax float64
+	AccelMin   float64 // uniform acceleration-factor range (q = p/accel)
+	AccelMax   float64
+}
+
+// DefaultRandomLayeredConfig returns a mid-sized configuration suitable for
+// tests.
+func DefaultRandomLayeredConfig() RandomLayeredConfig {
+	return RandomLayeredConfig{
+		Layers:     6,
+		WidthMin:   2,
+		WidthMax:   8,
+		EdgeProb:   0.4,
+		SkipProb:   0.1,
+		CPUTimeMin: 1,
+		CPUTimeMax: 100,
+		AccelMin:   0.2,
+		AccelMax:   30,
+	}
+}
+
+// RandomLayered builds a random layered DAG: tasks are grouped into layers
+// and edges only go from earlier to later layers, so the result is acyclic
+// by construction. Each non-source layer task receives at least one
+// incoming edge so the layer structure is real.
+func RandomLayered(cfg RandomLayeredConfig, rng *rand.Rand) *Graph {
+	if cfg.Layers < 1 {
+		cfg.Layers = 1
+	}
+	if cfg.WidthMin < 1 {
+		cfg.WidthMin = 1
+	}
+	if cfg.WidthMax < cfg.WidthMin {
+		cfg.WidthMax = cfg.WidthMin
+	}
+	g := New()
+	var layers [][]int
+	for l := 0; l < cfg.Layers; l++ {
+		width := cfg.WidthMin + rng.Intn(cfg.WidthMax-cfg.WidthMin+1)
+		var layer []int
+		for i := 0; i < width; i++ {
+			p := cfg.CPUTimeMin + rng.Float64()*(cfg.CPUTimeMax-cfg.CPUTimeMin)
+			accel := cfg.AccelMin + rng.Float64()*(cfg.AccelMax-cfg.AccelMin)
+			id := g.AddTask(platform.Task{
+				Name:    "rnd",
+				CPUTime: p,
+				GPUTime: p / accel,
+			})
+			layer = append(layer, id)
+		}
+		layers = append(layers, layer)
+	}
+	for l := 1; l < len(layers); l++ {
+		for _, v := range layers[l] {
+			connected := false
+			for _, u := range layers[l-1] {
+				if rng.Float64() < cfg.EdgeProb {
+					g.AddEdge(u, v)
+					connected = true
+				}
+			}
+			if l >= 2 {
+				for _, u := range layers[l-2] {
+					if rng.Float64() < cfg.SkipProb {
+						g.AddEdge(u, v)
+						connected = true
+					}
+				}
+			}
+			if !connected {
+				u := layers[l-1][rng.Intn(len(layers[l-1]))]
+				g.AddEdge(u, v)
+			}
+		}
+	}
+	return g
+}
+
+// Chain builds a linear chain of n copies of task t (useful in tests: its
+// optimal makespan equals n times the best execution time of t).
+func Chain(n int, t platform.Task) *Graph {
+	g := New()
+	prev := -1
+	for i := 0; i < n; i++ {
+		id := g.AddTask(t)
+		if prev >= 0 {
+			g.AddEdge(prev, id)
+		}
+		prev = id
+	}
+	return g
+}
+
+// ForkJoin builds a fork-join graph: one source, width parallel copies of
+// body, one sink.
+func ForkJoin(width int, source, body, sink platform.Task) *Graph {
+	g := New()
+	s := g.AddTask(source)
+	t := make([]int, width)
+	for i := 0; i < width; i++ {
+		t[i] = g.AddTask(body)
+		g.AddEdge(s, t[i])
+	}
+	k := g.AddTask(sink)
+	for i := 0; i < width; i++ {
+		g.AddEdge(t[i], k)
+	}
+	return g
+}

@@ -1,0 +1,77 @@
+package dag
+
+import "fmt"
+
+// ReadyTracker incrementally tracks which tasks of a graph are ready (all
+// predecessors completed). Online schedulers feed completion events into it
+// and drain the newly ready tasks.
+type ReadyTracker struct {
+	g       *Graph
+	missing []int  // remaining uncompleted predecessors per task
+	done    []bool // completion flags
+	ready   []int  // queue of ready-but-not-yet-claimed task IDs
+	claimed []bool // tasks handed out via PopReady / Drain
+	left    int    // tasks not yet completed
+}
+
+// NewReadyTracker returns a tracker with all sources initially ready.
+func NewReadyTracker(g *Graph) *ReadyTracker {
+	rt := &ReadyTracker{
+		g:       g,
+		missing: make([]int, g.Len()),
+		done:    make([]bool, g.Len()),
+		claimed: make([]bool, g.Len()),
+		left:    g.Len(),
+	}
+	for id := 0; id < g.Len(); id++ {
+		rt.missing[id] = g.InDegree(id)
+		if rt.missing[id] == 0 {
+			rt.ready = append(rt.ready, id)
+		}
+	}
+	return rt
+}
+
+// Complete marks task id as completed and queues any successors that become
+// ready. Completing a task twice or completing an unready task is a
+// programming error and panics.
+func (rt *ReadyTracker) Complete(id int) {
+	if rt.done[id] {
+		panic(fmt.Sprintf("dag: task %d completed twice", id))
+	}
+	if rt.missing[id] != 0 {
+		panic(fmt.Sprintf("dag: task %d completed with %d pending predecessors", id, rt.missing[id]))
+	}
+	rt.done[id] = true
+	rt.left--
+	for _, s := range rt.g.Succs(id) {
+		rt.missing[s]--
+		if rt.missing[s] == 0 {
+			rt.ready = append(rt.ready, s)
+		}
+	}
+}
+
+// Drain returns the tasks that became ready since the last call, marking
+// them claimed. The caller owns the returned slice.
+func (rt *ReadyTracker) Drain() []int {
+	out := make([]int, 0, len(rt.ready))
+	for _, id := range rt.ready {
+		rt.claimed[id] = true
+		out = append(out, id)
+	}
+	rt.ready = rt.ready[:0]
+	return out
+}
+
+// PendingReady returns the number of ready tasks not yet drained.
+func (rt *ReadyTracker) PendingReady() int { return len(rt.ready) }
+
+// Remaining returns the number of tasks not yet completed.
+func (rt *ReadyTracker) Remaining() int { return rt.left }
+
+// Done reports whether every task has completed.
+func (rt *ReadyTracker) Done() bool { return rt.left == 0 }
+
+// IsCompleted reports whether task id has completed.
+func (rt *ReadyTracker) IsCompleted(id int) bool { return rt.done[id] }

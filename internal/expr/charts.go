@@ -1,0 +1,113 @@
+package expr
+
+import (
+	"fmt"
+
+	"repro/internal/platform"
+	"repro/internal/plot"
+	"repro/internal/workloads"
+)
+
+// Fig6Charts returns one ratio-vs-N chart per kernel family (the three
+// panels of Figure 6).
+func Fig6Charts(rows []Fig6Row) map[string]*plot.Chart {
+	charts := map[string]*plot.Chart{}
+	for _, fact := range workloads.Factorizations() {
+		c := &plot.Chart{
+			Title:  fmt.Sprintf("Fig. 6 — %s, independent tasks", fact),
+			XLabel: "number of tiles N",
+			YLabel: "makespan / area bound",
+		}
+		for _, alg := range IndepAlgorithms() {
+			s := plot.Series{Name: alg}
+			for _, r := range rows {
+				if r.Kernel != fact {
+					continue
+				}
+				s.X = append(s.X, float64(r.N))
+				s.Y = append(s.Y, r.Ratio[alg])
+			}
+			c.Series = append(c.Series, s)
+		}
+		charts["fig6_"+string(fact)] = c
+	}
+	return charts
+}
+
+// Fig7Charts returns one ratio-vs-N chart per kernel family (the three
+// panels of Figure 7).
+func Fig7Charts(rows []Fig7Row) map[string]*plot.Chart {
+	charts := map[string]*plot.Chart{}
+	for _, fact := range workloads.Factorizations() {
+		c := &plot.Chart{
+			Title:  fmt.Sprintf("Fig. 7 — %s DAG", fact),
+			XLabel: "number of tiles N",
+			YLabel: "makespan / lower bound",
+		}
+		for _, alg := range DAGAlgorithms() {
+			s := plot.Series{Name: alg}
+			for _, r := range rows {
+				if r.Kernel != fact {
+					continue
+				}
+				s.X = append(s.X, float64(r.N))
+				s.Y = append(s.Y, r.Ratio[alg])
+			}
+			c.Series = append(c.Series, s)
+		}
+		charts["fig7_"+string(fact)] = c
+	}
+	return charts
+}
+
+// Fig8Charts returns one chart per kernel with the CPU-side equivalent
+// acceleration factor of each algorithm (the paper's Figure 8 message).
+func Fig8Charts(rows []Fig7Row) map[string]*plot.Chart {
+	charts := map[string]*plot.Chart{}
+	for _, fact := range workloads.Factorizations() {
+		c := &plot.Chart{
+			Title:  fmt.Sprintf("Fig. 8 — %s, CPU equivalent acceleration factor", fact),
+			XLabel: "number of tiles N",
+			YLabel: "equivalent accel of CPU tasks",
+		}
+		for _, alg := range DAGAlgorithms() {
+			s := plot.Series{Name: alg}
+			for _, r := range rows {
+				if r.Kernel != fact {
+					continue
+				}
+				s.X = append(s.X, float64(r.N))
+				s.Y = append(s.Y, r.EquivAccel[alg][platform.CPU])
+			}
+			c.Series = append(c.Series, s)
+		}
+		charts["fig8_"+string(fact)] = c
+	}
+	return charts
+}
+
+// Fig9Charts returns one chart per kernel with the normalized CPU idle
+// time of each algorithm (the paper's Figure 9 message).
+func Fig9Charts(rows []Fig7Row) map[string]*plot.Chart {
+	charts := map[string]*plot.Chart{}
+	for _, fact := range workloads.Factorizations() {
+		c := &plot.Chart{
+			Title:  fmt.Sprintf("Fig. 9 — %s, normalized CPU idle time", fact),
+			XLabel: "number of tiles N",
+			YLabel: "idle time / lower-bound CPU usage",
+		}
+		for _, alg := range DAGAlgorithms() {
+			s := plot.Series{Name: alg}
+			for _, r := range rows {
+				if r.Kernel != fact {
+					continue
+				}
+				s.X = append(s.X, float64(r.N))
+				s.Y = append(s.Y, r.NormIdle[alg][platform.CPU])
+			}
+			c.Series = append(c.Series, s)
+		}
+		charts["fig9_"+string(fact)] = c
+	}
+	return charts
+}

@@ -1,0 +1,94 @@
+// Package expr implements the paper's evaluation harness: one experiment
+// per table and figure of Section 6, each returning typed rows and
+// rendering to Markdown/CSV. The experiments run entirely on the simulated
+// platform (see DESIGN.md for the substitutions).
+package expr
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/dag"
+	"repro/internal/platform"
+	"repro/internal/sched"
+	"repro/internal/sim"
+)
+
+// PaperPlatform returns the evaluation platform of Section 6: 20 CPU cores
+// and 4 GPUs.
+func PaperPlatform() platform.Platform { return platform.NewPlatform(20, 4) }
+
+// PaperNs returns the tile-count sweep of the paper (N from 4 to 64).
+func PaperNs() []int { return []int{4, 8, 12, 16, 20, 24, 28, 32, 40, 48, 56, 64} }
+
+// SmallNs returns a reduced sweep for quick runs (tests, benchmarks).
+func SmallNs() []int { return []int{4, 8, 12, 16} }
+
+// IndepAlgorithms lists the independent-task schedulers of Figure 6.
+func IndepAlgorithms() []string { return []string{"HeteroPrio", "DualHP", "HEFT"} }
+
+// RunIndependent executes the named independent-task scheduler.
+func RunIndependent(name string, in platform.Instance, pl platform.Platform) (*sim.Schedule, error) {
+	switch name {
+	case "HeteroPrio":
+		res, err := core.ScheduleIndependent(in, pl, core.Options{})
+		if err != nil {
+			return nil, err
+		}
+		return res.Schedule, nil
+	case "DualHP":
+		return sched.DualHPIndependent(in, pl)
+	case "HEFT":
+		return sched.HEFTIndependent(in, pl, dag.WeightAvg)
+	default:
+		return nil, fmt.Errorf("expr: unknown independent algorithm %q", name)
+	}
+}
+
+// DAGAlgorithms lists the seven DAG schedulers of Figure 7, in the paper's
+// grouping: HeteroPrio, DualHP and HEFT with their ranking schemes.
+func DAGAlgorithms() []string {
+	return []string{
+		"HeteroPrio-min", "HeteroPrio-avg",
+		"DualHP-min", "DualHP-avg", "DualHP-fifo",
+		"HEFT-min", "HEFT-avg",
+	}
+}
+
+// RunDAG executes the named DAG scheduler on a copy of the graph's
+// priority state (bottom levels are reassigned per the algorithm's
+// scheme).
+func RunDAG(name string, g *dag.Graph, pl platform.Platform) (*sim.Schedule, error) {
+	switch name {
+	case "HeteroPrio-min":
+		if _, err := g.AssignBottomLevelPriorities(dag.WeightMin, pl); err != nil {
+			return nil, err
+		}
+		res, err := core.ScheduleDAG(g, pl, core.Options{UsePriorities: true})
+		if err != nil {
+			return nil, err
+		}
+		return res.Schedule, nil
+	case "HeteroPrio-avg":
+		if _, err := g.AssignBottomLevelPriorities(dag.WeightAvg, pl); err != nil {
+			return nil, err
+		}
+		res, err := core.ScheduleDAG(g, pl, core.Options{UsePriorities: true})
+		if err != nil {
+			return nil, err
+		}
+		return res.Schedule, nil
+	case "DualHP-min":
+		return sched.DualHPDAGWithPriorities(g, pl, sched.RankMin)
+	case "DualHP-avg":
+		return sched.DualHPDAGWithPriorities(g, pl, sched.RankAvg)
+	case "DualHP-fifo":
+		return sched.DualHPDAGWithPriorities(g, pl, sched.RankFIFO)
+	case "HEFT-min":
+		return sched.HEFT(g, pl, dag.WeightMin)
+	case "HEFT-avg":
+		return sched.HEFT(g, pl, dag.WeightAvg)
+	default:
+		return nil, fmt.Errorf("expr: unknown DAG algorithm %q", name)
+	}
+}

@@ -1,0 +1,82 @@
+package expr
+
+import (
+	"math"
+
+	"repro/internal/bounds"
+	"repro/internal/core"
+	"repro/internal/platform"
+	"repro/internal/stats"
+	"repro/internal/workloads"
+)
+
+// ShapeRow is one platform shape of the shape study: HeteroPrio's ratio
+// to the area bound on a fixed independent workload, as the CPU/GPU mix
+// varies. It connects the theory (the proven bound depends on the shape:
+// phi for (1,1), 1+phi for (m,1), 2+sqrt(2) for (m,n)) to typical
+// behaviour.
+type ShapeRow struct {
+	CPUs, GPUs int
+	Bound      float64 // proven approximation bound for this shape
+	Ratio      float64 // HeteroPrio makespan / area bound
+	Spoliated  int
+}
+
+// Shape runs HeteroPrio on the Cholesky-kernel independent instance with
+// the given tile count over a sweep of platform shapes.
+func Shape(N int, shapes [][2]int) ([]ShapeRow, error) {
+	in, err := workloads.IndependentTasks(workloads.FactCholesky, N)
+	if err != nil {
+		return nil, err
+	}
+	var rows []ShapeRow
+	for _, sh := range shapes {
+		pl := platform.NewPlatform(sh[0], sh[1])
+		res, err := core.ScheduleIndependent(in, pl, core.Options{})
+		if err != nil {
+			return nil, err
+		}
+		lb, err := bounds.Lower(in, pl)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, ShapeRow{
+			CPUs: sh[0], GPUs: sh[1],
+			Bound:     provenBound(pl),
+			Ratio:     res.Makespan() / lb,
+			Spoliated: res.Spoliations,
+		})
+	}
+	return rows, nil
+}
+
+// provenBound returns the Table 2 approximation bound for a shape.
+func provenBound(pl platform.Platform) float64 {
+	switch {
+	case pl.CPUs == 1 && pl.GPUs == 1:
+		return workloads.Phi
+	case pl.GPUs == 1:
+		return 1 + workloads.Phi
+	default:
+		return 2 + math.Sqrt2
+	}
+}
+
+// ShapeTable renders the rows.
+func ShapeTable(rows []ShapeRow) *stats.Table {
+	t := &stats.Table{
+		Title:   "Shape study — HeteroPrio ratio to the area bound across platform shapes (Cholesky kernels as independent tasks)",
+		Columns: []string{"CPUs", "GPUs", "proven bound", "observed ratio", "spoliations"},
+	}
+	for _, r := range rows {
+		t.AddRow(r.CPUs, r.GPUs, r.Bound, r.Ratio, r.Spoliated)
+	}
+	return t
+}
+
+// DefaultShapes returns the sweep used by cmd/experiments.
+func DefaultShapes() [][2]int {
+	return [][2]int{
+		{1, 1}, {4, 1}, {20, 1}, {4, 2}, {10, 2}, {20, 4}, {40, 4}, {20, 8},
+	}
+}

@@ -1,0 +1,30 @@
+package expr
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestShapeStudy(t *testing.T) {
+	rows, err := Shape(8, DefaultShapes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(DefaultShapes()) {
+		t.Fatalf("%d rows, want %d", len(rows), len(DefaultShapes()))
+	}
+	for _, r := range rows {
+		if r.Ratio < 1-1e-9 {
+			t.Errorf("(%d,%d): ratio %v below 1", r.CPUs, r.GPUs, r.Ratio)
+		}
+		// The area bound underestimates the optimum, so the ratio to it can
+		// exceed the proven optimum-relative bound only moderately; a blow-up
+		// would indicate a regression.
+		if r.Ratio > r.Bound+1 {
+			t.Errorf("(%d,%d): ratio %v far above bound %v", r.CPUs, r.GPUs, r.Ratio, r.Bound)
+		}
+	}
+	if md := ShapeTable(rows).Markdown(); !strings.Contains(md, "proven bound") {
+		t.Errorf("table rendering:\n%s", md)
+	}
+}

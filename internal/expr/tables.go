@@ -1,0 +1,106 @@
+package expr
+
+import (
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/sched"
+	"repro/internal/stats"
+	"repro/internal/workloads"
+)
+
+// Table1Table renders Table 1 of the paper: acceleration factors of the
+// Cholesky kernels in the timing model (exactly the paper's values).
+func Table1Table() *stats.Table {
+	t := &stats.Table{
+		Title:   "Table 1 — acceleration factors for Cholesky kernels (tile size 960)",
+		Columns: []string{"kernel", "CPU time (ms)", "GPU time (ms)", "GPU / 1 core"},
+	}
+	for _, k := range workloads.CholeskyKernels() {
+		t.AddRow(k.Name, k.CPUTime, k.GPUTime, k.Accel())
+	}
+	return t
+}
+
+// Table2Row is one platform shape of Table 2: the proven approximation
+// ratio, the worst-case example's theoretical ratio, and the ratio this
+// implementation actually achieves on the adversarial instance.
+type Table2Row struct {
+	Shape       string
+	Bound       float64
+	WorstCaseEx float64
+	Achieved    float64
+}
+
+// Table2 verifies Table 2 of the paper by running HeteroPrio on the
+// adversarial instances of Theorems 8, 11 (m = 40) and 14 (k = 2) and
+// reporting the achieved ratio against the known optimal makespan.
+func Table2() ([]Table2Row, error) {
+	phi := workloads.Phi
+	var rows []Table2Row
+
+	// (1, 1): Theorem 8, optimum 1.
+	{
+		in, pl := workloads.Theorem8Instance()
+		res, err := core.ScheduleIndependent(in, pl, core.Options{})
+		if err != nil {
+			return nil, err
+		}
+		opt, err := sched.OptimalIndependent(in, pl)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, Table2Row{
+			Shape:       "(1,1)",
+			Bound:       phi,
+			WorstCaseEx: phi,
+			Achieved:    res.Makespan() / opt,
+		})
+	}
+
+	// (m, 1): Theorem 11 with m = 40, optimum 1.
+	{
+		m := 40
+		in, pl := workloads.Theorem11Instance(m, 4)
+		res, err := core.ScheduleIndependent(in, pl, core.Options{})
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, Table2Row{
+			Shape:       "(m,1)",
+			Bound:       1 + phi,
+			WorstCaseEx: 1 + phi,
+			Achieved:    res.Makespan() / 1.0,
+		})
+	}
+
+	// (m, n): Theorem 14 with k = 2, optimum n = 12.
+	{
+		k := 2
+		in, pl := workloads.Theorem14Instance(k, 4)
+		res, err := core.ScheduleIndependent(in, pl, core.Options{})
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, Table2Row{
+			Shape:       "(m,n)",
+			Bound:       2 + math.Sqrt2,
+			WorstCaseEx: 2 + 2/math.Sqrt(3),
+			Achieved:    res.Makespan() / workloads.Theorem14OptimalMakespan(k),
+		})
+	}
+	return rows, nil
+}
+
+// Table2Table renders Table 2 rows.
+func Table2Table(rows []Table2Row) *stats.Table {
+	t := &stats.Table{
+		Title: "Table 2 — approximation ratios: proven bound, worst-case example, and the " +
+			"ratio achieved by this implementation on the adversarial instance",
+		Columns: []string{"(#CPUs,#GPUs)", "proven ratio", "worst case ex.", "achieved here"},
+	}
+	for _, r := range rows {
+		t.AddRow(r.Shape, r.Bound, r.WorstCaseEx, r.Achieved)
+	}
+	return t
+}

@@ -1,0 +1,70 @@
+package expr
+
+import (
+	"repro/internal/core"
+	"repro/internal/dag"
+	"repro/internal/platform"
+	"repro/internal/stats"
+	"repro/internal/workloads"
+)
+
+// TransferRow reports HeteroPrio-min's makespan inflation when cross-class
+// data transfers cost delta: one row per (kernel, delta), relative to the
+// zero-delay makespan. DeltaRel expresses delta as a fraction of the mean
+// GPU kernel time, so rows are comparable across kernels.
+type TransferRow struct {
+	Kernel      workloads.Factorization
+	N           int
+	Delta       float64
+	Makespan    float64
+	Inflation   float64 // makespan / zero-delay makespan
+	Spoliations int
+}
+
+// Transfer sweeps the transfer delay on the factorization DAGs. Deltas
+// are absolute times in the timing model's unit (milliseconds).
+func Transfer(N int, deltas []float64, pl platform.Platform) ([]TransferRow, error) {
+	var rows []TransferRow
+	for _, fact := range workloads.Factorizations() {
+		var base float64
+		for i, delta := range deltas {
+			g, err := workloads.Build(fact, N)
+			if err != nil {
+				return nil, err
+			}
+			if _, err := g.AssignBottomLevelPriorities(dag.WeightMin, pl); err != nil {
+				return nil, err
+			}
+			res, err := core.ScheduleDAG(g, pl, core.Options{UsePriorities: true, TransferDelay: delta})
+			if err != nil {
+				return nil, err
+			}
+			if err := res.Schedule.ValidateRelaxed(g.Tasks(), g); err != nil {
+				return nil, err
+			}
+			if i == 0 {
+				base = res.Makespan()
+			}
+			rows = append(rows, TransferRow{
+				Kernel: fact, N: N, Delta: delta,
+				Makespan:    res.Makespan(),
+				Inflation:   res.Makespan() / base,
+				Spoliations: res.Spoliations,
+			})
+		}
+	}
+	return rows, nil
+}
+
+// TransferTable renders the rows.
+func TransferTable(rows []TransferRow) *stats.Table {
+	t := &stats.Table{
+		Title: "Transfer sweep — HeteroPrio-min under cross-class data-transfer delays " +
+			"(inflation relative to the first delta of the sweep)",
+		Columns: []string{"kernel", "N", "delta (ms)", "makespan (ms)", "inflation", "spoliations"},
+	}
+	for _, r := range rows {
+		t.AddRow(string(r.Kernel), r.N, r.Delta, r.Makespan, r.Inflation, r.Spoliations)
+	}
+	return t
+}

@@ -1,0 +1,27 @@
+package expr
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTransferSweep(t *testing.T) {
+	rows, err := Transfer(8, []float64{0, 1, 4}, PaperPlatform())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 9 {
+		t.Fatalf("%d rows, want 9", len(rows))
+	}
+	for _, r := range rows {
+		if r.Delta == 0 && r.Inflation != 1 {
+			t.Errorf("%s: zero-delta inflation %v != 1", r.Kernel, r.Inflation)
+		}
+		if r.Inflation < 0.9 || r.Inflation > 10 {
+			t.Errorf("%s delta %v: inflation %v out of range", r.Kernel, r.Delta, r.Inflation)
+		}
+	}
+	if md := TransferTable(rows).Markdown(); !strings.Contains(md, "inflation") {
+		t.Error("table rendering")
+	}
+}

@@ -1,0 +1,176 @@
+// Package plot renders simple line charts as standalone SVG — enough to
+// regenerate the paper's figures (ratio-vs-N curves) without any external
+// dependency.
+package plot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is one labelled curve.
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+}
+
+// Chart is a line chart with one or more series.
+type Chart struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+	// YMin/YMax optionally pin the y-range (both zero = auto).
+	YMin, YMax float64
+}
+
+// palette matches internal/trace for visual consistency.
+var palette = []string{
+	"#4e79a7", "#f28e2b", "#59a14f", "#b07aa1",
+	"#76b7b2", "#edc948", "#ff9da7", "#9c755f",
+}
+
+// markers cycles simple shapes so series are distinguishable in print.
+var markers = []string{"circle", "square", "diamond", "triangle"}
+
+// SVG renders the chart at the given pixel size.
+func (c *Chart) SVG(width, height int) string {
+	if width < 200 {
+		width = 200
+	}
+	if height < 150 {
+		height = 150
+	}
+	const ml, mr, mt, mb = 60.0, 140.0, 30.0, 45.0
+	pw := float64(width) - ml - mr
+	ph := float64(height) - mt - mb
+
+	xmin, xmax := math.Inf(1), math.Inf(-1)
+	ymin, ymax := math.Inf(1), math.Inf(-1)
+	for _, s := range c.Series {
+		for i := range s.X {
+			if math.IsNaN(s.Y[i]) {
+				continue
+			}
+			xmin = math.Min(xmin, s.X[i])
+			xmax = math.Max(xmax, s.X[i])
+			ymin = math.Min(ymin, s.Y[i])
+			ymax = math.Max(ymax, s.Y[i])
+		}
+	}
+	if math.IsInf(xmin, 1) { // no data
+		xmin, xmax, ymin, ymax = 0, 1, 0, 1
+	}
+	if c.YMin != 0 || c.YMax != 0 {
+		ymin, ymax = c.YMin, c.YMax
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+	// Pad the y-range slightly for readability.
+	pad := (ymax - ymin) * 0.05
+	ymin -= pad
+	ymax += pad
+
+	sx := func(x float64) float64 { return ml + (x-xmin)/(xmax-xmin)*pw }
+	sy := func(y float64) float64 { return mt + ph - (y-ymin)/(ymax-ymin)*ph }
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" font-family="sans-serif" font-size="11">`+"\n", width, height)
+	b.WriteString(`<rect width="100%" height="100%" fill="white"/>` + "\n")
+	fmt.Fprintf(&b, `<text x="%d" y="18" font-size="14" text-anchor="middle">%s</text>`+"\n", width/2, escape(c.Title))
+
+	// Axes and ticks.
+	fmt.Fprintf(&b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="black"/>`+"\n", ml, mt+ph, ml+pw, mt+ph)
+	fmt.Fprintf(&b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="black"/>`+"\n", ml, mt, ml, mt+ph)
+	for _, tx := range Ticks(xmin, xmax, 8) {
+		fmt.Fprintf(&b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="black"/>`+"\n", sx(tx), mt+ph, sx(tx), mt+ph+4)
+		fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" text-anchor="middle">%.4g</text>`+"\n", sx(tx), mt+ph+16, tx)
+	}
+	for _, ty := range Ticks(ymin, ymax, 6) {
+		fmt.Fprintf(&b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="#dddddd"/>`+"\n", ml, sy(ty), ml+pw, sy(ty))
+		fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" text-anchor="end">%.4g</text>`+"\n", ml-6, sy(ty)+4, ty)
+	}
+	fmt.Fprintf(&b, `<text x="%.1f" y="%d" text-anchor="middle">%s</text>`+"\n", ml+pw/2, height-8, escape(c.XLabel))
+	fmt.Fprintf(&b, `<text x="14" y="%.1f" text-anchor="middle" transform="rotate(-90 14 %.1f)">%s</text>`+"\n", mt+ph/2, mt+ph/2, escape(c.YLabel))
+
+	// Series.
+	for si, s := range c.Series {
+		color := palette[si%len(palette)]
+		var pts []string
+		for i := range s.X {
+			if math.IsNaN(s.Y[i]) {
+				continue
+			}
+			pts = append(pts, fmt.Sprintf("%.2f,%.2f", sx(s.X[i]), sy(s.Y[i])))
+		}
+		if len(pts) > 1 {
+			fmt.Fprintf(&b, `<polyline points="%s" fill="none" stroke="%s" stroke-width="1.8"/>`+"\n", strings.Join(pts, " "), color)
+		}
+		for i := range s.X {
+			if math.IsNaN(s.Y[i]) {
+				continue
+			}
+			drawMarker(&b, markers[si%len(markers)], sx(s.X[i]), sy(s.Y[i]), color)
+		}
+		// Legend.
+		ly := mt + 14 + float64(si)*16
+		lx := ml + pw + 10
+		fmt.Fprintf(&b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="%s" stroke-width="1.8"/>`+"\n", lx, ly-4, lx+18, ly-4, color)
+		drawMarker(&b, markers[si%len(markers)], lx+9, ly-4, color)
+		fmt.Fprintf(&b, `<text x="%.1f" y="%.1f">%s</text>`+"\n", lx+24, ly, escape(s.Name))
+	}
+	b.WriteString("</svg>\n")
+	return b.String()
+}
+
+func drawMarker(b *strings.Builder, shape string, x, y float64, color string) {
+	const r = 3.0
+	switch shape {
+	case "square":
+		fmt.Fprintf(b, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="%s"/>`+"\n", x-r, y-r, 2*r, 2*r, color)
+	case "diamond":
+		fmt.Fprintf(b, `<polygon points="%.1f,%.1f %.1f,%.1f %.1f,%.1f %.1f,%.1f" fill="%s"/>`+"\n",
+			x, y-r-1, x+r+1, y, x, y+r+1, x-r-1, y, color)
+	case "triangle":
+		fmt.Fprintf(b, `<polygon points="%.1f,%.1f %.1f,%.1f %.1f,%.1f" fill="%s"/>`+"\n",
+			x, y-r-1, x+r+1, y+r, x-r-1, y+r, color)
+	default:
+		fmt.Fprintf(b, `<circle cx="%.1f" cy="%.1f" r="%.1f" fill="%s"/>`+"\n", x, y, r, color)
+	}
+}
+
+// Ticks returns up to n "nice" tick positions covering [lo, hi].
+func Ticks(lo, hi float64, n int) []float64 {
+	if n < 2 || !(hi > lo) {
+		return []float64{lo}
+	}
+	raw := (hi - lo) / float64(n)
+	mag := math.Pow(10, math.Floor(math.Log10(raw)))
+	var step float64
+	switch {
+	case raw/mag < 1.5:
+		step = mag
+	case raw/mag < 3.5:
+		step = 2 * mag
+	case raw/mag < 7.5:
+		step = 5 * mag
+	default:
+		step = 10 * mag
+	}
+	var out []float64
+	for t := math.Ceil(lo/step) * step; t <= hi+step*1e-9; t += step {
+		out = append(out, t)
+	}
+	return out
+}
+
+func escape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;")
+	return r.Replace(s)
+}

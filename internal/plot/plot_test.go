@@ -1,0 +1,103 @@
+package plot
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestTicksNice(t *testing.T) {
+	ts := Ticks(0, 10, 6)
+	if len(ts) < 3 {
+		t.Fatalf("too few ticks: %v", ts)
+	}
+	for i := 1; i < len(ts); i++ {
+		if ts[i] <= ts[i-1] {
+			t.Fatalf("ticks not increasing: %v", ts)
+		}
+	}
+	if ts[0] < 0 || ts[len(ts)-1] > 10+1e-9 {
+		t.Fatalf("ticks outside range: %v", ts)
+	}
+}
+
+func TestTicksDegenerate(t *testing.T) {
+	if got := Ticks(5, 5, 4); len(got) != 1 || got[0] != 5 {
+		t.Errorf("degenerate ticks = %v", got)
+	}
+	if got := Ticks(0, 1, 1); len(got) != 1 {
+		t.Errorf("n<2 ticks = %v", got)
+	}
+}
+
+// Property: ticks always lie within [lo, hi] (up to rounding) and are
+// strictly increasing, for random ranges across magnitudes.
+func TestTicksProperty(t *testing.T) {
+	f := func(a, b float64, scale uint8) bool {
+		lo := math.Mod(math.Abs(a), 1000)
+		span := math.Mod(math.Abs(b), 1000) + 1e-3
+		lo *= math.Pow(10, float64(scale%7)-3)
+		span *= math.Pow(10, float64(scale%7)-3)
+		hi := lo + span
+		ts := Ticks(lo, hi, 8)
+		if len(ts) == 0 || len(ts) > 25 {
+			return false
+		}
+		for i, v := range ts {
+			if v < lo-span*1e-6 || v > hi+span*1e-6 {
+				return false
+			}
+			if i > 0 && v <= ts[i-1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestChartSVG(t *testing.T) {
+	c := &Chart{
+		Title:  "ratio vs N",
+		XLabel: "N",
+		YLabel: "ratio <to> bound", // exercises escaping
+		Series: []Series{
+			{Name: "HeteroPrio", X: []float64{4, 8, 16}, Y: []float64{2.0, 1.1, 1.0}},
+			{Name: "DualHP", X: []float64{4, 8, 16}, Y: []float64{2.7, 1.4, 1.0}},
+			{Name: "HEFT", X: []float64{4, 8, 16}, Y: []float64{2.0, 1.1, math.NaN()}},
+		},
+	}
+	svg := c.SVG(640, 360)
+	for _, want := range []string{"<svg", "HeteroPrio", "DualHP", "polyline", "ratio &lt;to&gt; bound", "</svg>"} {
+		if !strings.Contains(svg, want) {
+			t.Errorf("SVG missing %q", want)
+		}
+	}
+	if strings.Contains(svg, "NaN") {
+		t.Error("NaN leaked into SVG")
+	}
+}
+
+func TestChartSVGEmptyAndTiny(t *testing.T) {
+	c := &Chart{Title: "empty"}
+	if svg := c.SVG(10, 10); !strings.Contains(svg, "<svg") {
+		t.Error("empty chart broken")
+	}
+	c2 := &Chart{Series: []Series{{Name: "one", X: []float64{1}, Y: []float64{1}}}}
+	if svg := c2.SVG(300, 200); !strings.Contains(svg, "circle") {
+		t.Error("single-point series should still draw a marker")
+	}
+}
+
+func TestChartYRangeOverride(t *testing.T) {
+	c := &Chart{
+		YMin: 1, YMax: 4,
+		Series: []Series{{Name: "s", X: []float64{0, 1}, Y: []float64{2, 3}}},
+	}
+	if svg := c.SVG(400, 300); !strings.Contains(svg, "<svg") {
+		t.Error("override range broken")
+	}
+}

@@ -1,0 +1,92 @@
+package runtime
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/tile"
+)
+
+func TestCalibrateLU(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	est := CalibrateLU(64, rng)
+	if est.B != 64 || est.GETRF <= 0 || est.TRSM <= 0 || est.GEMM[0] <= 0 || est.GEMM[1] <= 0 {
+		t.Errorf("bad estimates: %+v", est)
+	}
+}
+
+func TestLUGraphEstimateMismatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a := tile.RandomDiagDominant(8, rng)
+	td, err := tile.NewTiled(a, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LUGraph(td, LUEstimates{B: 8}); err == nil {
+		t.Error("tile size mismatch accepted")
+	}
+}
+
+// TestLUGraphNumerics factors a real diagonally dominant matrix with the
+// real-time executor and verifies the packed factors against the dense
+// reference.
+func TestLUGraphNumerics(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	const n, b = 192, 48
+	a := tile.RandomDiagDominant(n, rng)
+	want, err := tile.LUDense(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	td, err := tile.NewTiled(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est := CalibrateLU(b, rng)
+	g, err := LUGraph(td, est)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Run(g, Config{CPUWorkers: 2, GPUWorkers: 1, UsePriorities: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := td.Assemble()
+	if d := tile.MaxAbsDiff(got, want); d > 1e-8 {
+		t.Errorf("LU factors differ by %v (%d spoliations)", d, rep.Spoliations)
+	}
+	if len(rep.Trace.SuccessfulEntries()) != g.Len() {
+		t.Errorf("%d successful runs, want %d", len(rep.Trace.SuccessfulEntries()), g.Len())
+	}
+}
+
+// TestLUGraphSpoliationStress exaggerates the GEMM acceleration estimates
+// so the executor spoliates aggressively, and checks correctness holds.
+func TestLUGraphSpoliationStress(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	const n, b = 192, 48
+	a := tile.RandomDiagDominant(n, rng)
+	want, err := tile.LUDense(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	td, err := tile.NewTiled(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est := CalibrateLU(b, rng)
+	est.GEMM[1] /= 5
+	g, err := LUGraph(td, est)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Run(g, Config{CPUWorkers: 3, GPUWorkers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := td.Assemble()
+	if d := tile.MaxAbsDiff(got, want); d > 1e-8 {
+		t.Errorf("LU factors differ by %v after %d spoliations", d, rep.Spoliations)
+	}
+	t.Logf("spoliations: %d, wall: %v", rep.Spoliations, rep.Wall)
+}

@@ -1,0 +1,154 @@
+package runtime
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/cancel"
+	"repro/internal/platform"
+	"repro/internal/tile"
+)
+
+// QREstimates holds measured per-kernel durations (seconds) for the tiled
+// QR. The QR kernels have a single implementation, so both classes see the
+// same estimate; pass skewed estimates to exercise spoliation.
+type QREstimates struct {
+	B     int
+	GEQRT [2]float64
+	LARFB [2]float64
+	TSQRT [2]float64
+	TSMQR [2]float64
+}
+
+// CalibrateQR measures each QR kernel once on random tiles of size b and
+// returns symmetric estimates.
+func CalibrateQR(b int, rng *rand.Rand) QREstimates {
+	mk := func() []float64 {
+		t := make([]float64, b*b)
+		for i := range t {
+			t[i] = rng.Float64()*2 - 1
+		}
+		return t
+	}
+	timeIt := func(f func()) float64 {
+		start := time.Now()
+		f()
+		return time.Since(start).Seconds()
+	}
+	est := QREstimates{B: b}
+	a, t := mk(), make([]float64, b*b)
+	d := timeIt(func() { tile.GEQRT(a, t, b) })
+	est.GEQRT = [2]float64{d, d}
+	c := mk()
+	d = timeIt(func() { tile.LARFB(c, a, t, b) })
+	est.LARFB = [2]float64{d, d}
+	r, bot, t2 := a, mk(), make([]float64, b*b)
+	d = timeIt(func() { tile.TSQRT(r, bot, t2, b) })
+	est.TSQRT = [2]float64{d, d}
+	cT, cB := mk(), mk()
+	d = timeIt(func() { tile.TSMQR(cT, cB, bot, t2, b) })
+	est.TSMQR = [2]float64{d, d}
+	return est
+}
+
+// QRGraph builds the runtime task graph of the flat-tree tiled QR of td:
+// one task per kernel instance, with per-panel T factors allocated inside
+// the graph and snapshot/restore hooks so spoliation can safely restart
+// any task.
+func QRGraph(td *tile.Tiled, est QREstimates) (*Graph, error) {
+	if est.B != td.B {
+		return nil, fmt.Errorf("runtime: estimates for tile size %d, matrix uses %d", est.B, td.B)
+	}
+	g := NewGraph()
+	nt, b := td.NT, td.B
+	last := make([][]int, nt)
+	for i := range last {
+		last[i] = make([]int, nt)
+		for j := range last[i] {
+			last[i][j] = -1
+		}
+	}
+	dep := func(task, i, j int) {
+		if w := last[i][j]; w >= 0 && w != task {
+			g.AddDep(w, task)
+		}
+	}
+	// snap wraps a kernel run with Prepare/Reset over the tiles it
+	// mutates (the T factors are rewritten from scratch on every attempt,
+	// so they need no snapshot).
+	snap := func(name string, targets [][]float64, estPair [2]float64,
+		run func(flag *cancel.Flag) bool) Task {
+		backups := make([][]float64, len(targets))
+		return Task{
+			Name: name, EstCPU: estPair[0], EstGPU: estPair[1],
+			Prepare: func() {
+				for i, tgt := range targets {
+					backups[i] = append(backups[i][:0], tgt...)
+				}
+			},
+			Reset: func() {
+				for i, tgt := range targets {
+					copy(tgt, backups[i])
+				}
+			},
+			Run: func(kind platform.Kind, flag *cancel.Flag) (bool, error) {
+				return run(flag), nil
+			},
+		}
+	}
+
+	for k := 0; k < nt; k++ {
+		kk := k
+		akk := td.Tile(kk, kk)
+		t1 := make([]float64, b*b)
+		geqrt := g.Add(snap(
+			fmt.Sprintf("GEQRT(%d)", kk), [][]float64{akk}, est.GEQRT,
+			func(flag *cancel.Flag) bool { return tile.GEQRTCancel(akk, t1, b, flag) }))
+		dep(geqrt, kk, kk)
+		last[kk][kk] = geqrt
+
+		rowPrev := make([]int, nt)
+		for j := k + 1; j < nt; j++ {
+			jj := j
+			akj := td.Tile(kk, jj)
+			t := g.Add(snap(
+				fmt.Sprintf("LARFB(%d,%d)", kk, jj), [][]float64{akj}, est.LARFB,
+				func(flag *cancel.Flag) bool { return tile.LARFBCancel(akj, akk, t1, b, flag) }))
+			g.AddDep(geqrt, t)
+			dep(t, kk, jj)
+			last[kk][jj] = t
+			rowPrev[jj] = t
+		}
+		panelPrev := geqrt
+		for i := k + 1; i < nt; i++ {
+			ii := i
+			aik := td.Tile(ii, kk)
+			t2 := make([]float64, b*b)
+			ts := g.Add(snap(
+				fmt.Sprintf("TSQRT(%d,%d)", ii, kk), [][]float64{akk, aik}, est.TSQRT,
+				func(flag *cancel.Flag) bool { return tile.TSQRTCancel(akk, aik, t2, b, flag) }))
+			g.AddDep(panelPrev, ts)
+			dep(ts, ii, kk)
+			last[ii][kk] = ts
+			panelPrev = ts
+			for j := k + 1; j < nt; j++ {
+				jj := j
+				akj := td.Tile(kk, jj)
+				aij := td.Tile(ii, jj)
+				t := g.Add(snap(
+					fmt.Sprintf("TSMQR(%d,%d,%d)", ii, jj, kk), [][]float64{akj, aij}, est.TSMQR,
+					func(flag *cancel.Flag) bool {
+						return tile.TSMQRCancel(akj, aij, aik, t2, b, flag)
+					}))
+				g.AddDep(ts, t)
+				g.AddDep(rowPrev[jj], t)
+				dep(t, ii, jj)
+				last[ii][jj] = t
+				rowPrev[jj] = t
+			}
+		}
+		last[kk][kk] = panelPrev
+	}
+	return g, nil
+}

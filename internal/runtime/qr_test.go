@@ -1,0 +1,113 @@
+package runtime
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/tile"
+)
+
+func TestCalibrateQR(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	est := CalibrateQR(48, rng)
+	for name, pair := range map[string][2]float64{
+		"GEQRT": est.GEQRT, "LARFB": est.LARFB, "TSQRT": est.TSQRT, "TSMQR": est.TSMQR,
+	} {
+		if pair[0] <= 0 || pair[1] <= 0 {
+			t.Errorf("%s: non-positive estimate %v", name, pair)
+		}
+	}
+}
+
+func TestQRGraphEstimateMismatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a := tile.RandomSPD(8, rng)
+	td, err := tile.NewTiled(a, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := QRGraph(td, QREstimates{B: 8}); err == nil {
+		t.Error("tile size mismatch accepted")
+	}
+}
+
+// randomSquare returns a random general matrix.
+func randomSquare(n int, rng *rand.Rand) *tile.Matrix {
+	m := tile.NewMatrix(n, n)
+	for i := range m.Data {
+		m.Data[i] = rng.Float64()*2 - 1
+	}
+	return m
+}
+
+// TestQRGraphNumerics factors a real matrix with the real-time executor
+// and checks the Gram identity A^T A = R^T R.
+func TestQRGraphNumerics(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	const n, b = 144, 48
+	a := randomSquare(n, rng)
+	td, err := tile.NewTiled(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est := CalibrateQR(b, rng)
+	g, err := QRGraph(td, est)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Run(g, Config{CPUWorkers: 2, GPUWorkers: 1, UsePriorities: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := tile.QRExtractR(td)
+	d, err := tile.GramDiff(a, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d > 1e-8*float64(n) {
+		t.Errorf("A^T A != R^T R by %v (%d spoliations)", d, rep.Spoliations)
+	}
+	if len(rep.Trace.SuccessfulEntries()) != g.Len() {
+		t.Errorf("%d successful runs, want %d", len(rep.Trace.SuccessfulEntries()), g.Len())
+	}
+}
+
+// TestQRGraphSpoliationStress skews the estimates so the policy believes
+// the GPU class is much faster, forcing spoliations, and verifies the
+// numerics survive cancel + restore + restart.
+func TestQRGraphSpoliationStress(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	const n, b = 288, 96 // larger tiles: runs last milliseconds, so the
+	// GPU class actually catches CPU runs in flight
+	a := randomSquare(n, rng)
+	td, err := tile.NewTiled(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est := CalibrateQR(b, rng)
+	// Make the policy believe the CPU class is very slow and the GPU class
+	// very fast: every CPU run looks worth spoliating.
+	est.GEQRT[0] *= 10
+	est.LARFB[0] *= 10
+	est.TSQRT[0] *= 10
+	est.TSMQR[0] *= 10
+	est.LARFB[1] /= 5
+	est.TSMQR[1] /= 5
+	g, err := QRGraph(td, est)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Run(g, Config{CPUWorkers: 3, GPUWorkers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := tile.QRExtractR(td)
+	d, err := tile.GramDiff(a, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d > 1e-8*float64(n) {
+		t.Errorf("Gram identity broken by %v after %d spoliations", d, rep.Spoliations)
+	}
+	t.Logf("spoliations: %d, wall: %v", rep.Spoliations, rep.Wall)
+}

@@ -1,0 +1,334 @@
+// Package runtime is a real-time task-based runtime system driven by the
+// HeteroPrio scheduling policy — the "practical implementation in a
+// runtime system" the paper's conclusion announces, in miniature. It
+// executes task graphs of real Go closures on two pools of worker
+// goroutines (the "CPU" and "GPU" classes of the model; on a laptop both
+// are OS threads, with the class distinction carried by which kernel
+// implementation a task runs — see the realcholesky example).
+//
+// Scheduling follows Algorithm 1 online: ready tasks enter the two-ended
+// acceleration-factor queue, GPU-class workers pull from the front,
+// CPU-class workers from the back, and an idle worker with an empty queue
+// spoliates a task running on the other class if its *estimated*
+// completion would improve. Spoliation is cooperative: the victim's
+// cancel flag is raised, its kernel abandons the run at the next poll,
+// the task's inputs are restored (Reset hook) and the task restarts on
+// the spoliating worker. Unlike the simulator, decisions use estimated
+// durations but the trace records measured wall-clock times.
+package runtime
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/cancel"
+	"repro/internal/core"
+	"repro/internal/dag"
+	"repro/internal/platform"
+	"repro/internal/sim"
+)
+
+// Task is a unit of real work with per-class duration estimates.
+type Task struct {
+	// Name labels the task in traces.
+	Name string
+	// EstCPU and EstGPU are the estimated durations (seconds) on each
+	// class; their ratio is the acceleration factor used by the policy.
+	EstCPU, EstGPU float64
+	// Run executes the task on the given class. It must poll flag and
+	// return false promptly once cancelled (partial effects are allowed).
+	// Returning an error aborts the whole execution.
+	Run func(kind platform.Kind, flag *cancel.Flag) (completed bool, err error)
+	// Prepare, if non-nil, is called (from the coordinator goroutine)
+	// right before the task's first dispatch — typically to snapshot the
+	// inputs the task mutates in place.
+	Prepare func()
+	// Reset, if non-nil, is called before a re-dispatch after a cancelled
+	// run — typically to restore the Prepare snapshot.
+	Reset func()
+}
+
+// Graph is a DAG of runtime tasks.
+type Graph struct {
+	d     *dag.Graph
+	tasks []Task
+}
+
+// NewGraph returns an empty graph.
+func NewGraph() *Graph { return &Graph{d: dag.New()} }
+
+// Add appends a task and returns its ID.
+func (g *Graph) Add(t Task) int {
+	id := g.d.AddTask(platform.Task{
+		Name:    t.Name,
+		CPUTime: t.EstCPU,
+		GPUTime: t.EstGPU,
+	})
+	g.tasks = append(g.tasks, t)
+	return id
+}
+
+// AddDep declares that task u must complete before task v starts.
+func (g *Graph) AddDep(u, v int) { g.d.AddEdge(u, v) }
+
+// Len returns the number of tasks.
+func (g *Graph) Len() int { return g.d.Len() }
+
+// Config parameterizes an execution.
+type Config struct {
+	// CPUWorkers and GPUWorkers are the pool sizes (both classes are
+	// goroutines; the class only selects queue end and estimates).
+	CPUWorkers, GPUWorkers int
+	// DisableSpoliation turns cooperative spoliation off.
+	DisableSpoliation bool
+	// UsePriorities assigns min-weight bottom levels as priorities and
+	// uses them for tie-breaking, as in the paper's best configuration.
+	UsePriorities bool
+}
+
+// Report is the outcome of an execution.
+type Report struct {
+	// Wall is the measured makespan.
+	Wall time.Duration
+	// Trace holds the measured runs (times in seconds from start),
+	// including aborted (spoliated) attempts. Durations are measured, so
+	// Trace must not be validated against the estimate instance.
+	Trace *sim.Schedule
+	// Spoliations is the number of cancelled runs.
+	Spoliations int
+}
+
+type job struct {
+	id   int
+	t    Task
+	flag *cancel.Flag
+}
+
+type completion struct {
+	worker     int
+	id         int
+	start, end time.Duration
+	completed  bool
+	err        error
+}
+
+// Run executes the graph and blocks until every task has completed.
+func Run(g *Graph, cfg Config) (*Report, error) {
+	pl := platform.Platform{CPUs: cfg.CPUWorkers, GPUs: cfg.GPUWorkers}
+	if err := pl.Validate(); err != nil {
+		return nil, err
+	}
+	if err := g.d.Validate(); err != nil {
+		return nil, err
+	}
+	for id, t := range g.tasks {
+		if t.Run == nil {
+			return nil, fmt.Errorf("runtime: task %d (%s) has no Run function", id, t.Name)
+		}
+	}
+	if cfg.UsePriorities {
+		if _, err := g.d.AssignBottomLevelPriorities(dag.WeightMin, pl); err != nil {
+			return nil, err
+		}
+	}
+
+	epoch := time.Now()
+	jobs := make([]chan job, pl.Workers())
+	done := make(chan completion, pl.Workers())
+	for w := 0; w < pl.Workers(); w++ {
+		jobs[w] = make(chan job, 1)
+		go func(w int, kind platform.Kind) {
+			for j := range jobs[w] {
+				start := time.Since(epoch)
+				completed, err := j.t.Run(kind, j.flag)
+				done <- completion{
+					worker: w, id: j.id,
+					start: start, end: time.Since(epoch),
+					completed: completed, err: err,
+				}
+			}
+		}(w, pl.KindOf(w))
+	}
+	defer func() {
+		for _, ch := range jobs {
+			close(ch)
+		}
+	}()
+
+	// Coordinator state.
+	rt := dag.NewReadyTracker(g.d)
+	queue := core.NewQueue(cfg.UsePriorities)
+	type runInfo struct {
+		id     int
+		flag   *cancel.Flag
+		estEnd time.Duration // estimated completion (for spoliation)
+		spol   bool          // this run was started by a spoliation
+	}
+	running := make(map[int]*runInfo) // worker -> run
+	prepared := make(map[int]bool)
+	idle := map[int]bool{}
+	for w := 0; w < pl.Workers(); w++ {
+		idle[w] = true
+	}
+	trace := &sim.Schedule{Platform: pl}
+	spoliations := 0
+
+	dispatch := func(w, id int, spol bool) {
+		t := g.tasks[id]
+		if !prepared[id] {
+			if t.Prepare != nil {
+				t.Prepare()
+			}
+			prepared[id] = true
+		} else if t.Reset != nil {
+			t.Reset()
+		}
+		flag := &cancel.Flag{}
+		est := g.d.Task(id).Time(pl.KindOf(w))
+		running[w] = &runInfo{
+			id: id, flag: flag,
+			estEnd: time.Since(epoch) + time.Duration(est*float64(time.Second)),
+			spol:   spol,
+		}
+		delete(idle, w)
+		jobs[w] <- job{id: id, t: t, flag: flag}
+	}
+
+	// reservedBy maps a victim worker to the worker waiting to restart
+	// its task after the cooperative abort.
+	reservedBy := make(map[int]int) // victim worker -> spoliating worker
+
+	trySpoliate := func(w int) bool {
+		if cfg.DisableSpoliation {
+			return false
+		}
+		kind := pl.KindOf(w)
+		now := time.Since(epoch)
+		// Victims: running tasks on the other class, not already being
+		// spoliated, in decreasing estimated completion time.
+		type victim struct {
+			worker int
+			info   *runInfo
+		}
+		var victims []victim
+		for vw, info := range running {
+			if pl.KindOf(vw) == kind {
+				continue
+			}
+			if _, taken := reservedBy[vw]; taken {
+				continue
+			}
+			victims = append(victims, victim{vw, info})
+		}
+		sort.Slice(victims, func(i, j int) bool {
+			if victims[i].info.estEnd != victims[j].info.estEnd {
+				return victims[i].info.estEnd > victims[j].info.estEnd
+			}
+			return victims[i].info.id < victims[j].info.id
+		})
+		for _, v := range victims {
+			est := g.d.Task(v.info.id).Time(kind)
+			newEnd := now + time.Duration(est*float64(time.Second))
+			if newEnd < v.info.estEnd {
+				v.info.flag.Cancel()
+				reservedBy[v.worker] = w
+				delete(idle, w)
+				return true
+			}
+		}
+		return false
+	}
+
+	assign := func() {
+		for {
+			progress := false
+			for _, kind := range []platform.Kind{platform.GPU, platform.CPU} {
+				for _, w := range pl.WorkersOf(kind) {
+					if !idle[w] || queue.Len() == 0 {
+						continue
+					}
+					var t platform.Task
+					if kind == platform.GPU {
+						t = queue.PopFront()
+					} else {
+						t = queue.PopBack()
+					}
+					dispatch(w, t.ID, false)
+					progress = true
+				}
+			}
+			if queue.Len() == 0 {
+				for _, kind := range []platform.Kind{platform.GPU, platform.CPU} {
+					for _, w := range pl.WorkersOf(kind) {
+						if idle[w] && trySpoliate(w) {
+							progress = true
+						}
+					}
+				}
+			}
+			if !progress {
+				return
+			}
+		}
+	}
+
+	for _, id := range rt.Drain() {
+		queue.Push(g.d.Task(id))
+	}
+	assign()
+
+	for !rt.Done() {
+		if len(running) == 0 {
+			return nil, fmt.Errorf("runtime: stalled with %d tasks remaining", rt.Remaining())
+		}
+		c := <-done
+		info := running[c.worker]
+		delete(running, c.worker)
+		idle[c.worker] = true
+		if c.err != nil {
+			return nil, fmt.Errorf("runtime: task %d (%s): %w", c.id, g.tasks[c.id].Name, c.err)
+		}
+		kind := pl.KindOf(c.worker)
+		entry := sim.Entry{
+			TaskID: c.id, Worker: c.worker, Kind: kind,
+			Start: c.start.Seconds(), End: c.end.Seconds(),
+			Spoliation: info.spol,
+		}
+		if c.completed {
+			rt.Complete(c.id)
+			for _, nid := range rt.Drain() {
+				queue.Push(g.d.Task(nid))
+			}
+			// A completion that won the race against its own spoliation
+			// frees the reserver.
+			if sw, ok := reservedBy[c.worker]; ok {
+				delete(reservedBy, c.worker)
+				idle[sw] = true
+			}
+		} else {
+			// Cooperatively aborted: record and hand the task to the
+			// spoliating worker.
+			entry.Aborted = true
+			spoliations++
+			sw, ok := reservedBy[c.worker]
+			if !ok {
+				return nil, fmt.Errorf("runtime: task %d aborted with no spoliating worker", c.id)
+			}
+			delete(reservedBy, c.worker)
+			idle[sw] = true
+			trace.Entries = append(trace.Entries, entry)
+			dispatch(sw, c.id, true)
+			assign()
+			continue
+		}
+		trace.Entries = append(trace.Entries, entry)
+		assign()
+	}
+
+	return &Report{
+		Wall:        time.Since(epoch),
+		Trace:       trace,
+		Spoliations: spoliations,
+	}, nil
+}

@@ -1,0 +1,306 @@
+package runtime
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/cancel"
+	"repro/internal/platform"
+	"repro/internal/tile"
+)
+
+// sleepTask returns a task sleeping for the given per-class durations,
+// polling for cancellation every poll interval.
+func sleepTask(name string, cpu, gpu time.Duration) Task {
+	return Task{
+		Name:   name,
+		EstCPU: cpu.Seconds(),
+		EstGPU: gpu.Seconds(),
+		Run: func(kind platform.Kind, flag *cancel.Flag) (bool, error) {
+			d := cpu
+			if kind == platform.GPU {
+				d = gpu
+			}
+			deadline := time.Now().Add(d)
+			for time.Now().Before(deadline) {
+				if flag.Cancelled() {
+					return false, nil
+				}
+				time.Sleep(200 * time.Microsecond)
+			}
+			return true, nil
+		},
+	}
+}
+
+func TestRunValidatesInputs(t *testing.T) {
+	g := NewGraph()
+	g.Add(Task{Name: "norun", EstCPU: 1, EstGPU: 1})
+	if _, err := Run(g, Config{CPUWorkers: 1}); err == nil {
+		t.Error("task without Run accepted")
+	}
+	if _, err := Run(NewGraph(), Config{}); err == nil {
+		t.Error("empty platform accepted")
+	}
+}
+
+func TestRunSimpleChain(t *testing.T) {
+	g := NewGraph()
+	var order []int32
+	var mu int32
+	mk := func(id int32) Task {
+		return Task{
+			Name: "t", EstCPU: 0.001, EstGPU: 0.001,
+			Run: func(kind platform.Kind, flag *cancel.Flag) (bool, error) {
+				atomic.AddInt32(&mu, 1)
+				order = append(order, id) // safe: chain forces sequential
+				return true, nil
+			},
+		}
+	}
+	a := g.Add(mk(0))
+	b := g.Add(mk(1))
+	c := g.Add(mk(2))
+	g.AddDep(a, b)
+	g.AddDep(b, c)
+	rep, err := Run(g, Config{CPUWorkers: 2, GPUWorkers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 3 || order[0] != 0 || order[1] != 1 || order[2] != 2 {
+		t.Errorf("execution order %v", order)
+	}
+	if rep.Wall <= 0 {
+		t.Error("wall time not measured")
+	}
+	if got := len(rep.Trace.SuccessfulEntries()); got != 3 {
+		t.Errorf("trace has %d successful entries, want 3", got)
+	}
+}
+
+func TestRunPropagatesErrors(t *testing.T) {
+	g := NewGraph()
+	boom := errors.New("boom")
+	g.Add(Task{
+		Name: "bad", EstCPU: 0.001, EstGPU: 0.001,
+		Run: func(platform.Kind, *cancel.Flag) (bool, error) { return true, boom },
+	})
+	if _, err := Run(g, Config{CPUWorkers: 1}); !errors.Is(err, boom) {
+		t.Errorf("error not propagated: %v", err)
+	}
+}
+
+func TestRunParallelIndependent(t *testing.T) {
+	g := NewGraph()
+	var count int32
+	for i := 0; i < 20; i++ {
+		g.Add(Task{
+			Name: "p", EstCPU: 0.001, EstGPU: 0.001,
+			Run: func(platform.Kind, *cancel.Flag) (bool, error) {
+				atomic.AddInt32(&count, 1)
+				return true, nil
+			},
+		})
+	}
+	if _, err := Run(g, Config{CPUWorkers: 4, GPUWorkers: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if count != 20 {
+		t.Errorf("ran %d tasks, want 20", count)
+	}
+}
+
+// TestRunSpoliation builds the classic two-task trap: both tasks strongly
+// prefer the GPU class; the CPU worker grabs one and the GPU worker should
+// spoliate it after finishing the other.
+func TestRunSpoliation(t *testing.T) {
+	g := NewGraph()
+	g.Add(sleepTask("a", 200*time.Millisecond, 5*time.Millisecond))
+	g.Add(sleepTask("b", 200*time.Millisecond, 5*time.Millisecond))
+	rep, err := Run(g, Config{CPUWorkers: 1, GPUWorkers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Spoliations != 1 {
+		t.Errorf("spoliations = %d, want 1", rep.Spoliations)
+	}
+	// Both GPU runs take ~5ms; the spoliated CPU run aborts quickly. The
+	// whole thing must finish well below the 200ms CPU duration.
+	if rep.Wall > 150*time.Millisecond {
+		t.Errorf("wall time %v suggests spoliation did not happen", rep.Wall)
+	}
+	// Trace must contain exactly one aborted entry and one spoliation run.
+	aborted, spol := 0, 0
+	for _, e := range rep.Trace.Entries {
+		if e.Aborted {
+			aborted++
+		} else if e.Spoliation {
+			spol++
+		}
+	}
+	if aborted != 1 || spol != 1 {
+		t.Errorf("trace aborted=%d spoliation=%d, want 1/1", aborted, spol)
+	}
+}
+
+func TestRunNoSpoliationWhenDisabled(t *testing.T) {
+	g := NewGraph()
+	g.Add(sleepTask("a", 50*time.Millisecond, 2*time.Millisecond))
+	g.Add(sleepTask("b", 50*time.Millisecond, 2*time.Millisecond))
+	rep, err := Run(g, Config{CPUWorkers: 1, GPUWorkers: 1, DisableSpoliation: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Spoliations != 0 {
+		t.Errorf("spoliations = %d, want 0", rep.Spoliations)
+	}
+	if rep.Wall < 45*time.Millisecond {
+		t.Errorf("wall %v too fast: CPU must have kept its task", rep.Wall)
+	}
+}
+
+func TestCalibrateCholesky(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	est := CalibrateCholesky(96, rng)
+	if est.B != 96 {
+		t.Errorf("B = %d", est.B)
+	}
+	for name, pair := range map[string][2]float64{
+		"POTRF": est.POTRF, "TRSM": est.TRSM, "SYRK": est.SYRK, "GEMM": est.GEMM,
+	} {
+		if pair[0] <= 0 || pair[1] <= 0 {
+			t.Errorf("%s: non-positive estimate %v", name, pair)
+		}
+	}
+	// The blocked GEMM should beat the naive one at this size.
+	if est.Accel() < 1 {
+		t.Logf("warning: fast GEMM not faster (accel %.2f); machine noise?", est.Accel())
+	}
+}
+
+// TestCholeskyGraphNumerics is the flagship integration test: factor a
+// real SPD matrix with the real-time HeteroPrio executor (spoliation
+// enabled, mixed worker classes) and verify L*L^T == A numerically.
+func TestCholeskyGraphNumerics(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	const n, b = 192, 48
+	a := tile.RandomSPD(n, rng)
+	want, err := tile.CholeskyDense(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	td, err := tile.NewTiled(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est := CalibrateCholesky(b, rng)
+	g, err := CholeskyGraph(td, est)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Run(g, Config{CPUWorkers: 2, GPUWorkers: 1, UsePriorities: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := td.Assemble()
+	var d float64
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			d = math.Max(d, math.Abs(got.At(i, j)-want.At(i, j)))
+		}
+	}
+	if d > 1e-8 {
+		t.Errorf("factor differs from dense reference by %v (spoliations=%d)", d, rep.Spoliations)
+	}
+	if len(rep.Trace.SuccessfulEntries()) != g.Len() {
+		t.Errorf("trace has %d successful runs, want %d", len(rep.Trace.SuccessfulEntries()), g.Len())
+	}
+}
+
+// TestCholeskyGraphWithSpoliationStress repeats the numeric test with a
+// worker mix that provokes spoliation (many slow CPU workers, one fast
+// class) and verifies correctness is preserved even when runs are
+// cancelled and restarted.
+func TestCholeskyGraphWithSpoliationStress(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	const n, b = 240, 48
+	a := tile.RandomSPD(n, rng)
+	want, err := tile.CholeskyDense(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	td, err := tile.NewTiled(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est := CalibrateCholesky(b, rng)
+	// Exaggerate the acceleration estimates so the policy spoliates
+	// aggressively.
+	est.GEMM[1] /= 4
+	est.SYRK[1] /= 4
+	est.TRSM[1] /= 4
+	g, err := CholeskyGraph(td, est)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Run(g, Config{CPUWorkers: 3, GPUWorkers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := td.Assemble()
+	var d float64
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			d = math.Max(d, math.Abs(got.At(i, j)-want.At(i, j)))
+		}
+	}
+	if d > 1e-8 {
+		t.Errorf("factor wrong by %v after %d spoliations", d, rep.Spoliations)
+	}
+	t.Logf("spoliations: %d, wall: %v", rep.Spoliations, rep.Wall)
+}
+
+func TestCholeskyGraphEstimateMismatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a := tile.RandomSPD(8, rng)
+	td, err := tile.NewTiled(a, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := CholeskyGraph(td, CholeskyEstimates{B: 8}); err == nil {
+		t.Error("tile size mismatch accepted")
+	}
+}
+
+func TestRunHomogeneousCPUPool(t *testing.T) {
+	g := NewGraph()
+	for i := 0; i < 6; i++ {
+		g.Add(sleepTask("t", time.Millisecond, time.Millisecond))
+	}
+	rep, err := Run(g, Config{CPUWorkers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Spoliations != 0 {
+		t.Errorf("spoliations on a homogeneous pool: %d", rep.Spoliations)
+	}
+	if got := len(rep.Trace.SuccessfulEntries()); got != 6 {
+		t.Errorf("%d successful runs, want 6", got)
+	}
+}
+
+func TestRunGPUOnlyPool(t *testing.T) {
+	g := NewGraph()
+	g.Add(sleepTask("t", time.Millisecond, time.Millisecond))
+	rep, err := Run(g, Config{GPUWorkers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Wall <= 0 {
+		t.Error("no wall time measured")
+	}
+}

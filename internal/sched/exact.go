@@ -1,0 +1,123 @@
+package sched
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/platform"
+)
+
+// MaxExactTasks bounds the instance size accepted by OptimalIndependent;
+// the branch-and-bound search is exponential in the worst case.
+const MaxExactTasks = 16
+
+// OptimalIndependent computes the exact optimal makespan of an independent
+// instance on the platform by branch-and-bound over per-worker
+// assignments, with symmetry breaking between identical workers and an
+// area-based pruning bound. It is intended for small instances (tests and
+// the Table 2 worst-case verification); it returns an error for instances
+// larger than MaxExactTasks.
+func OptimalIndependent(in platform.Instance, pl platform.Platform) (float64, error) {
+	if err := pl.Validate(); err != nil {
+		return 0, err
+	}
+	if err := in.Validate(); err != nil {
+		return 0, err
+	}
+	if len(in) > MaxExactTasks {
+		return 0, fmt.Errorf("sched: exact solver limited to %d tasks, got %d", MaxExactTasks, len(in))
+	}
+	if len(in) == 0 {
+		return 0, nil
+	}
+	tasks := in.Clone()
+	// Larger tasks first dramatically improves pruning.
+	sort.SliceStable(tasks, func(i, j int) bool { return tasks[i].MinTime() > tasks[j].MinTime() })
+
+	nw := pl.Workers()
+	loads := make([]float64, nw)
+	// Suffix sums of the minimum remaining work, an optimistic bound used
+	// for pruning: remaining tasks need at least suffixMin[i]/nw more time
+	// somewhere, and each remaining task needs at least its min time.
+	suffixMin := make([]float64, len(tasks)+1)
+	for i := len(tasks) - 1; i >= 0; i-- {
+		suffixMin[i] = suffixMin[i+1] + tasks[i].MinTime()
+	}
+
+	best := math.Inf(1)
+	// Greedy warm start: each task on the least-loaded worker by finish time.
+	{
+		warm := make([]float64, nw)
+		for _, t := range tasks {
+			bw, bf := -1, math.Inf(1)
+			for w := 0; w < nw; w++ {
+				f := warm[w] + t.Time(pl.KindOf(w))
+				if f < bf {
+					bw, bf = w, f
+				}
+			}
+			warm[bw] += t.Time(pl.KindOf(bw))
+		}
+		var ms float64
+		for _, l := range warm {
+			ms = math.Max(ms, l)
+		}
+		best = ms
+	}
+
+	maxLoad := func() float64 {
+		var m float64
+		for _, l := range loads {
+			m = math.Max(m, l)
+		}
+		return m
+	}
+
+	var dfs func(i int)
+	dfs = func(i int) {
+		cur := maxLoad()
+		if cur >= best-1e-12 {
+			return
+		}
+		if i == len(tasks) {
+			best = cur
+			return
+		}
+		// Area bound: the final total work is at least the current load plus
+		// each remaining task's min time, so the makespan is at least the
+		// even spread of that work over all workers.
+		var totalLoad float64
+		for _, l := range loads {
+			totalLoad += l
+		}
+		if (totalLoad+suffixMin[i])/float64(nw) >= best-1e-12 {
+			return
+		}
+		t := tasks[i]
+		// Try each worker, skipping workers of the same class with the same
+		// current load (symmetric branches).
+		type key struct {
+			k platform.Kind
+			l float64
+		}
+		seen := make(map[key]bool, nw)
+		for w := 0; w < nw; w++ {
+			k := pl.KindOf(w)
+			kk := key{k, loads[w]}
+			if seen[kk] {
+				continue
+			}
+			seen[kk] = true
+			d := t.Time(k)
+			if loads[w]+d >= best-1e-12 {
+				continue
+			}
+			loads[w] += d
+			dfs(i + 1)
+			loads[w] -= d
+		}
+	}
+	dfs(0)
+	return best, nil
+}

@@ -1,0 +1,125 @@
+package sched
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/dag"
+	"repro/internal/platform"
+	"repro/internal/sim"
+)
+
+// The greedy baselines below fill out the comparison space around
+// HeteroPrio: MCT is the classic "earliest completion time" rule most
+// runtime systems default to (and the historical scheduler the paper's
+// Section 2.1 describes), and LPTPerClass is the affinity-blind
+// longest-processing-time heuristic. Both are list schedulers without
+// spoliation, so neither has a bounded approximation ratio on unrelated
+// resources (Section 3) — tests exhibit the gap.
+
+// MCTIndependent schedules independent tasks with the Minimum Completion
+// Time rule: tasks are taken in priority order (highest first, then input
+// order) and placed on the worker that completes them earliest.
+func MCTIndependent(in platform.Instance, pl platform.Platform) (*sim.Schedule, error) {
+	if err := pl.Validate(); err != nil {
+		return nil, err
+	}
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	order := in.Clone()
+	sort.SliceStable(order, func(i, j int) bool { return order[i].Priority > order[j].Priority })
+	loads := make([]float64, pl.Workers())
+	s := &sim.Schedule{Platform: pl}
+	for _, t := range order {
+		best, bestEnd := -1, math.Inf(1)
+		for w := 0; w < pl.Workers(); w++ {
+			if end := loads[w] + t.Time(pl.KindOf(w)); end < bestEnd {
+				best, bestEnd = w, end
+			}
+		}
+		k := pl.KindOf(best)
+		s.Entries = append(s.Entries, sim.Entry{
+			TaskID: t.ID, Worker: best, Kind: k,
+			Start: loads[best], End: bestEnd,
+		})
+		loads[best] = bestEnd
+	}
+	return s, nil
+}
+
+// MCTDAG schedules a task graph online with the MCT rule: whenever a
+// worker would idle, the ready task with the highest priority is placed
+// on the worker completing it earliest among the currently idle ones.
+func MCTDAG(g *dag.Graph, pl platform.Platform) (*sim.Schedule, error) {
+	return MCTDAGTimed(g, pl, nil)
+}
+
+// MCTDAGTimed is MCTDAG with an explicit duration model (nil means
+// nominal): decisions use nominal times, runs take actual durations.
+func MCTDAGTimed(g *dag.Graph, pl platform.Platform, actual func(t platform.Task, k platform.Kind) float64) (*sim.Schedule, error) {
+	if err := pl.Validate(); err != nil {
+		return nil, err
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	if actual == nil {
+		actual = func(t platform.Task, k platform.Kind) float64 { return t.Time(k) }
+	}
+	k := sim.NewKernel(pl)
+	rt := dag.NewReadyTracker(g)
+	var ready []int
+	admit := func() { ready = append(ready, rt.Drain()...) }
+	assign := func() {
+		for len(ready) > 0 {
+			// Highest-priority ready task first.
+			best := 0
+			for i := 1; i < len(ready); i++ {
+				if g.Task(ready[i]).Priority > g.Task(ready[best]).Priority {
+					best = i
+				}
+			}
+			t := g.Task(ready[best])
+			// Idle worker with the earliest completion for t.
+			bw, bend := -1, math.Inf(1)
+			for w := 0; w < pl.Workers(); w++ {
+				if k.Busy(w) {
+					continue
+				}
+				if end := k.Now + t.Time(pl.KindOf(w)); end < bend {
+					bw, bend = w, end
+				}
+			}
+			if bw < 0 {
+				return
+			}
+			ready = append(ready[:best], ready[best+1:]...)
+			k.StartTimed(bw, t, actual(t, pl.KindOf(bw)), false)
+		}
+	}
+	admit()
+	for {
+		assign()
+		run, ok := k.CompleteNext()
+		if !ok {
+			break
+		}
+		rt.Complete(run.Task.ID)
+		admit()
+	}
+	return k.Schedule(), nil
+}
+
+// LPTPerClass schedules independent tasks with the affinity-blind
+// longest-processing-time rule: tasks sorted by decreasing min duration,
+// each placed on the worker finishing it earliest (ties to CPUs). It is a
+// strawman showing what ignoring acceleration factors costs.
+func LPTPerClass(in platform.Instance, pl platform.Platform) (*sim.Schedule, error) {
+	sorted := in.Clone()
+	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].MinTime() > sorted[j].MinTime() })
+	for i := range sorted {
+		sorted[i].Priority = 0
+	}
+	return MCTIndependent(sorted, pl)
+}

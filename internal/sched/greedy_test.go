@@ -1,0 +1,118 @@
+package sched
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dag"
+	"repro/internal/platform"
+)
+
+func TestMCTIndependentSimple(t *testing.T) {
+	// Each task completes earliest on its favorite class.
+	in := platform.Instance{task(0, 10, 1), task(1, 1, 10)}
+	pl := platform.NewPlatform(1, 1)
+	s, err := MCTIndependent(in, pl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(in, nil); err != nil {
+		t.Fatal(err)
+	}
+	if s.Makespan() != 1 {
+		t.Errorf("makespan = %v, want 1", s.Makespan())
+	}
+}
+
+func TestMCTIndependentInvalid(t *testing.T) {
+	if _, err := MCTIndependent(platform.Instance{task(0, -1, 1)}, platform.NewPlatform(1, 1)); err == nil {
+		t.Error("invalid instance accepted")
+	}
+	if _, err := MCTIndependent(nil, platform.Platform{}); err == nil {
+		t.Error("invalid platform accepted")
+	}
+}
+
+// TestMCTAffinityBlindness shows the cost of ignoring acceleration
+// factors: a batch of barely-accelerated panel tasks followed by strongly
+// accelerated update tasks. MCT greedily parks panels on the GPU early
+// (their completion there is marginally earlier), so the updates later
+// queue behind them; HeteroPrio routes panels to the CPU and updates to
+// the GPU from the start.
+func TestMCTAffinityBlindness(t *testing.T) {
+	var in platform.Instance
+	id := 0
+	for i := 0; i < 10; i++ { // panels: accel ~1.1
+		in = append(in, task(id, 1, 0.9))
+		id++
+	}
+	for i := 0; i < 10; i++ { // updates: accel 50
+		in = append(in, task(id, 50, 1))
+		id++
+	}
+	pl := platform.NewPlatform(1, 1)
+	mct, err := MCTIndependent(in, pl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mct.Validate(in, nil); err != nil {
+		t.Fatal(err)
+	}
+	hp, err := core.ScheduleIndependent(in, pl, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mct.Makespan() <= hp.Makespan()*1.2 {
+		t.Errorf("expected MCT clearly worse than HeteroPrio: %v vs %v",
+			mct.Makespan(), hp.Makespan())
+	}
+}
+
+func TestMCTDAGValidAndBounded(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 25; trial++ {
+		g := dag.RandomLayered(dag.DefaultRandomLayeredConfig(), rng)
+		pl := platform.NewPlatform(1+rng.Intn(3), 1+rng.Intn(2))
+		if _, err := g.AssignBottomLevelPriorities(dag.WeightMin, pl); err != nil {
+			t.Fatal(err)
+		}
+		s, err := MCTDAG(g, pl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Validate(g.Tasks(), g); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+	}
+}
+
+func TestMCTDAGInvalid(t *testing.T) {
+	g := dag.New()
+	a := g.AddTask(task(0, 1, 1))
+	b := g.AddTask(task(1, 1, 1))
+	g.AddEdge(a, b)
+	g.AddEdge(b, a)
+	if _, err := MCTDAG(g, platform.NewPlatform(1, 1)); err == nil {
+		t.Error("cyclic graph accepted")
+	}
+	if _, err := MCTDAG(dag.New(), platform.Platform{}); err == nil {
+		t.Error("invalid platform accepted")
+	}
+}
+
+func TestLPTPerClass(t *testing.T) {
+	in := platform.Instance{task(0, 3, 3), task(1, 2, 2), task(2, 2, 2), task(3, 1, 1)}
+	pl := platform.NewPlatform(2, 0)
+	s, err := LPTPerClass(in, pl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(in, nil); err != nil {
+		t.Fatal(err)
+	}
+	// LPT on {3,2,2,1} with 2 machines: 3+1 / 2+2 -> makespan 4.
+	if s.Makespan() != 4 {
+		t.Errorf("makespan = %v, want 4", s.Makespan())
+	}
+}

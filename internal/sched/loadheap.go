@@ -1,0 +1,60 @@
+package sched
+
+// loadEntry is one worker's accumulated load in a loadHeap.
+type loadEntry struct {
+	load   float64
+	worker int
+}
+
+// loadHeap is a binary min-heap on load, with ties broken by worker index
+// for determinism. It supports the two operations DualHP's fitting pass
+// needs: inspect the minimum and add work to it.
+type loadHeap struct {
+	xs []loadEntry
+}
+
+func (h *loadHeap) len() int { return len(h.xs) }
+
+func (h *loadHeap) less(i, j int) bool {
+	if h.xs[i].load != h.xs[j].load {
+		return h.xs[i].load < h.xs[j].load
+	}
+	return h.xs[i].worker < h.xs[j].worker
+}
+
+func (h *loadHeap) push(e loadEntry) {
+	h.xs = append(h.xs, e)
+	i := len(h.xs) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !h.less(i, p) {
+			break
+		}
+		h.xs[p], h.xs[i] = h.xs[i], h.xs[p]
+		i = p
+	}
+}
+
+// min returns the least-loaded entry; the heap must be non-empty.
+func (h *loadHeap) min() loadEntry { return h.xs[0] }
+
+// increaseMin adds d to the minimum entry's load and restores heap order.
+func (h *loadHeap) increaseMin(d float64) {
+	h.xs[0].load += d
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < len(h.xs) && h.less(l, small) {
+			small = l
+		}
+		if r < len(h.xs) && h.less(r, small) {
+			small = r
+		}
+		if small == i {
+			return
+		}
+		h.xs[i], h.xs[small] = h.xs[small], h.xs[i]
+		i = small
+	}
+}

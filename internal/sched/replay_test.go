@@ -1,0 +1,103 @@
+package sched
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/dag"
+	"repro/internal/platform"
+)
+
+func TestReplayAssignmentValidation(t *testing.T) {
+	g := dag.Chain(3, task(0, 2, 1))
+	pl := platform.NewPlatform(1, 1)
+	if _, err := ReplayAssignment(g, pl, []int{0}, []float64{1, 2, 3}, nil); err == nil {
+		t.Error("short assignment accepted")
+	}
+	if _, err := ReplayAssignment(g, pl, []int{0, 1, 9}, []float64{1, 2, 3}, nil); err == nil {
+		t.Error("invalid worker accepted")
+	}
+	if _, err := ReplayAssignment(g, platform.Platform{}, nil, nil, nil); err == nil {
+		t.Error("invalid platform accepted")
+	}
+	cyc := dag.New()
+	a := cyc.AddTask(task(0, 1, 1))
+	b := cyc.AddTask(task(1, 1, 1))
+	cyc.AddEdge(a, b)
+	cyc.AddEdge(b, a)
+	if _, err := ReplayAssignment(cyc, pl, []int{0, 0}, []float64{1, 2}, nil); err == nil {
+		t.Error("cyclic graph accepted")
+	}
+}
+
+func TestReplayAssignmentNominalMatchesPlan(t *testing.T) {
+	// With nominal durations, replaying a plan produces a valid schedule
+	// whose per-task worker matches the plan.
+	rng := rand.New(rand.NewSource(9))
+	g := dag.RandomLayered(dag.DefaultRandomLayeredConfig(), rng)
+	pl := platform.NewPlatform(3, 2)
+	plan, err := HEFT(g, pl, dag.WeightAvg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assign := make([]int, g.Len())
+	for _, e := range plan.Entries {
+		assign[e.TaskID] = e.Worker
+	}
+	rank, err := g.BottomLevels(dag.WeightAvg, pl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := ReplayAssignment(g, pl, assign, rank, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(g.Tasks(), g); err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range s.Entries {
+		if e.Worker != assign[e.TaskID] {
+			t.Fatalf("task %d ran on %d, plan says %d", e.TaskID, e.Worker, assign[e.TaskID])
+		}
+	}
+}
+
+func TestHEFTTimedWithNoise(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	g := dag.RandomLayered(dag.DefaultRandomLayeredConfig(), rng)
+	pl := platform.NewPlatform(2, 1)
+	// Every run takes 1.5x its nominal time.
+	actual := func(t platform.Task, k platform.Kind) float64 { return 1.5 * t.Time(k) }
+	s, err := HEFTTimed(g, pl, dag.WeightMin, actual)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.ValidateTimed(g.Tasks(), g, actual); err != nil {
+		t.Fatal(err)
+	}
+	// Uniform scaling must scale the makespan of the same assignment.
+	base, err := HEFTTimed(g, pl, dag.WeightMin, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Makespan() < base.Makespan() {
+		t.Errorf("1.5x durations gave shorter makespan: %v vs %v", s.Makespan(), base.Makespan())
+	}
+}
+
+func TestMCTDAGTimed(t *testing.T) {
+	g := dag.Chain(4, task(0, 4, 1))
+	pl := platform.NewPlatform(1, 1)
+	actual := func(t platform.Task, k platform.Kind) float64 { return 2 * t.Time(k) }
+	s, err := MCTDAGTimed(g, pl, actual)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.ValidateTimed(g.Tasks(), g, actual); err != nil {
+		t.Fatal(err)
+	}
+	// Chain of 4 on the GPU at 2x nominal: makespan 8.
+	if s.Makespan() != 8 {
+		t.Errorf("makespan = %v, want 8", s.Makespan())
+	}
+}

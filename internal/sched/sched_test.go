@@ -1,0 +1,360 @@
+package sched
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/bounds"
+	"repro/internal/dag"
+	"repro/internal/platform"
+)
+
+func task(id int, p, q float64) platform.Task {
+	return platform.Task{ID: id, CPUTime: p, GPUTime: q}
+}
+
+func randInstance(rng *rand.Rand, maxTasks int) platform.Instance {
+	T := 1 + rng.Intn(maxTasks)
+	var in platform.Instance
+	for i := 0; i < T; i++ {
+		in = append(in, task(i, 0.1+rng.Float64()*10, 0.1+rng.Float64()*10))
+	}
+	return in
+}
+
+func TestRankingString(t *testing.T) {
+	if RankFIFO.String() != "fifo" || RankAvg.String() != "avg" || RankMin.String() != "min" {
+		t.Error("ranking strings wrong")
+	}
+	if Ranking(9).String() == "" {
+		t.Error("unknown ranking string empty")
+	}
+}
+
+func TestWorkerTimelineInsertion(t *testing.T) {
+	var w workerTimeline
+	if got := w.earliestSlot(0, 5); got != 0 {
+		t.Errorf("empty timeline slot = %v, want 0", got)
+	}
+	w.insert(0, 5)
+	w.insert(10, 5)
+	// Gap [5,10) fits a 4-unit task.
+	if got := w.earliestSlot(0, 4); got != 5 {
+		t.Errorf("gap slot = %v, want 5", got)
+	}
+	// 6-unit task must go after the last interval.
+	if got := w.earliestSlot(0, 6); got != 15 {
+		t.Errorf("tail slot = %v, want 15", got)
+	}
+	// est inside a busy interval.
+	if got := w.earliestSlot(2, 1); got != 5 {
+		t.Errorf("est-in-busy slot = %v, want 5", got)
+	}
+}
+
+func TestHEFTChainPicksGPU(t *testing.T) {
+	g := dag.Chain(3, platform.Task{CPUTime: 4, GPUTime: 1})
+	pl := platform.NewPlatform(2, 1)
+	s, err := HEFT(g, pl, dag.WeightAvg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(g.Tasks(), g); err != nil {
+		t.Fatal(err)
+	}
+	if s.Makespan() != 3 {
+		t.Errorf("makespan = %v, want 3", s.Makespan())
+	}
+}
+
+func TestHEFTRespectsDependencies(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 40; trial++ {
+		g := dag.RandomLayered(dag.DefaultRandomLayeredConfig(), rng)
+		pl := platform.NewPlatform(1+rng.Intn(4), 1+rng.Intn(3))
+		for _, w := range []dag.Weighting{dag.WeightAvg, dag.WeightMin} {
+			s, err := HEFT(g, pl, w)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := s.Validate(g.Tasks(), g); err != nil {
+				t.Fatalf("trial %d (%v): %v", trial, w, err)
+			}
+		}
+	}
+}
+
+func TestHEFTInsertionUsesGaps(t *testing.T) {
+	// One source on CPU leaves the GPU idle early; a later independent task
+	// must be insertable before the critical chain's GPU work finishes.
+	g := dag.New()
+	a := g.AddTask(platform.Task{CPUTime: 10, GPUTime: 2, Name: "a"})
+	b := g.AddTask(platform.Task{CPUTime: 10, GPUTime: 3, Name: "b"})
+	g.AddEdge(a, b)
+	// Independent cheap task; rank lower than a and b.
+	g.AddTask(platform.Task{CPUTime: 0.5, GPUTime: 1, Name: "c"})
+	pl := platform.NewPlatform(1, 1)
+	s, err := HEFT(g, pl, dag.WeightMin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(g.Tasks(), g); err != nil {
+		t.Fatal(err)
+	}
+	if ms := s.Makespan(); ms > 5+1e-9 {
+		t.Errorf("makespan = %v, want 5 (a,b on GPU with c inserted elsewhere)", ms)
+	}
+}
+
+func TestHEFTIndependentPreservesIDs(t *testing.T) {
+	in := platform.Instance{
+		{ID: 42, CPUTime: 4, GPUTime: 1},
+		{ID: 7, CPUTime: 1, GPUTime: 4},
+	}
+	pl := platform.NewPlatform(1, 1)
+	s, err := HEFTIndependent(in, pl, dag.WeightAvg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(in, nil); err != nil {
+		t.Fatal(err)
+	}
+	seen := map[int]bool{}
+	for _, e := range s.Entries {
+		seen[e.TaskID] = true
+	}
+	if !seen[42] || !seen[7] {
+		t.Errorf("task IDs not preserved: %v", seen)
+	}
+	// Each task lands on its favorite class; both take 1 time unit.
+	if s.Makespan() != 1 {
+		t.Errorf("makespan = %v, want 1", s.Makespan())
+	}
+}
+
+func TestHEFTInvalidInputs(t *testing.T) {
+	g := dag.New()
+	g.AddTask(task(0, -1, 1))
+	if _, err := HEFT(g, platform.NewPlatform(1, 1), dag.WeightAvg); err == nil {
+		t.Error("invalid task accepted")
+	}
+	if _, err := HEFT(dag.New(), platform.Platform{}, dag.WeightAvg); err == nil {
+		t.Error("invalid platform accepted")
+	}
+	if _, err := HEFTIndependent(platform.Instance{task(0, -1, 1)}, platform.NewPlatform(1, 1), dag.WeightAvg); err == nil {
+		t.Error("invalid instance accepted")
+	}
+}
+
+func TestListHomogeneous(t *testing.T) {
+	ms, placement := ListHomogeneous([]float64{3, 2, 2, 1}, 2)
+	// m0: 3, m1: 2+2=4 then 1 -> m0: 3+1=4. Actually: 3->m0, 2->m1, 2->m1? No:
+	// least loaded after {3,2} is m1(2): 2->m1 (4), 1->m0 (4). Makespan 4.
+	if ms != 4 {
+		t.Errorf("makespan = %v, want 4", ms)
+	}
+	if len(placement) != 4 {
+		t.Errorf("placement size %d", len(placement))
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic with 0 machines")
+		}
+	}()
+	ListHomogeneous([]float64{1}, 0)
+}
+
+func TestDualHPIndependentSimple(t *testing.T) {
+	// Two tasks, each clearly better on one class.
+	in := platform.Instance{task(0, 10, 1), task(1, 1, 10)}
+	pl := platform.NewPlatform(1, 1)
+	s, err := DualHPIndependent(in, pl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(in, nil); err != nil {
+		t.Fatal(err)
+	}
+	if s.Makespan() > 2+1e-6 {
+		t.Errorf("makespan = %v, want <= 2 (2-approx of opt 1)", s.Makespan())
+	}
+}
+
+func TestDualHPIndependentInvalid(t *testing.T) {
+	if _, err := DualHPIndependent(platform.Instance{task(0, -1, 1)}, platform.NewPlatform(1, 1)); err == nil {
+		t.Error("invalid instance accepted")
+	}
+	if _, err := DualHPIndependent(platform.Instance{task(0, 1, 1)}, platform.Platform{}); err == nil {
+		t.Error("invalid platform accepted")
+	}
+}
+
+func TestDualHPIndependentEmpty(t *testing.T) {
+	s, err := DualHPIndependent(nil, platform.NewPlatform(1, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Makespan() != 0 {
+		t.Errorf("makespan = %v, want 0", s.Makespan())
+	}
+}
+
+// DualHP is a 2-approximation for independent tasks; verify against the
+// exact optimum on random small instances, and validate schedules.
+func TestDualHPTwoApproxProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 80; trial++ {
+		in := randInstance(rng, 9)
+		pl := platform.NewPlatform(1+rng.Intn(3), 1+rng.Intn(2))
+		s, err := DualHPIndependent(in, pl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Validate(in, nil); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		opt, err := OptimalIndependent(in, pl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.Makespan() > 2*opt+1e-6 {
+			t.Fatalf("trial %d: DualHP %v > 2*opt %v", trial, s.Makespan(), 2*opt)
+		}
+	}
+}
+
+func TestDualHPDAGSimple(t *testing.T) {
+	g := dag.Chain(4, platform.Task{CPUTime: 4, GPUTime: 1})
+	pl := platform.NewPlatform(1, 1)
+	for _, r := range []Ranking{RankFIFO, RankAvg, RankMin} {
+		s, err := DualHPDAGWithPriorities(g, pl, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Validate(g.Tasks(), g); err != nil {
+			t.Fatalf("%v: %v", r, err)
+		}
+		if s.Makespan() != 4 {
+			t.Errorf("%v: makespan = %v, want 4", r, s.Makespan())
+		}
+	}
+}
+
+func TestDualHPDAGRandomValid(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 30; trial++ {
+		g := dag.RandomLayered(dag.DefaultRandomLayeredConfig(), rng)
+		pl := platform.NewPlatform(1+rng.Intn(4), 1+rng.Intn(2))
+		for _, r := range []Ranking{RankFIFO, RankAvg, RankMin} {
+			s, err := DualHPDAGWithPriorities(g, pl, r)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := s.Validate(g.Tasks(), g); err != nil {
+				t.Fatalf("trial %d %v: %v", trial, r, err)
+			}
+			lb, err := bounds.DAGLower(g, pl)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if s.Makespan() < lb-1e-6 {
+				t.Fatalf("trial %d %v: makespan %v below bound %v", trial, r, s.Makespan(), lb)
+			}
+		}
+	}
+}
+
+func TestDualHPDAGInvalid(t *testing.T) {
+	g := dag.New()
+	a := g.AddTask(task(0, 1, 1))
+	b := g.AddTask(task(1, 1, 1))
+	g.AddEdge(a, b)
+	g.AddEdge(b, a)
+	if _, err := DualHPDAG(g, platform.NewPlatform(1, 1), RankFIFO); err == nil {
+		t.Error("cyclic graph accepted")
+	}
+	if _, err := DualHPDAG(dag.New(), platform.Platform{}, RankFIFO); err == nil {
+		t.Error("invalid platform accepted")
+	}
+}
+
+func TestOptimalIndependentKnown(t *testing.T) {
+	// Theorem 8 instance: opt = 1.
+	phi := (1 + math.Sqrt(5)) / 2
+	in := platform.Instance{task(0, phi, 1), task(1, 1, 1/phi)}
+	opt, err := OptimalIndependent(in, platform.NewPlatform(1, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(opt-1) > 1e-9 {
+		t.Errorf("opt = %v, want 1", opt)
+	}
+}
+
+func TestOptimalIndependentEdgeCases(t *testing.T) {
+	if _, err := OptimalIndependent(randInstance(rand.New(rand.NewSource(1)), 5), platform.Platform{}); err == nil {
+		t.Error("invalid platform accepted")
+	}
+	if _, err := OptimalIndependent(platform.Instance{task(0, -1, 1)}, platform.NewPlatform(1, 1)); err == nil {
+		t.Error("invalid instance accepted")
+	}
+	big := make(platform.Instance, MaxExactTasks+1)
+	for i := range big {
+		big[i] = task(i, 1, 1)
+	}
+	if _, err := OptimalIndependent(big, platform.NewPlatform(1, 1)); err == nil {
+		t.Error("oversized instance accepted")
+	}
+	opt, err := OptimalIndependent(nil, platform.NewPlatform(1, 1))
+	if err != nil || opt != 0 {
+		t.Errorf("empty instance opt = %v, %v", opt, err)
+	}
+}
+
+// Property: the exact optimum is sandwiched between the lower bound and
+// any heuristic's makespan.
+func TestOptimalSandwichProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 60; trial++ {
+		in := randInstance(rng, 8)
+		pl := platform.NewPlatform(1+rng.Intn(3), 1+rng.Intn(2))
+		opt, err := OptimalIndependent(in, pl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lb, err := bounds.Lower(in, pl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if opt < lb-1e-6 {
+			t.Fatalf("trial %d: opt %v below lower bound %v", trial, opt, lb)
+		}
+		s, err := DualHPIndependent(in, pl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.Makespan() < opt-1e-6 {
+			t.Fatalf("trial %d: DualHP %v beats exact opt %v", trial, s.Makespan(), opt)
+		}
+		h, err := HEFTIndependent(in, pl, dag.WeightAvg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if h.Makespan() < opt-1e-6 {
+			t.Fatalf("trial %d: HEFT %v beats exact opt %v", trial, h.Makespan(), opt)
+		}
+	}
+}
+
+func TestSortByPriorityDesc(t *testing.T) {
+	in := platform.Instance{
+		{ID: 0, CPUTime: 1, GPUTime: 1, Priority: 1},
+		{ID: 1, CPUTime: 1, GPUTime: 1, Priority: 3},
+		{ID: 2, CPUTime: 1, GPUTime: 1, Priority: 2},
+	}
+	sortByPriorityDesc(in)
+	if in[0].ID != 1 || in[1].ID != 2 || in[2].ID != 0 {
+		t.Errorf("order = %v", in)
+	}
+}

@@ -1,0 +1,174 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/platform"
+)
+
+// Running describes a task currently executing on a worker.
+type Running struct {
+	Worker int
+	Task   platform.Task
+	Start  float64
+	// End is the actual completion time of the run (when the completion
+	// event will fire).
+	End float64
+	// EstEnd is the completion time the scheduler believes in, computed
+	// from the task's nominal processing time. It equals End unless the
+	// run was started with StartTimed and a different actual duration
+	// (estimation-noise experiments); policies must base spoliation
+	// decisions on EstEnd, since a real scheduler never knows End.
+	EstEnd float64
+	// Spoliation marks runs started by a spoliation.
+	Spoliation bool
+}
+
+// Kernel is the discrete-event core driving a simulation: it tracks worker
+// occupancy, advances virtual time to completion events, and records every
+// execution attempt into a Schedule. Scheduling policies (HeteroPrio,
+// DualHP, ...) sit on top and decide which task each idle worker starts.
+type Kernel struct {
+	P   platform.Platform
+	Now float64
+
+	busy  []bool
+	runs  []Running // valid when busy[w]
+	entry []int     // index into sched.Entries for the active run
+	sched *Schedule
+	nBusy int
+}
+
+// NewKernel returns a kernel at time zero with all workers idle.
+func NewKernel(pl platform.Platform) *Kernel {
+	return &Kernel{
+		P:     pl,
+		busy:  make([]bool, pl.Workers()),
+		runs:  make([]Running, pl.Workers()),
+		entry: make([]int, pl.Workers()),
+		sched: &Schedule{Platform: pl},
+	}
+}
+
+// Schedule returns the trace recorded so far. It remains owned by the
+// kernel until the simulation finishes.
+func (k *Kernel) Schedule() *Schedule { return k.sched }
+
+// Busy reports whether worker w is currently executing a task.
+func (k *Kernel) Busy(w int) bool { return k.busy[w] }
+
+// NumBusy returns the number of busy workers.
+func (k *Kernel) NumBusy() int { return k.nBusy }
+
+// RunningOn returns the runs currently active on workers of class kind.
+func (k *Kernel) RunningOn(kind platform.Kind) []Running {
+	var out []Running
+	for _, w := range k.P.WorkersOf(kind) {
+		if k.busy[w] {
+			out = append(out, k.runs[w])
+		}
+	}
+	return out
+}
+
+// RunOf returns the active run on worker w; it panics if w is idle.
+func (k *Kernel) RunOf(w int) Running {
+	if !k.busy[w] {
+		panic(fmt.Sprintf("sim: worker %d is idle", w))
+	}
+	return k.runs[w]
+}
+
+// IdleWorkers returns the idle workers of class kind in increasing index
+// order.
+func (k *Kernel) IdleWorkers(kind platform.Kind) []int {
+	var out []int
+	for _, w := range k.P.WorkersOf(kind) {
+		if !k.busy[w] {
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+// Start begins executing task t on idle worker w at the current time,
+// with the actual duration equal to the task's nominal processing time.
+func (k *Kernel) Start(w int, t platform.Task, spoliation bool) {
+	k.StartTimed(w, t, t.Time(k.P.KindOf(w)), spoliation)
+}
+
+// StartTimed begins executing task t on idle worker w with the given
+// actual duration, which may differ from the nominal processing time
+// (estimation-noise experiments). The recorded entry and the completion
+// event use the actual duration; Running.EstEnd keeps the nominal one.
+func (k *Kernel) StartTimed(w int, t platform.Task, actual float64, spoliation bool) {
+	if k.busy[w] {
+		panic(fmt.Sprintf("sim: worker %d already busy with task %d", w, k.runs[w].Task.ID))
+	}
+	kind := k.P.KindOf(w)
+	end := k.Now + actual
+	k.busy[w] = true
+	k.nBusy++
+	k.runs[w] = Running{
+		Worker: w, Task: t, Start: k.Now, End: end,
+		EstEnd: k.Now + t.Time(kind), Spoliation: spoliation,
+	}
+	k.entry[w] = len(k.sched.Entries)
+	k.sched.Entries = append(k.sched.Entries, Entry{
+		TaskID:     t.ID,
+		Worker:     w,
+		Kind:       kind,
+		Start:      k.Now,
+		End:        end,
+		Spoliation: spoliation,
+	})
+}
+
+// Abort kills the run on worker w at the current time (spoliation victim).
+// The recorded entry is truncated and marked aborted; the worker becomes
+// idle immediately. It returns the aborted task.
+func (k *Kernel) Abort(w int) platform.Task {
+	if !k.busy[w] {
+		panic(fmt.Sprintf("sim: abort on idle worker %d", w))
+	}
+	e := &k.sched.Entries[k.entry[w]]
+	e.End = k.Now
+	e.Aborted = true
+	k.busy[w] = false
+	k.nBusy--
+	return k.runs[w].Task
+}
+
+// NextCompletion returns the earliest completion time among busy workers,
+// or +Inf when every worker is idle.
+func (k *Kernel) NextCompletion() float64 {
+	next := math.Inf(1)
+	for w, b := range k.busy {
+		if b && k.runs[w].End < next {
+			next = k.runs[w].End
+		}
+	}
+	return next
+}
+
+// CompleteNext advances time to the earliest completion event and retires
+// that run, freeing its worker. Ties are broken by the smallest worker
+// index so simulations are deterministic. It returns the completed run and
+// false when no worker is busy (time does not advance in that case).
+func (k *Kernel) CompleteNext() (Running, bool) {
+	best := -1
+	bestEnd := math.Inf(1)
+	for w, b := range k.busy {
+		if b && k.runs[w].End < bestEnd {
+			best, bestEnd = w, k.runs[w].End
+		}
+	}
+	if best < 0 {
+		return Running{}, false
+	}
+	k.Now = bestEnd
+	k.busy[best] = false
+	k.nBusy--
+	return k.runs[best], true
+}

@@ -1,0 +1,256 @@
+package sim
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/dag"
+	"repro/internal/platform"
+)
+
+func task(id int, p, q float64) platform.Task {
+	return platform.Task{ID: id, CPUTime: p, GPUTime: q}
+}
+
+func TestKernelStartComplete(t *testing.T) {
+	pl := platform.NewPlatform(1, 1)
+	k := NewKernel(pl)
+	if k.NumBusy() != 0 || len(k.IdleWorkers(platform.CPU)) != 1 {
+		t.Fatal("fresh kernel state wrong")
+	}
+	k.Start(0, task(0, 5, 1), false) // CPU run, 5 units
+	k.Start(1, task(1, 9, 2), false) // GPU run, 2 units
+	if k.NumBusy() != 2 {
+		t.Fatalf("NumBusy = %d, want 2", k.NumBusy())
+	}
+	if !k.Busy(0) || !k.Busy(1) {
+		t.Fatal("both workers should be busy")
+	}
+	if got := k.NextCompletion(); got != 2 {
+		t.Fatalf("NextCompletion = %v, want 2", got)
+	}
+	run, ok := k.CompleteNext()
+	if !ok || run.Task.ID != 1 || k.Now != 2 {
+		t.Fatalf("first completion = %+v at %v", run, k.Now)
+	}
+	run, ok = k.CompleteNext()
+	if !ok || run.Task.ID != 0 || k.Now != 5 {
+		t.Fatalf("second completion = %+v at %v", run, k.Now)
+	}
+	if _, ok := k.CompleteNext(); ok {
+		t.Fatal("no third completion expected")
+	}
+	if math.IsInf(k.NextCompletion(), 1) != true {
+		t.Fatal("NextCompletion on idle kernel should be +Inf")
+	}
+}
+
+func TestKernelRunningAndRunOf(t *testing.T) {
+	pl := platform.NewPlatform(2, 1)
+	k := NewKernel(pl)
+	k.Start(0, task(0, 3, 1), false)
+	k.Start(2, task(1, 7, 4), true)
+	cpuRuns := k.RunningOn(platform.CPU)
+	if len(cpuRuns) != 1 || cpuRuns[0].Task.ID != 0 {
+		t.Fatalf("RunningOn(CPU) = %v", cpuRuns)
+	}
+	gpuRuns := k.RunningOn(platform.GPU)
+	if len(gpuRuns) != 1 || !gpuRuns[0].Spoliation {
+		t.Fatalf("RunningOn(GPU) = %v", gpuRuns)
+	}
+	if k.RunOf(2).End != 4 {
+		t.Fatalf("RunOf(2).End = %v, want 4", k.RunOf(2).End)
+	}
+	if got := k.IdleWorkers(platform.CPU); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("IdleWorkers(CPU) = %v", got)
+	}
+}
+
+func TestKernelAbort(t *testing.T) {
+	pl := platform.NewPlatform(1, 1)
+	k := NewKernel(pl)
+	k.Start(0, task(0, 10, 1), false)
+	// GPU finishes something at t=2 then spoliates the CPU task.
+	k.Start(1, task(1, 9, 2), false)
+	k.CompleteNext() // GPU done at 2
+	victim := k.Abort(0)
+	if victim.ID != 0 || k.Busy(0) {
+		t.Fatal("abort did not free worker 0")
+	}
+	k.Start(1, victim, true)
+	run, ok := k.CompleteNext()
+	if !ok || run.Task.ID != 0 || k.Now != 3 {
+		t.Fatalf("spoliated run completed %+v at %v, want task 0 at 3", run, k.Now)
+	}
+	s := k.Schedule()
+	if s.SpoliationCount() != 1 {
+		t.Fatalf("SpoliationCount = %d, want 1", s.SpoliationCount())
+	}
+	aborted := s.Entries[0]
+	if !aborted.Aborted || aborted.End != 2 {
+		t.Fatalf("aborted entry = %+v", aborted)
+	}
+	in := platform.Instance{task(0, 10, 1), task(1, 9, 2)}
+	if err := s.Validate(in, nil); err != nil {
+		t.Fatalf("schedule invalid: %v", err)
+	}
+	if ms := s.Makespan(); ms != 3 {
+		t.Fatalf("makespan = %v, want 3", ms)
+	}
+}
+
+func TestKernelPanics(t *testing.T) {
+	pl := platform.NewPlatform(1, 0)
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	k := NewKernel(pl)
+	mustPanic("RunOf idle", func() { k.RunOf(0) })
+	mustPanic("Abort idle", func() { k.Abort(0) })
+	k.Start(0, task(0, 1, 1), false)
+	mustPanic("double start", func() { k.Start(0, task(1, 1, 1), false) })
+}
+
+func buildSchedule() (*Schedule, platform.Instance) {
+	pl := platform.NewPlatform(1, 1)
+	in := platform.Instance{task(0, 4, 1), task(1, 2, 1)}
+	s := &Schedule{Platform: pl, Entries: []Entry{
+		{TaskID: 0, Worker: 1, Kind: platform.GPU, Start: 0, End: 1},
+		{TaskID: 1, Worker: 0, Kind: platform.CPU, Start: 0, End: 2},
+	}}
+	return s, in
+}
+
+func TestScheduleMetrics(t *testing.T) {
+	s, in := buildSchedule()
+	if ms := s.Makespan(); ms != 2 {
+		t.Fatalf("makespan = %v, want 2", ms)
+	}
+	if got := s.BusyTime(platform.CPU); got != 2 {
+		t.Errorf("BusyTime(CPU) = %v, want 2", got)
+	}
+	if got := s.IdleTime(platform.GPU); got != 1 {
+		t.Errorf("IdleTime(GPU) = %v, want 1", got)
+	}
+	if got := s.EquivalentAccel(in, platform.GPU); got != 4 {
+		t.Errorf("EquivalentAccel(GPU) = %v, want 4", got)
+	}
+	if got := s.EquivalentAccel(in, platform.CPU); got != 2 {
+		t.Errorf("EquivalentAccel(CPU) = %v, want 2", got)
+	}
+	if got := s.NormalizedIdleTime(platform.GPU, 2); got != 0.5 {
+		t.Errorf("NormalizedIdleTime = %v, want 0.5", got)
+	}
+	if !math.IsNaN(s.NormalizedIdleTime(platform.GPU, 0)) {
+		t.Error("NormalizedIdleTime with zero usage should be NaN")
+	}
+	if n := len(s.SuccessfulEntries()); n != 2 {
+		t.Errorf("SuccessfulEntries = %d, want 2", n)
+	}
+}
+
+func TestValidateCatchesBadSchedules(t *testing.T) {
+	pl := platform.NewPlatform(1, 1)
+	in := platform.Instance{task(0, 4, 1), task(1, 2, 1)}
+	cases := []struct {
+		name    string
+		entries []Entry
+	}{
+		{"bad worker", []Entry{{TaskID: 0, Worker: 9, Kind: platform.GPU, Start: 0, End: 1}}},
+		{"kind mismatch", []Entry{{TaskID: 0, Worker: 0, Kind: platform.GPU, Start: 0, End: 1}}},
+		{"unknown task", []Entry{{TaskID: 7, Worker: 1, Kind: platform.GPU, Start: 0, End: 1}}},
+		{"wrong duration", []Entry{
+			{TaskID: 0, Worker: 1, Kind: platform.GPU, Start: 0, End: 3},
+			{TaskID: 1, Worker: 0, Kind: platform.CPU, Start: 0, End: 2},
+		}},
+		{"missing task", []Entry{{TaskID: 0, Worker: 1, Kind: platform.GPU, Start: 0, End: 1}}},
+		{"double success", []Entry{
+			{TaskID: 0, Worker: 1, Kind: platform.GPU, Start: 0, End: 1},
+			{TaskID: 0, Worker: 1, Kind: platform.GPU, Start: 1, End: 2},
+			{TaskID: 1, Worker: 0, Kind: platform.CPU, Start: 0, End: 2},
+		}},
+		{"overlap", []Entry{
+			{TaskID: 0, Worker: 1, Kind: platform.GPU, Start: 0, End: 1},
+			{TaskID: 1, Worker: 1, Kind: platform.GPU, Start: 0.5, End: 1.5},
+		}},
+		{"negative start", []Entry{
+			{TaskID: 0, Worker: 1, Kind: platform.GPU, Start: -1, End: 0},
+			{TaskID: 1, Worker: 0, Kind: platform.CPU, Start: 0, End: 2},
+		}},
+		{"aborted too long", []Entry{
+			{TaskID: 0, Worker: 0, Kind: platform.CPU, Start: 0, End: 6, Aborted: true},
+			{TaskID: 0, Worker: 1, Kind: platform.GPU, Start: 6, End: 7},
+			{TaskID: 1, Worker: 0, Kind: platform.CPU, Start: 6, End: 8},
+		}},
+		{"aborted after success", []Entry{
+			{TaskID: 0, Worker: 1, Kind: platform.GPU, Start: 0, End: 1},
+			{TaskID: 0, Worker: 0, Kind: platform.CPU, Start: 0, End: 2, Aborted: true},
+			{TaskID: 1, Worker: 0, Kind: platform.CPU, Start: 2, End: 4},
+		}},
+	}
+	for _, c := range cases {
+		s := &Schedule{Platform: pl, Entries: c.entries}
+		if err := s.Validate(in, nil); err == nil {
+			t.Errorf("%s: expected validation error", c.name)
+		}
+	}
+}
+
+func TestValidateDAGDependencies(t *testing.T) {
+	g := dag.New()
+	a := g.AddTask(task(0, 1, 1))
+	b := g.AddTask(task(1, 1, 1))
+	g.AddEdge(a, b)
+	pl := platform.NewPlatform(2, 0)
+	ok := &Schedule{Platform: pl, Entries: []Entry{
+		{TaskID: a, Worker: 0, Kind: platform.CPU, Start: 0, End: 1},
+		{TaskID: b, Worker: 1, Kind: platform.CPU, Start: 1, End: 2},
+	}}
+	if err := ok.Validate(g.Tasks(), g); err != nil {
+		t.Fatalf("valid DAG schedule rejected: %v", err)
+	}
+	bad := &Schedule{Platform: pl, Entries: []Entry{
+		{TaskID: a, Worker: 0, Kind: platform.CPU, Start: 0, End: 1},
+		{TaskID: b, Worker: 1, Kind: platform.CPU, Start: 0.5, End: 1.5},
+	}}
+	if err := bad.Validate(g.Tasks(), g); err == nil {
+		t.Error("dependency violation not detected")
+	}
+}
+
+func TestGanttAndCSV(t *testing.T) {
+	s, _ := buildSchedule()
+	gantt := s.Gantt(40)
+	if !strings.Contains(gantt, "CPU0") || !strings.Contains(gantt, "GPU0") {
+		t.Errorf("gantt missing worker rows:\n%s", gantt)
+	}
+	empty := &Schedule{Platform: platform.NewPlatform(1, 0)}
+	if !strings.Contains(empty.Gantt(5), "empty") {
+		t.Error("empty gantt should say so")
+	}
+	csv := s.CSV()
+	if !strings.HasPrefix(csv, "task,worker,kind") || !strings.Contains(csv, "0,1,GPU") {
+		t.Errorf("csv wrong:\n%s", csv)
+	}
+}
+
+func TestAssignedTasksSkipsAbortedAndUnknown(t *testing.T) {
+	pl := platform.NewPlatform(1, 1)
+	in := platform.Instance{task(0, 4, 1)}
+	s := &Schedule{Platform: pl, Entries: []Entry{
+		{TaskID: 0, Worker: 0, Kind: platform.CPU, Start: 0, End: 2, Aborted: true},
+		{TaskID: 0, Worker: 1, Kind: platform.GPU, Start: 2, End: 3, Spoliation: true},
+		{TaskID: 5, Worker: 1, Kind: platform.GPU, Start: 3, End: 4}, // not in instance
+	}}
+	got := s.AssignedTasks(in)
+	if len(got[platform.GPU]) != 1 || len(got[platform.CPU]) != 0 {
+		t.Errorf("AssignedTasks = %v", got)
+	}
+}

@@ -1,0 +1,68 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/platform"
+)
+
+func TestStartTimedEstEnd(t *testing.T) {
+	pl := platform.NewPlatform(1, 1)
+	k := NewKernel(pl)
+	tk := task(0, 4, 2)
+	// Actual duration 6 on the GPU whose nominal time is 2.
+	k.StartTimed(1, tk, 6, false)
+	run := k.RunOf(1)
+	if run.End != 6 {
+		t.Errorf("End = %v, want 6 (actual)", run.End)
+	}
+	if run.EstEnd != 2 {
+		t.Errorf("EstEnd = %v, want 2 (nominal)", run.EstEnd)
+	}
+	done, ok := k.CompleteNext()
+	if !ok || k.Now != 6 || done.Task.ID != 0 {
+		t.Errorf("completion at %v", k.Now)
+	}
+}
+
+func TestStartKeepsEstEqualToEnd(t *testing.T) {
+	pl := platform.NewPlatform(1, 0)
+	k := NewKernel(pl)
+	k.Start(0, task(0, 3, 1), false)
+	run := k.RunOf(0)
+	if run.End != run.EstEnd || run.End != 3 {
+		t.Errorf("End/EstEnd = %v/%v, want 3/3", run.End, run.EstEnd)
+	}
+}
+
+func TestValidateTimedCustomDurations(t *testing.T) {
+	pl := platform.NewPlatform(1, 0)
+	in := platform.Instance{task(0, 2, 1)}
+	s := &Schedule{Platform: pl, Entries: []Entry{
+		{TaskID: 0, Worker: 0, Kind: platform.CPU, Start: 0, End: 5},
+	}}
+	if err := s.Validate(in, nil); err == nil {
+		t.Error("nominal validation should reject the 5-unit run")
+	}
+	actual := func(tk platform.Task, k platform.Kind) float64 { return 5 }
+	if err := s.ValidateTimed(in, nil, actual); err != nil {
+		t.Errorf("timed validation rejected matching durations: %v", err)
+	}
+}
+
+func TestValidateRelaxedAllowsLongerRuns(t *testing.T) {
+	pl := platform.NewPlatform(1, 0)
+	in := platform.Instance{task(0, 2, 1)}
+	long := &Schedule{Platform: pl, Entries: []Entry{
+		{TaskID: 0, Worker: 0, Kind: platform.CPU, Start: 0, End: 7},
+	}}
+	if err := long.ValidateRelaxed(in, nil); err != nil {
+		t.Errorf("relaxed validation rejected a longer run: %v", err)
+	}
+	short := &Schedule{Platform: pl, Entries: []Entry{
+		{TaskID: 0, Worker: 0, Kind: platform.CPU, Start: 0, End: 0.5},
+	}}
+	if err := short.ValidateRelaxed(in, nil); err == nil {
+		t.Error("relaxed validation accepted a run shorter than nominal")
+	}
+}

@@ -1,0 +1,94 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestMean(t *testing.T) {
+	if got := Mean([]float64{1, 2, 3}); got != 2 {
+		t.Errorf("Mean = %v, want 2", got)
+	}
+	if !math.IsNaN(Mean(nil)) {
+		t.Error("Mean(nil) should be NaN")
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if got := GeoMean([]float64{1, 4}); math.Abs(got-2) > 1e-12 {
+		t.Errorf("GeoMean = %v, want 2", got)
+	}
+	if !math.IsNaN(GeoMean(nil)) || !math.IsNaN(GeoMean([]float64{-1})) {
+		t.Error("GeoMean edge cases should be NaN")
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	if Max(xs) != 3 || Min(xs) != 1 {
+		t.Errorf("Max/Min = %v/%v", Max(xs), Min(xs))
+	}
+	if !math.IsInf(Max(nil), -1) || !math.IsInf(Min(nil), 1) {
+		t.Error("empty Max/Min should be infinities")
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	cases := map[float64]float64{0: 1, 1: 4, 0.5: 2.5, 1.5: 4, -1: 1}
+	for q, want := range cases {
+		if got := Quantile(xs, q); math.Abs(got-want) > 1e-12 {
+			t.Errorf("Quantile(%v) = %v, want %v", q, got, want)
+		}
+	}
+	if !math.IsNaN(Quantile(nil, 0.5)) {
+		t.Error("Quantile(nil) should be NaN")
+	}
+	if got := Quantile([]float64{7}, 0.3); got != 7 {
+		t.Errorf("singleton quantile = %v", got)
+	}
+}
+
+func TestQuantileMonotoneProperty(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, r := range raw {
+			xs[i] = float64(r)
+		}
+		prev := math.Inf(-1)
+		for q := 0.0; q <= 1.0; q += 0.1 {
+			v := Quantile(xs, q)
+			if v < prev-1e-9 {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTableMarkdownAndCSV(t *testing.T) {
+	tb := &Table{Title: "demo", Columns: []string{"name", "value"}}
+	tb.AddRow("x", 1.23456)
+	tb.AddRow("with,comma", math.NaN())
+	md := tb.Markdown()
+	if !strings.Contains(md, "### demo") || !strings.Contains(md, "1.235") {
+		t.Errorf("markdown:\n%s", md)
+	}
+	csv := tb.CSV()
+	if !strings.Contains(csv, "name,value") || !strings.Contains(csv, "\"with,comma\"") {
+		t.Errorf("csv:\n%s", csv)
+	}
+	// NaN renders as empty cell.
+	if strings.Contains(csv, "NaN") {
+		t.Error("NaN should render empty")
+	}
+}

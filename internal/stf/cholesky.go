@@ -1,0 +1,59 @@
+package stf
+
+import (
+	"fmt"
+
+	"repro/internal/dag"
+	"repro/internal/workloads"
+)
+
+// CholeskySTF builds the tiled Cholesky task graph of workloads.Cholesky
+// through the STF interface: kernels are submitted in the sequential
+// right-looking order with their tile accesses, and every dependency is
+// inferred from the data hazards. Used to cross-validate the hand-built
+// generators (the inferred graph must allow exactly the same schedules).
+func CholeskySTF(N int) (*dag.Graph, error) {
+	if N < 1 {
+		return nil, fmt.Errorf("stf: tile count %d < 1", N)
+	}
+	f := New()
+	tiles := make([][]Handle, N)
+	for i := 0; i < N; i++ {
+		tiles[i] = make([]Handle, i+1)
+		for j := 0; j <= i; j++ {
+			tiles[i][j] = f.Data(fmt.Sprintf("A(%d,%d)", i, j))
+		}
+	}
+	for k := 0; k < N; k++ {
+		potrf := workloads.DPOTRF.Task()
+		potrf.Name = fmt.Sprintf("POTRF(%d,%d,%d)", k, k, k)
+		if _, err := f.Submit(potrf, RW(tiles[k][k])); err != nil {
+			return nil, err
+		}
+		for i := k + 1; i < N; i++ {
+			trsm := workloads.DTRSM.Task()
+			trsm.Name = fmt.Sprintf("TRSM(%d,%d,%d)", i, k, k)
+			if _, err := f.Submit(trsm, R(tiles[k][k]), RW(tiles[i][k])); err != nil {
+				return nil, err
+			}
+		}
+		for i := k + 1; i < N; i++ {
+			for j := k + 1; j <= i; j++ {
+				if i == j {
+					syrk := workloads.DSYRK.Task()
+					syrk.Name = fmt.Sprintf("SYRK(%d,%d,%d)", i, i, k)
+					if _, err := f.Submit(syrk, R(tiles[i][k]), RW(tiles[i][i])); err != nil {
+						return nil, err
+					}
+				} else {
+					gemm := workloads.DGEMM.Task()
+					gemm.Name = fmt.Sprintf("GEMM(%d,%d,%d)", i, j, k)
+					if _, err := f.Submit(gemm, R(tiles[i][k]), R(tiles[j][k]), RW(tiles[i][j])); err != nil {
+						return nil, err
+					}
+				}
+			}
+		}
+	}
+	return f.Graph(), nil
+}

@@ -1,0 +1,177 @@
+package tile
+
+import (
+	"math"
+
+	"repro/internal/cancel"
+)
+
+// The cancellable kernels return false if they were cancelled before
+// completing; the output tile contents are then unspecified and the task
+// must be re-run on restored inputs.
+
+// GEMMCancel is GEMMFast with a cancellation poll per row panel.
+func GEMMCancel(c, a, b2 []float64, b int, flag *cancel.Flag) bool {
+	for kk := 0; kk < b; kk += blockDim {
+		if flag.Cancelled() {
+			return false
+		}
+		kmax := min(kk+blockDim, b)
+		for jj := 0; jj < b; jj += blockDim {
+			jmax := min(jj+blockDim, b)
+			for i := 0; i < b; i++ {
+				arow := a[i*b : (i+1)*b]
+				crow := c[i*b : (i+1)*b]
+				for j := jj; j < jmax; j++ {
+					brow := b2[j*b : (j+1)*b]
+					var s float64
+					k := kk
+					for ; k+4 <= kmax; k += 4 {
+						s += arow[k]*brow[k] + arow[k+1]*brow[k+1] +
+							arow[k+2]*brow[k+2] + arow[k+3]*brow[k+3]
+					}
+					for ; k < kmax; k++ {
+						s += arow[k] * brow[k]
+					}
+					crow[j] -= s
+				}
+			}
+		}
+	}
+	return true
+}
+
+// SYRKCancel is SYRKFast with a cancellation poll per row panel.
+func SYRKCancel(c, a []float64, b int, flag *cancel.Flag) bool {
+	for kk := 0; kk < b; kk += blockDim {
+		if flag.Cancelled() {
+			return false
+		}
+		kmax := min(kk+blockDim, b)
+		for i := 0; i < b; i++ {
+			arow := a[i*b : (i+1)*b]
+			crow := c[i*b : (i+1)*b]
+			for j := 0; j <= i; j++ {
+				brow := a[j*b : (j+1)*b]
+				var s float64
+				k := kk
+				for ; k+4 <= kmax; k += 4 {
+					s += arow[k]*brow[k] + arow[k+1]*brow[k+1] +
+						arow[k+2]*brow[k+2] + arow[k+3]*brow[k+3]
+				}
+				for ; k < kmax; k++ {
+					s += arow[k] * brow[k]
+				}
+				crow[j] -= s
+			}
+		}
+	}
+	return true
+}
+
+// TRSMCancel is TRSMFast with a cancellation poll per block of rows.
+func TRSMCancel(a, l []float64, b int, flag *cancel.Flag) bool {
+	for i := 0; i < b; i++ {
+		if i%blockDim == 0 && flag.Cancelled() {
+			return false
+		}
+		row := a[i*b : (i+1)*b]
+		for j := 0; j < b; j++ {
+			lrow := l[j*b : (j+1)*b]
+			var s float64
+			k := 0
+			for ; k+4 <= j; k += 4 {
+				s += row[k]*lrow[k] + row[k+1]*lrow[k+1] +
+					row[k+2]*lrow[k+2] + row[k+3]*lrow[k+3]
+			}
+			for ; k < j; k++ {
+				s += row[k] * lrow[k]
+			}
+			row[j] = (row[j] - s) / lrow[j]
+		}
+	}
+	return true
+}
+
+// POTRFCancel is POTRF with a cancellation poll per pivot block. The first
+// return is false if the run was cancelled (the tile is then left in an
+// unspecified state and the task must be re-run on restored inputs).
+func POTRFCancel(a []float64, b int, flag *cancel.Flag) (bool, error) {
+	for k := 0; k < b; k++ {
+		if k%blockDim == 0 && flag.Cancelled() {
+			return false, nil
+		}
+		pivot := a[k*b+k]
+		for j := 0; j < k; j++ {
+			pivot -= a[k*b+j] * a[k*b+j]
+		}
+		if pivot <= 0 {
+			return true, ErrNotPositiveDefinite
+		}
+		d := math.Sqrt(pivot)
+		a[k*b+k] = d
+		for i := k + 1; i < b; i++ {
+			s := a[i*b+k]
+			for j := 0; j < k; j++ {
+				s -= a[i*b+j] * a[k*b+j]
+			}
+			a[i*b+k] = s / d
+		}
+	}
+	return true, nil
+}
+
+// GEMMRefCancel is the naive reference GEMM with a cancellation poll per
+// row (the slow "CPU-class" implementation in cancellable form).
+func GEMMRefCancel(c, a, b2 []float64, b int, flag *cancel.Flag) bool {
+	for i := 0; i < b; i++ {
+		if flag.Cancelled() {
+			return false
+		}
+		for j := 0; j < b; j++ {
+			s := c[i*b+j]
+			for k := 0; k < b; k++ {
+				s -= a[i*b+k] * b2[j*b+k]
+			}
+			c[i*b+j] = s
+		}
+	}
+	return true
+}
+
+// SYRKRefCancel is the naive reference SYRK with a cancellation poll per
+// row.
+func SYRKRefCancel(c, a []float64, b int, flag *cancel.Flag) bool {
+	for i := 0; i < b; i++ {
+		if flag.Cancelled() {
+			return false
+		}
+		for j := 0; j <= i; j++ {
+			s := c[i*b+j]
+			for k := 0; k < b; k++ {
+				s -= a[i*b+k] * a[j*b+k]
+			}
+			c[i*b+j] = s
+		}
+	}
+	return true
+}
+
+// TRSMRefCancel is the naive reference TRSM with a cancellation poll per
+// row.
+func TRSMRefCancel(a, l []float64, b int, flag *cancel.Flag) bool {
+	for i := 0; i < b; i++ {
+		if flag.Cancelled() {
+			return false
+		}
+		row := a[i*b : (i+1)*b]
+		for j := 0; j < b; j++ {
+			s := row[j]
+			for k := 0; k < j; k++ {
+				s -= row[k] * l[j*b+k]
+			}
+			row[j] = s / l[j*b+j]
+		}
+	}
+	return true
+}

@@ -1,0 +1,159 @@
+package tile
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/cancel"
+)
+
+func randTileN(rng *rand.Rand, b int) []float64 {
+	x := make([]float64, b*b)
+	for i := range x {
+		x[i] = rng.Float64()*2 - 1
+	}
+	return x
+}
+
+func lowerTileN(rng *rand.Rand, b int) []float64 {
+	x := randTileN(rng, b)
+	for i := 0; i < b; i++ {
+		x[i*b+i] = 2 + rng.Float64()
+	}
+	return x
+}
+
+func spdTileN(rng *rand.Rand, b int) []float64 {
+	x := make([]float64, b*b)
+	for i := 0; i < b; i++ {
+		for j := 0; j <= i; j++ {
+			v := rng.Float64()
+			x[i*b+j] = v
+			x[j*b+i] = v
+		}
+		x[i*b+i] += float64(b)
+	}
+	return x
+}
+
+// Uncancelled cancellable kernels must equal their plain counterparts.
+func TestCancellableKernelsMatchPlain(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	const b = 64
+
+	a, b2 := randTileN(rng, b), randTileN(rng, b)
+	c1 := randTileN(rng, b)
+	c2 := append([]float64(nil), c1...)
+	c3 := append([]float64(nil), c1...)
+	GEMMFast(c1, a, b2, b)
+	if !GEMMCancel(c2, a, b2, b, nil) {
+		t.Fatal("nil flag must never cancel")
+	}
+	GEMM(c3, a, b2, b)
+	if d := maxDiff(c1, c2); d != 0 {
+		t.Errorf("GEMMCancel differs from GEMMFast by %v", d)
+	}
+	cRef := append([]float64(nil), c3...)
+	_ = cRef
+	c4 := randTileN(rng, b)
+	c5 := append([]float64(nil), c4...)
+	GEMM(c4, a, b2, b)
+	if !GEMMRefCancel(c5, a, b2, b, nil) {
+		t.Fatal("ref cancel with nil flag")
+	}
+	if d := maxDiff(c4, c5); d != 0 {
+		t.Errorf("GEMMRefCancel differs from GEMM by %v", d)
+	}
+
+	s1 := randTileN(rng, b)
+	s2 := append([]float64(nil), s1...)
+	s3 := append([]float64(nil), s1...)
+	SYRKFast(s1, a, b)
+	SYRKCancel(s2, a, b, nil)
+	SYRK(s3, a, b)
+	if d := maxDiff(s1, s2); d != 0 {
+		t.Errorf("SYRKCancel differs by %v", d)
+	}
+	s4 := append([]float64(nil), s3...)
+	copy(s4, s3)
+	s5 := randTileN(rng, b)
+	s6 := append([]float64(nil), s5...)
+	SYRK(s5, a, b)
+	SYRKRefCancel(s6, a, b, nil)
+	if d := maxDiff(s5, s6); d != 0 {
+		t.Errorf("SYRKRefCancel differs by %v", d)
+	}
+
+	l := lowerTileN(rng, b)
+	t1 := randTileN(rng, b)
+	t2 := append([]float64(nil), t1...)
+	t3 := append([]float64(nil), t1...)
+	TRSMFast(t1, l, b)
+	TRSMCancel(t2, l, b, nil)
+	TRSM(t3, l, b)
+	if d := maxDiff(t1, t2); d != 0 {
+		t.Errorf("TRSMCancel differs by %v", d)
+	}
+	t4 := randTileN(rng, b)
+	t5 := append([]float64(nil), t4...)
+	TRSM(t4, l, b)
+	TRSMRefCancel(t5, l, b, nil)
+	if d := maxDiff(t4, t5); d != 0 {
+		t.Errorf("TRSMRefCancel differs by %v", d)
+	}
+
+	p1 := spdTileN(rng, b)
+	p2 := append([]float64(nil), p1...)
+	if err := POTRF(p1, b); err != nil {
+		t.Fatal(err)
+	}
+	done, err := POTRFCancel(p2, b, nil)
+	if err != nil || !done {
+		t.Fatalf("POTRFCancel: done=%v err=%v", done, err)
+	}
+	if d := maxDiff(p1, p2); d != 0 {
+		t.Errorf("POTRFCancel differs by %v", d)
+	}
+}
+
+// Pre-cancelled kernels must abandon immediately and report false.
+func TestCancelledKernelsAbort(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	const b = 64
+	flag := &cancel.Flag{}
+	flag.Cancel()
+	a, b2 := randTileN(rng, b), randTileN(rng, b)
+	l := lowerTileN(rng, b)
+	c := randTileN(rng, b)
+	if GEMMCancel(c, a, b2, b, flag) {
+		t.Error("GEMMCancel ignored cancellation")
+	}
+	if GEMMRefCancel(c, a, b2, b, flag) {
+		t.Error("GEMMRefCancel ignored cancellation")
+	}
+	if SYRKCancel(c, a, b, flag) {
+		t.Error("SYRKCancel ignored cancellation")
+	}
+	if SYRKRefCancel(c, a, b, flag) {
+		t.Error("SYRKRefCancel ignored cancellation")
+	}
+	if TRSMCancel(c, l, b, flag) {
+		t.Error("TRSMCancel ignored cancellation")
+	}
+	if TRSMRefCancel(c, l, b, flag) {
+		t.Error("TRSMRefCancel ignored cancellation")
+	}
+	p := spdTileN(rng, b)
+	done, err := POTRFCancel(p, b, flag)
+	if done || err != nil {
+		t.Errorf("POTRFCancel: done=%v err=%v, want cancelled", done, err)
+	}
+}
+
+func TestPOTRFCancelNotPD(t *testing.T) {
+	a := []float64{1, 0, 0, -4}
+	done, err := POTRFCancel(a, 2, nil)
+	if !done || err == nil {
+		t.Errorf("non-PD: done=%v err=%v, want completed with error", done, err)
+	}
+}

@@ -1,0 +1,112 @@
+package tile
+
+import (
+	"math"
+
+	"repro/internal/cancel"
+)
+
+// Cancellable LU kernels (see cancel.go for the contract: false means the
+// run was abandoned and the tile contents are unspecified).
+
+// GETRFCancel is GETRF with a cancellation poll per pivot block.
+func GETRFCancel(a []float64, b int, flag *cancel.Flag) (bool, error) {
+	for k := 0; k < b; k++ {
+		if k%blockDim == 0 && flag.Cancelled() {
+			return false, nil
+		}
+		pivot := a[k*b+k]
+		if math.Abs(pivot) < 1e-12 {
+			return true, ErrSingular
+		}
+		for i := k + 1; i < b; i++ {
+			a[i*b+k] /= pivot
+			l := a[i*b+k]
+			for j := k + 1; j < b; j++ {
+				a[i*b+j] -= l * a[k*b+j]
+			}
+		}
+	}
+	return true, nil
+}
+
+// TRSMLowerCancel is TRSMLower with a cancellation poll per row.
+func TRSMLowerCancel(a, l []float64, b int, flag *cancel.Flag) bool {
+	for i := 1; i < b; i++ {
+		if i%blockDim == 0 && flag.Cancelled() {
+			return false
+		}
+		for k := 0; k < i; k++ {
+			lik := l[i*b+k]
+			if lik == 0 {
+				continue
+			}
+			arow := a[k*b : (k+1)*b]
+			xrow := a[i*b : (i+1)*b]
+			for j := 0; j < b; j++ {
+				xrow[j] -= lik * arow[j]
+			}
+		}
+	}
+	return true
+}
+
+// TRSMUpperCancel is TRSMUpper with a cancellation poll per row block.
+func TRSMUpperCancel(a, u []float64, b int, flag *cancel.Flag) bool {
+	for i := 0; i < b; i++ {
+		if i%blockDim == 0 && flag.Cancelled() {
+			return false
+		}
+		row := a[i*b : (i+1)*b]
+		for j := 0; j < b; j++ {
+			s := row[j]
+			for k := 0; k < j; k++ {
+				s -= row[k] * u[k*b+j]
+			}
+			row[j] = s / u[j*b+j]
+		}
+	}
+	return true
+}
+
+// GEMMNTCancel is GEMMNTFast with a cancellation poll per k panel.
+func GEMMNTCancel(c, a, b2 []float64, b int, flag *cancel.Flag) bool {
+	for kk := 0; kk < b; kk += blockDim {
+		if flag.Cancelled() {
+			return false
+		}
+		kmax := min(kk+blockDim, b)
+		for i := 0; i < b; i++ {
+			arow := a[i*b : (i+1)*b]
+			crow := c[i*b : (i+1)*b]
+			for k := kk; k < kmax; k++ {
+				aik := arow[k]
+				if aik == 0 {
+					continue
+				}
+				brow := b2[k*b : (k+1)*b]
+				for j := 0; j < b; j++ {
+					crow[j] -= aik * brow[j]
+				}
+			}
+		}
+	}
+	return true
+}
+
+// GEMMNTRefCancel is the naive GEMMNT with a cancellation poll per row.
+func GEMMNTRefCancel(c, a, b2 []float64, b int, flag *cancel.Flag) bool {
+	for i := 0; i < b; i++ {
+		if flag.Cancelled() {
+			return false
+		}
+		for j := 0; j < b; j++ {
+			s := c[i*b+j]
+			for k := 0; k < b; k++ {
+				s -= a[i*b+k] * b2[k*b+j]
+			}
+			c[i*b+j] = s
+		}
+	}
+	return true
+}

@@ -1,0 +1,253 @@
+package tile
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cancel"
+)
+
+func TestGETRFSingular(t *testing.T) {
+	a := []float64{0, 1, 1, 1} // zero pivot
+	if err := GETRF(a, 2); err == nil {
+		t.Error("singular tile accepted")
+	}
+}
+
+func TestLUDenseReconstruct(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a := RandomDiagDominant(24, rng)
+	lu, err := LUDense(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := LUReconstruct(lu)
+	if d := MaxAbsDiff(a, rec); d > 1e-9 {
+		t.Errorf("L*U differs from A by %v", d)
+	}
+}
+
+func TestLUDenseNonSquare(t *testing.T) {
+	if _, err := LUDense(NewMatrix(2, 3)); err == nil {
+		t.Error("non-square accepted")
+	}
+}
+
+func TestTRSMLowerSolves(t *testing.T) {
+	// After GETRF on l, TRSMLower(a, l) must satisfy L * X = A_orig.
+	const b = 8
+	rng := rand.New(rand.NewSource(2))
+	l := RandomDiagDominant(b, rng)
+	if err := GETRF(l.Data, b); err != nil {
+		t.Fatal(err)
+	}
+	orig := make([]float64, b*b)
+	for i := range orig {
+		orig[i] = rng.Float64()
+	}
+	x := append([]float64(nil), orig...)
+	TRSMLower(x, l.Data, b)
+	// Recompute L*X (L unit lower from l).
+	for i := 0; i < b; i++ {
+		for j := 0; j < b; j++ {
+			s := x[i*b+j]
+			for k := 0; k < i; k++ {
+				s += l.Data[i*b+k] * x[k*b+j]
+			}
+			if math.Abs(s-orig[i*b+j]) > 1e-9 {
+				t.Fatalf("L*X != A at (%d,%d): %v vs %v", i, j, s, orig[i*b+j])
+			}
+		}
+	}
+}
+
+func TestTRSMUpperSolves(t *testing.T) {
+	const b = 8
+	rng := rand.New(rand.NewSource(3))
+	u := RandomDiagDominant(b, rng)
+	if err := GETRF(u.Data, b); err != nil {
+		t.Fatal(err)
+	}
+	orig := make([]float64, b*b)
+	for i := range orig {
+		orig[i] = rng.Float64()
+	}
+	x := append([]float64(nil), orig...)
+	TRSMUpper(x, u.Data, b)
+	// Recompute X*U (U upper incl. diagonal from u).
+	for i := 0; i < b; i++ {
+		for j := 0; j < b; j++ {
+			var s float64
+			for k := 0; k <= j; k++ {
+				s += x[i*b+k] * u.Data[k*b+j]
+			}
+			if math.Abs(s-orig[i*b+j]) > 1e-9 {
+				t.Fatalf("X*U != A at (%d,%d): %v vs %v", i, j, s, orig[i*b+j])
+			}
+		}
+	}
+}
+
+func TestGEMMNTVariantsAgree(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	const b = 48
+	a, b2 := randTileN(rng, b), randTileN(rng, b)
+	c1 := randTileN(rng, b)
+	c2 := append([]float64(nil), c1...)
+	GEMMNT(c1, a, b2, b)
+	GEMMNTFast(c2, a, b2, b)
+	if d := maxDiff(c1, c2); d > 1e-10 {
+		t.Errorf("GEMMNT variants differ by %v", d)
+	}
+}
+
+func TestLUTiledMatchesDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	a := RandomDiagDominant(48, rng)
+	want, err := LUDense(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, fast := range []bool{false, true} {
+		td, err := NewTiled(a, 12)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := LUTiled(td, fast); err != nil {
+			t.Fatalf("fast=%v: %v", fast, err)
+		}
+		got := td.Assemble()
+		if d := MaxAbsDiff(got, want); d > 1e-8 {
+			t.Errorf("fast=%v: tiled LU differs from dense by %v", fast, d)
+		}
+	}
+}
+
+func TestLUTiledSingular(t *testing.T) {
+	m := NewMatrix(4, 4)
+	td, err := NewTiled(m, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := LUTiled(td, false); err == nil {
+		t.Error("singular matrix accepted")
+	}
+}
+
+// Property: tiled LU reconstructs the original matrix for every valid tile
+// size.
+func TestLUTiledProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := RandomDiagDominant(12, rng)
+		for _, b := range []int{1, 2, 3, 4, 6, 12} {
+			td, err := NewTiled(a, b)
+			if err != nil {
+				return false
+			}
+			if err := LUTiled(td, true); err != nil {
+				return false
+			}
+			rec := LUReconstruct(td.Assemble())
+			if MaxAbsDiff(a, rec) > 1e-8 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLUCancellableMatchPlain(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	const b = 64
+	dd := RandomDiagDominant(b, rng)
+	g1 := dd.Clone()
+	g2 := dd.Clone()
+	if err := GETRF(g1.Data, b); err != nil {
+		t.Fatal(err)
+	}
+	done, err := GETRFCancel(g2.Data, b, nil)
+	if !done || err != nil {
+		t.Fatalf("GETRFCancel: %v %v", done, err)
+	}
+	if d := MaxAbsDiff(g1, g2); d != 0 {
+		t.Errorf("GETRFCancel differs by %v", d)
+	}
+
+	a1 := randTileN(rng, b)
+	a2 := append([]float64(nil), a1...)
+	TRSMLower(a1, g1.Data, b)
+	if !TRSMLowerCancel(a2, g1.Data, b, nil) {
+		t.Fatal("TRSMLowerCancel cancelled with nil flag")
+	}
+	if d := maxDiff(a1, a2); d != 0 {
+		t.Errorf("TRSMLowerCancel differs by %v", d)
+	}
+
+	u1 := randTileN(rng, b)
+	u2 := append([]float64(nil), u1...)
+	TRSMUpper(u1, g1.Data, b)
+	if !TRSMUpperCancel(u2, g1.Data, b, nil) {
+		t.Fatal("TRSMUpperCancel cancelled with nil flag")
+	}
+	if d := maxDiff(u1, u2); d != 0 {
+		t.Errorf("TRSMUpperCancel differs by %v", d)
+	}
+
+	x, y := randTileN(rng, b), randTileN(rng, b)
+	c1 := randTileN(rng, b)
+	c2 := append([]float64(nil), c1...)
+	GEMMNTFast(c1, x, y, b)
+	if !GEMMNTCancel(c2, x, y, b, nil) {
+		t.Fatal("GEMMNTCancel cancelled with nil flag")
+	}
+	if d := maxDiff(c1, c2); d != 0 {
+		t.Errorf("GEMMNTCancel differs by %v", d)
+	}
+}
+
+func TestLUCancelledAbort(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	const b = 64
+	flag := &cancel.Flag{}
+	flag.Cancel()
+	dd := RandomDiagDominant(b, rng)
+	if done, _ := GETRFCancel(dd.Data, b, flag); done {
+		t.Error("GETRFCancel ignored cancellation")
+	}
+	l := dd.Clone()
+	a := randTileN(rng, b)
+	if TRSMLowerCancel(a, l.Data, b, flag) {
+		t.Error("TRSMLowerCancel ignored cancellation")
+	}
+	if TRSMUpperCancel(a, l.Data, b, flag) {
+		t.Error("TRSMUpperCancel ignored cancellation")
+	}
+	x, y := randTileN(rng, b), randTileN(rng, b)
+	if GEMMNTCancel(a, x, y, b, flag) {
+		t.Error("GEMMNTCancel ignored cancellation")
+	}
+	if GEMMNTRefCancel(a, x, y, b, flag) {
+		t.Error("GEMMNTRefCancel ignored cancellation")
+	}
+}
+
+func TestGEMMNTRefCancelMatchesPlain(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	const b = 48
+	x, y := randTileN(rng, b), randTileN(rng, b)
+	c1 := randTileN(rng, b)
+	c2 := append([]float64(nil), c1...)
+	GEMMNT(c1, x, y, b)
+	if !GEMMNTRefCancel(c2, x, y, b, nil) {
+		t.Fatal("cancelled with nil flag")
+	}
+	if d := maxDiff(c1, c2); d != 0 {
+		t.Errorf("GEMMNTRefCancel differs by %v", d)
+	}
+}

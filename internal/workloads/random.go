@@ -1,0 +1,55 @@
+package workloads
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/platform"
+)
+
+// UniformInstance returns n tasks with CPU times uniform in [pMin, pMax]
+// and acceleration factors uniform in [aMin, aMax].
+func UniformInstance(n int, pMin, pMax, aMin, aMax float64, rng *rand.Rand) platform.Instance {
+	in := make(platform.Instance, 0, n)
+	for i := 0; i < n; i++ {
+		p := pMin + rng.Float64()*(pMax-pMin)
+		a := aMin + rng.Float64()*(aMax-aMin)
+		in = append(in, platform.Task{ID: i, Name: "uni", CPUTime: p, GPUTime: p / a})
+	}
+	return in
+}
+
+// BimodalInstance returns n tasks drawn from two kernel-like modes: a
+// "GEMM-like" mode (large acceleration factor) with probability pGPU, and
+// a "panel-like" mode (factor near 1) otherwise. This mimics the
+// affinity structure of dense linear algebra kernels.
+func BimodalInstance(n int, pGPU float64, rng *rand.Rand) platform.Instance {
+	in := make(platform.Instance, 0, n)
+	for i := 0; i < n; i++ {
+		var t platform.Task
+		if rng.Float64() < pGPU {
+			p := 40 + rng.Float64()*20
+			a := 20 + rng.Float64()*15
+			t = platform.Task{ID: i, Name: "update", CPUTime: p, GPUTime: p / a}
+		} else {
+			p := 8 + rng.Float64()*8
+			a := 0.8 + rng.Float64()*1.5
+			t = platform.Task{ID: i, Name: "panel", CPUTime: p, GPUTime: p / a}
+		}
+		in = append(in, t)
+	}
+	return in
+}
+
+// LogNormalAccelInstance returns n tasks whose acceleration factors follow
+// a log-normal distribution centered on exp(mu) — a heavy-tailed spread of
+// affinities that stresses the two-ended queue.
+func LogNormalAccelInstance(n int, mu, sigma float64, rng *rand.Rand) platform.Instance {
+	in := make(platform.Instance, 0, n)
+	for i := 0; i < n; i++ {
+		p := 1 + rng.Float64()*50
+		a := math.Exp(mu + sigma*rng.NormFloat64())
+		in = append(in, platform.Task{ID: i, Name: "logn", CPUTime: p, GPUTime: p / a})
+	}
+	return in
+}

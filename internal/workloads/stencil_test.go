@@ -1,0 +1,94 @@
+package workloads
+
+import (
+	"testing"
+
+	"repro/internal/dag"
+	"repro/internal/platform"
+)
+
+func TestWavefrontShape(t *testing.T) {
+	g := DefaultWavefront(5)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.Len() != 25 {
+		t.Fatalf("tasks = %d, want 25", g.Len())
+	}
+	// Edges: 2*n*(n-1) = 40 for n=5.
+	if g.Edges() != 40 {
+		t.Errorf("edges = %d, want 40", g.Edges())
+	}
+	// Exactly one source (0,0) and one sink (n-1,n-1).
+	if len(g.Sources()) != 1 || len(g.Sinks()) != 1 {
+		t.Errorf("sources/sinks = %v/%v", g.Sources(), g.Sinks())
+	}
+	// Critical path visits 2n-1 cells.
+	cp, err := g.CriticalPath(dag.WeightMin, platform.NewPlatform(1, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Path: corner border (2.5) + ... the min-duration path length must be
+	// at least (2n-1) * min cell duration (0.8).
+	if cp < float64(2*5-1)*0.8 {
+		t.Errorf("critical path %v too short", cp)
+	}
+}
+
+func TestWavefrontBorderTimes(t *testing.T) {
+	border := platform.Task{CPUTime: 7, GPUTime: 5}
+	interior := platform.Task{CPUTime: 1, GPUTime: 1}
+	g := Wavefront(3, border, interior)
+	borders := 0
+	for _, task := range g.Tasks() {
+		if task.CPUTime == 7 {
+			borders++
+		}
+	}
+	if borders != 5 { // row 0 (3 cells) + column 0 (3) - corner counted once
+		t.Errorf("border cells = %d, want 5", borders)
+	}
+}
+
+func TestBagOfChains(t *testing.T) {
+	even := platform.Task{CPUTime: 2, GPUTime: 1}
+	odd := platform.Task{CPUTime: 1, GPUTime: 2}
+	g := BagOfChains(4, 6, even, odd)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.Len() != 24 || g.Edges() != 4*5 {
+		t.Fatalf("shape %d tasks %d edges", g.Len(), g.Edges())
+	}
+	if len(g.Sources()) != 4 || len(g.Sinks()) != 4 {
+		t.Errorf("sources/sinks = %d/%d, want 4/4", len(g.Sources()), len(g.Sinks()))
+	}
+	// Alternating profiles: equal counts.
+	var evens int
+	for _, task := range g.Tasks() {
+		if task.CPUTime == 2 {
+			evens++
+		}
+	}
+	if evens != 12 {
+		t.Errorf("even-profile tasks = %d, want 12", evens)
+	}
+}
+
+func TestStencilPanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"wavefront": func() { DefaultWavefront(0) },
+		"chains": func() {
+			BagOfChains(0, 3, platform.Task{CPUTime: 1, GPUTime: 1}, platform.Task{CPUTime: 1, GPUTime: 1})
+		},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}

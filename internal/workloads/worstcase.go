@@ -1,0 +1,223 @@
+package workloads
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/platform"
+)
+
+// Phi is the golden ratio, the approximation ratio of HeteroPrio on one
+// CPU and one GPU (Theorem 7).
+var Phi = (1 + math.Sqrt(5)) / 2
+
+// The adversarial instances of Theorems 8, 11 and 14 rely on
+// acceleration-factor ties resolved by the stable queue order. In float64,
+// a naive q = p/accel can make p/q land one ulp on either side of the
+// intended common value, silently reordering the queue. Only the order
+// matters, so the helpers below nudge one operand by ulps until the
+// quotient is on the required side of (and as close as possible to) the
+// canonical tie value.
+
+// taskWithAccelAtLeast returns a task with CPU time exactly p and
+// Accel() >= accel, tight to the ulp (GPU time nudged).
+func taskWithAccelAtLeast(name string, p, accel float64) platform.Task {
+	q := p / accel
+	for p/q < accel {
+		q = math.Nextafter(q, 0)
+	}
+	return platform.Task{Name: name, CPUTime: p, GPUTime: q}
+}
+
+// taskWithAccelAtLeastQ returns a task with GPU time exactly q and
+// Accel() >= accel, tight to the ulp (CPU time nudged).
+func taskWithAccelAtLeastQ(name string, q, accel float64) platform.Task {
+	p := q * accel
+	for p/q < accel {
+		p = math.Nextafter(p, math.Inf(1))
+	}
+	return platform.Task{Name: name, CPUTime: p, GPUTime: q}
+}
+
+// Theorem8Instance returns the tight worst-case instance of Theorem 8 for
+// 1 CPU + 1 GPU: two tasks X(p=phi, q=1) and Y(p=1, q=1/phi), both with
+// acceleration factor phi. The instance order (Y before X) makes the
+// stable HeteroPrio queue give Y to the GPU and X to the CPU, reaching
+// makespan phi while the optimum is 1.
+func Theorem8Instance() (platform.Instance, platform.Platform) {
+	in := platform.Instance{
+		taskWithAccelAtLeast("Y", 1, Phi),
+		{Name: "X", CPUTime: Phi, GPUTime: 1}, // accel = Phi/1, exact
+	}
+	in.Renumber()
+	return in, platform.NewPlatform(1, 1)
+}
+
+// Theorem11Instance returns the worst-case family of Theorem 11 for
+// m CPUs + 1 GPU with filler granularity x/K (K filler tasks per worker).
+// HeteroPrio reaches makespan x + phi with x = (m-1)/(m+phi), while the
+// optimum is 1; the ratio tends to 1 + phi as m grows.
+//
+// Instance order matters: the stable queue must hold [T4..., T1, T2,
+// T3...] so that the GPU consumes the T4 fillers then T1, while the CPUs
+// consume T3 fillers from the back and then T2.
+func Theorem11Instance(m, K int) (platform.Instance, platform.Platform) {
+	if m < 2 || K < 1 {
+		panic(fmt.Sprintf("workloads: Theorem11Instance(m=%d, K=%d) needs m >= 2, K >= 1", m, K))
+	}
+	x := float64(m-1) / (float64(m) + Phi)
+	eps := x / float64(K)
+	var in platform.Instance
+	// T1: p=1, q=1/phi (rho = phi). T2 below has accel exactly Phi; the
+	// queue order [T4..., T1, T2] requires accel(T4) >= accel(T1) >= Phi.
+	t1 := taskWithAccelAtLeast("T1", 1, Phi)
+	// T4: GPU fillers, rho = phi (K tasks, eps each -> GPU busy until x).
+	t4 := taskWithAccelAtLeastQ("T4", eps, t1.Accel())
+	for i := 0; i < K; i++ {
+		in = append(in, t4)
+	}
+	in = append(in, t1)
+	// T2: p=phi, q=1 (rho = phi); ends on a CPU, never profitably spoliated.
+	in = append(in, platform.Task{Name: "T2", CPUTime: Phi, GPUTime: 1})
+	// T3: CPU fillers, rho = 1 (m*K tasks -> every CPU busy until x).
+	for i := 0; i < m*K; i++ {
+		in = append(in, platform.Task{Name: "T3", CPUTime: eps, GPUTime: eps})
+	}
+	in.Renumber()
+	return in, platform.NewPlatform(m, 1)
+}
+
+// Theorem11ExpectedMakespan returns the HeteroPrio makespan x + phi of the
+// Theorem 11 instance (optimum 1).
+func Theorem11ExpectedMakespan(m int) float64 {
+	return float64(m-1)/(float64(m)+Phi) + Phi
+}
+
+// Theorem14R returns r(n), the positive root of n/r + 2n - 1 = n*r/3,
+// i.e. n*r^2 - 3*(2n-1)*r - 3n = 0. It tends to 3 + 2*sqrt(3) as n grows.
+func Theorem14R(n int) float64 {
+	nn := float64(n)
+	b := 3 * (2*nn - 1)
+	return (b + math.Sqrt(b*b+12*nn*nn)) / (2 * nn)
+}
+
+// Theorem14T2GPUTimes returns the GPU durations of the Figure 4 task set
+// T2 for n = 6k homogeneous processors, in the *bad list order*: first six
+// tasks of length 2k+i for i = 0..k-1, then six of length 4k-1-i for
+// i = 0..k-1, then the single task of length 6k. A list schedule consuming
+// them in this order on n machines takes 2n-1, while an optimal packing
+// takes n.
+func Theorem14T2GPUTimes(k int) []float64 {
+	if k < 1 {
+		panic(fmt.Sprintf("workloads: Theorem14T2GPUTimes(k=%d) needs k >= 1", k))
+	}
+	var out []float64
+	for i := 0; i < k; i++ {
+		for c := 0; c < 6; c++ {
+			out = append(out, float64(2*k+i))
+		}
+	}
+	for i := 0; i < k; i++ {
+		for c := 0; c < 6; c++ {
+			out = append(out, float64(4*k-1-i))
+		}
+	}
+	out = append(out, float64(6*k))
+	return out
+}
+
+// Theorem14T2GoodPacking returns, for each of the n = 6k machines, the
+// task lengths it executes in an optimal packing of the T2 set with
+// makespan exactly n (the left schedule of Figure 4).
+func Theorem14T2GoodPacking(k int) [][]float64 {
+	if k < 1 {
+		panic(fmt.Sprintf("workloads: Theorem14T2GoodPacking(k=%d) needs k >= 1", k))
+	}
+	var machines [][]float64
+	// Pairs (2k+i, 4k-i) for i = 1..k-1, six of each.
+	for i := 1; i < k; i++ {
+		for c := 0; c < 6; c++ {
+			machines = append(machines, []float64{float64(2*k + i), float64(4*k - i)})
+		}
+	}
+	// Six tasks of length 3k pair among themselves on 3 machines.
+	for c := 0; c < 3; c++ {
+		machines = append(machines, []float64{float64(3 * k), float64(3 * k)})
+	}
+	// Six tasks of length 2k on two machines (three each), the 6k task on
+	// the last machine.
+	machines = append(machines,
+		[]float64{float64(2 * k), float64(2 * k), float64(2 * k)},
+		[]float64{float64(2 * k), float64(2 * k), float64(2 * k)},
+		[]float64{float64(6 * k)},
+	)
+	return machines
+}
+
+// Theorem14Instance returns the worst-case family of Theorem 12/14 for
+// n = 6k GPUs and m = n^2 CPUs, with filler granularity K. HeteroPrio can
+// reach makespan x + n*r/3 with x = (m-n)*n/(m+n*r) while the optimum is
+// n, so the ratio tends to 2 + 2/sqrt(3) ~ 3.15 as k grows.
+//
+// The instance relies on two tie-breaking levers of the implementation,
+// both matching the paper's "the order can be arbitrary" argument:
+// stable queue order for equal acceleration factors, and task-ID order for
+// spoliation victims with equal completion times. T2 tasks are therefore
+// created in the bad list order of Theorem14T2GPUTimes.
+func Theorem14Instance(k, K int) (platform.Instance, platform.Platform) {
+	if k < 1 || K < 1 {
+		panic(fmt.Sprintf("workloads: Theorem14Instance(k=%d, K=%d) needs k, K >= 1", k, K))
+	}
+	n := 6 * k
+	m := n * n
+	r := Theorem14R(n)
+	x := float64(m-n) * float64(n) / (float64(m) + float64(n)*r)
+	eps := x / float64(K)
+	var in platform.Instance
+	// T1's acceleration factor is the canonical float value of the rho = r
+	// tie shared by T4, T1 and the shortest T2 tasks; the queue order
+	// [T4..., T1..., T2...] requires accel(T4) >= accel(T1) >= accel(T2).
+	t1 := platform.Task{Name: "T1", CPUTime: float64(n), GPUTime: float64(n) / r}
+	rr := t1.Accel()
+	// T4: GPU fillers, rho = r (n*K tasks of GPU length exactly eps).
+	t4 := taskWithAccelAtLeastQ("T4", eps, rr)
+	for i := 0; i < n*K; i++ {
+		in = append(in, t4)
+	}
+	// T1: n tasks, p = n, q = n/r (rho = r).
+	for i := 0; i < n; i++ {
+		in = append(in, t1)
+	}
+	// T2: CPU time r*n/3 (identical for all T2 so they complete
+	// simultaneously on the CPUs), GPU times in the bad list order. The
+	// shortest T2 (q = 2k) mathematically ties rho = r with T1/T4; nudge
+	// the common CPU time down by ulps so its float acceleration factor
+	// does not exceed the tie (it must not pass T1 in the queue).
+	p2 := r * float64(n) / 3
+	for p2/float64(2*k) > rr {
+		p2 = math.Nextafter(p2, 0)
+	}
+	for _, q := range Theorem14T2GPUTimes(k) {
+		in = append(in, platform.Task{Name: "T2", CPUTime: p2, GPUTime: q})
+	}
+	// T3: CPU fillers, rho = 1 (m*K tasks of length eps).
+	for i := 0; i < m*K; i++ {
+		in = append(in, platform.Task{Name: "T3", CPUTime: eps, GPUTime: eps})
+	}
+	in.Renumber()
+	return in, platform.NewPlatform(m, n)
+}
+
+// Theorem14ExpectedMakespan returns the adversarial HeteroPrio makespan
+// x + n*r/3 of the Theorem 14 instance (optimum n).
+func Theorem14ExpectedMakespan(k int) float64 {
+	n := 6 * k
+	m := n * n
+	r := Theorem14R(n)
+	x := float64(m-n) * float64(n) / (float64(m) + float64(n)*r)
+	return x + float64(n)*r/3
+}
+
+// Theorem14OptimalMakespan returns the optimal makespan n of the
+// Theorem 14 instance.
+func Theorem14OptimalMakespan(k int) float64 { return float64(6 * k) }
