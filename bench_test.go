@@ -8,6 +8,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dag"
 	"repro/internal/expr"
+	"repro/internal/obs"
 	"repro/internal/platform"
 	"repro/internal/sched"
 	"repro/internal/workloads"
@@ -204,5 +205,29 @@ func BenchmarkHeteroPrioIndependent(b *testing.B) {
 		if _, err := core.ScheduleIndependent(in, pl, core.Options{}); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkScheduleIndependent measures the cost of the observer hooks on
+// a 1000-task instance: "disabled" is the baseline (nil Observer field),
+// "nop-observer" has every emission site live but pointed at obs.Nop.
+// Compare allocs/op between the two — they must be identical, which
+// TestObserverNopZeroAlloc in internal/core enforces on every test run.
+func BenchmarkScheduleIndependent(b *testing.B) {
+	pl := expr.PaperPlatform()
+	rng := rand.New(rand.NewSource(3))
+	in := workloads.UniformInstance(1000, 1, 100, 0.2, 40, rng)
+	for name, opt := range map[string]core.Options{
+		"disabled":     {},
+		"nop-observer": {Observer: obs.Nop{}},
+	} {
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.ScheduleIndependent(in, pl, opt); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }

@@ -17,18 +17,28 @@ import (
 	"time"
 
 	"repro/internal/expr"
+	"repro/internal/obs"
 	"repro/internal/plot"
 	"repro/internal/stats"
 	"repro/internal/workloads"
 )
 
+// logger is the structured run log; main swaps in a live one so run()
+// keeps its plain signature for the tests.
+var logger = obs.NewLogger(nil, false)
+
 func main() {
 	var (
-		exp   = flag.String("exp", "all", "experiment: all, table1, table2, fig6, fig7, fig8, fig9, ablation, shape, bounds, kernelmix, distribution, adversary, transfer, robustness")
-		out   = flag.String("out", "results", "output directory for CSV files")
-		quick = flag.Bool("quick", false, "reduced N sweep (fast)")
+		exp     = flag.String("exp", "all", "experiment: all, table1, table2, fig6, fig7, fig8, fig9, ablation, shape, bounds, kernelmix, distribution, adversary, transfer, robustness")
+		out     = flag.String("out", "results", "output directory for CSV files")
+		quick   = flag.Bool("quick", false, "reduced N sweep (fast)")
+		verbose = flag.Bool("v", false, "structured debug logging to stderr; HP_LOG overrides")
 	)
 	flag.Parse()
+	// Logs stay behind -v / HP_LOG: the default CLI output is stdout only.
+	if *verbose || os.Getenv(obs.LogEnv) != "" {
+		logger = obs.NewLogger(os.Stderr, *verbose)
+	}
 	if err := run(*exp, *out, *quick); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
@@ -44,6 +54,7 @@ func run(exp, out string, quick bool) error {
 	if quick {
 		ns = expr.SmallNs()
 	}
+	logger.Info("experiments starting", "exp", exp, "out", out, "quick", quick, "platform", pl.String())
 
 	emit := func(name string, t *stats.Table) error {
 		fmt.Println(t.Markdown())
@@ -52,6 +63,7 @@ func run(exp, out string, quick bool) error {
 			return err
 		}
 		fmt.Printf("(written to %s)\n\n", path)
+		logger.Info("experiment written", "experiment", name, "path", path)
 		return nil
 	}
 	emitCharts := func(charts map[string]*plot.Chart) error {
@@ -61,6 +73,7 @@ func run(exp, out string, quick bool) error {
 				return err
 			}
 			fmt.Printf("(chart written to %s)\n", path)
+			logger.Debug("chart written", "chart", name, "path", path)
 		}
 		return nil
 	}

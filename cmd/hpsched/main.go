@@ -14,15 +14,21 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"time"
 
 	"repro/internal/bounds"
 	"repro/internal/dag"
 	"repro/internal/expr"
+	"repro/internal/obs"
 	"repro/internal/platform"
 	"repro/internal/sim"
 	"repro/internal/trace"
 	"repro/internal/workloads"
 )
+
+// logger is the structured run log; main swaps in a live one so run()
+// keeps its plain signature for the tests.
+var logger = obs.NewLogger(nil, false)
 
 func main() {
 	var (
@@ -36,8 +42,13 @@ func main() {
 		csv         = flag.Bool("csv", false, "print the schedule as CSV")
 		chromeOut   = flag.String("chrome", "", "write a Chrome trace-event JSON file (open in chrome://tracing or ui.perfetto.dev)")
 		svgOut      = flag.String("svg", "", "write an SVG Gantt chart to this file")
+		verbose     = flag.Bool("v", false, "structured debug logging to stderr; HP_LOG overrides")
 	)
 	flag.Parse()
+	// Logs stay behind -v / HP_LOG: the default CLI output is stdout only.
+	if *verbose || os.Getenv(obs.LogEnv) != "" {
+		logger = obs.NewLogger(os.Stderr, *verbose)
+	}
 
 	if err := run(*alg, *workload, *n, *cpus, *gpus, *independent, *gantt, *csv, *chromeOut, *svgOut); err != nil {
 		fmt.Fprintln(os.Stderr, "hpsched:", err)
@@ -51,6 +62,8 @@ func run(alg, workload string, n, cpus, gpus int, independent, gantt, csv bool, 
 		return err
 	}
 
+	logger.Debug("building workload", "workload", workload, "n", n, "independent", independent)
+	start := time.Now()
 	var (
 		s     *sim.Schedule
 		in    platform.Instance
@@ -91,6 +104,13 @@ func run(alg, workload string, n, cpus, gpus int, independent, gantt, csv bool, 
 			return err
 		}
 	}
+
+	sum := obs.Summarize(s, in, lower)
+	logger.Info("run complete",
+		"workload", workload, "alg", alg, "n", n, "independent", independent,
+		"tasks", sum.Tasks, "makespan_ms", sum.Makespan, "ratio", sum.Ratio,
+		"spoliations", sum.Spoliations, "wasted_ms", sum.WastedWork,
+		"elapsed_ms", float64(time.Since(start).Microseconds())/1000)
 
 	fmt.Printf("workload:   %s N=%d (%d tasks), %s\n", workload, n, len(in), pl)
 	fmt.Printf("algorithm:  %s (independent=%v)\n", alg, independent)

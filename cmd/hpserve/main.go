@@ -3,24 +3,63 @@
 // the SVG Gantt chart, the metrics and the comparison against the lower
 // bound in the browser.
 //
-//	hpserve -addr :8080
+// Observability endpoints: Prometheus metrics at /metrics, recent run
+// summaries as JSON at /runs, live Perfetto traces at /trace, and the
+// standard pprof handlers under /debug/pprof/. Structured logs go to
+// stderr; -v (or HP_LOG=debug) enables per-request debug lines.
+//
+//	hpserve -addr :8080 -v
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
-	"log"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/obs"
 )
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:8080", "listen address")
+	verbose := flag.Bool("v", false, "verbose (debug) logging; HP_LOG overrides")
 	flag.Parse()
-	srv := newServer()
-	log.Printf("hpserve listening on http://%s", *addr)
-	if err := http.ListenAndServe(*addr, srv); err != nil {
-		fmt.Fprintln(os.Stderr, "hpserve:", err)
-		os.Exit(1)
+	logger := obs.NewLogger(os.Stderr, *verbose)
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           newServer(logger),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		logger.Info("hpserve listening", "addr", "http://"+*addr)
+		errc <- srv.ListenAndServe()
+	}()
+
+	select {
+	case <-ctx.Done():
+		logger.Info("shutdown signal received, draining connections")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(shutdownCtx); err != nil {
+			logger.Error("shutdown", "err", err)
+			os.Exit(1)
+		}
+		logger.Info("hpserve stopped cleanly")
+	case err := <-errc:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintln(os.Stderr, "hpserve:", err)
+			os.Exit(1)
+		}
 	}
 }

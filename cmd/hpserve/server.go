@@ -1,34 +1,101 @@
 package main
 
 import (
+	"bytes"
+	"encoding/json"
 	"fmt"
 	"html/template"
+	"io"
+	"log/slog"
 	"math/rand"
 	"net/http"
+	"net/http/pprof"
 	"strconv"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/bounds"
 	"repro/internal/dag"
 	"repro/internal/expr"
+	"repro/internal/obs"
 	"repro/internal/platform"
+	"repro/internal/sim"
 	"repro/internal/trace"
 	"repro/internal/workloads"
 )
 
-// server carries the parsed templates; handlers are pure functions of the
-// request, so it is safe for concurrent use.
+// server carries the parsed templates and the observability state: a
+// metrics registry scraped at /metrics, the live scheduler observer
+// feeding it, a ring of recent run summaries served at /runs, and the
+// structured run logger. Handlers are safe for concurrent use.
 type server struct {
 	mux  *http.ServeMux
 	page *template.Template
+	log  *slog.Logger
+
+	reg         *obs.Registry
+	sched       *obs.SchedulerMetrics
+	runs        *obs.RunLog
+	runMakespan *obs.Histogram
+	runRatio    *obs.Histogram
+	runsTotal   *obs.CounterVec
+	httpReqs    *obs.CounterVec
+	httpDur     *obs.HistogramVec
+	runSeq      atomic.Uint64
 }
 
-func newServer() *server {
-	s := &server{mux: http.NewServeMux()}
+func newServer(logger *slog.Logger) *server {
+	if logger == nil {
+		logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+	reg := obs.NewRegistry()
+	s := &server{
+		mux:   http.NewServeMux(),
+		log:   logger,
+		reg:   reg,
+		sched: obs.NewSchedulerMetrics(reg),
+		runs:  obs.NewRunLog(128),
+		runMakespan: reg.Histogram("hp_run_makespan",
+			"Makespans of completed runs in simulated milliseconds.", obs.ExpBuckets(1, 2, 20)),
+		runRatio: reg.Histogram("hp_run_ratio",
+			"Makespan over the refined lower bound, per completed run.",
+			[]float64{1, 1.05, 1.1, 1.2, 1.35, 1.5, 2, 3, 3.42}),
+		runsTotal: reg.CounterVec("hp_runs_total",
+			"Completed scheduling runs, by algorithm.", "alg"),
+		httpReqs: reg.CounterVec("hp_http_requests_total",
+			"HTTP requests served, by handler.", "handler"),
+		httpDur: reg.HistogramVec("hp_http_request_duration_seconds",
+			"HTTP request latency in seconds, by handler.",
+			"handler", []float64{0.001, 0.005, 0.02, 0.1, 0.5, 2}),
+	}
 	s.page = template.Must(template.New("page").Parse(pageHTML))
-	s.mux.HandleFunc("/", s.handleIndex)
-	s.mux.HandleFunc("/schedule", s.handleSchedule)
-	s.mux.HandleFunc("/compare", s.handleCompare)
+	s.handle("index", "/", s.handleIndex)
+	s.handle("schedule", "/schedule", s.handleSchedule)
+	s.handle("compare", "/compare", s.handleCompare)
+	s.handle("runs", "/runs", s.handleRuns)
+	s.handle("trace", "/trace", s.handleTrace)
+	s.handle("metrics", "/metrics", s.reg.Handler().ServeHTTP)
+	s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+	s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	return s
+}
+
+// handle registers a named, instrumented handler: request count and
+// latency per handler name, plus a debug log line per request.
+func (s *server) handle(name, pattern string, h http.HandlerFunc) {
+	reqs := s.httpReqs.With(name) // pre-seed so the series scrapes at 0
+	dur := s.httpDur.With(name)
+	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		reqs.Inc()
+		h(w, r)
+		elapsed := time.Since(start)
+		dur.Observe(elapsed.Seconds())
+		s.log.Debug("http request", "handler", name, "path", r.URL.Path, "elapsed", elapsed)
+	})
 }
 
 func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
@@ -39,7 +106,7 @@ type viewModel struct {
 	Algorithms []string
 	Form       scheduleForm
 	Result     *scheduleResult
-	Compare    []compareRow
+	Compare    []obs.RunSummary
 	Error      string
 }
 
@@ -51,29 +118,36 @@ type scheduleForm struct {
 	Alg      string
 }
 
+// scheduleResult is the run summary plus the rendered Gantt chart.
 type scheduleResult struct {
-	Tasks       int
-	Makespan    float64
-	Lower       float64
-	Ratio       float64
-	Spoliations int
-	CPUAccel    float64
-	GPUAccel    float64
-	SVG         template.HTML
-}
-
-// compareRow is one algorithm's line in the comparison view.
-type compareRow struct {
-	Algorithm   string
-	Makespan    float64
-	Ratio       float64
-	Spoliations int
-	CPUAccel    float64
-	GPUAccel    float64
+	obs.RunSummary
+	SVG template.HTML
 }
 
 func defaultForm() scheduleForm {
 	return scheduleForm{Workload: "cholesky", N: 8, CPUs: 8, GPUs: 2, Alg: "HeteroPrio-min"}
+}
+
+func parseForm(r *http.Request) scheduleForm {
+	form := defaultForm()
+	if v := r.FormValue("workload"); v != "" {
+		form.Workload = v
+	}
+	if v := r.FormValue("alg"); v != "" {
+		form.Alg = v
+	}
+	form.N = atoiDefault(r.FormValue("n"), form.N)
+	form.CPUs = atoiDefault(r.FormValue("cpus"), form.CPUs)
+	form.GPUs = atoiDefault(r.FormValue("gpus"), form.GPUs)
+	return form
+}
+
+func serveWorkloads() []string {
+	return []string{"cholesky", "qr", "lu", "wavefront", "chains", "uniform"}
+}
+
+func (s *server) viewModel(form scheduleForm) viewModel {
+	return viewModel{Workloads: serveWorkloads(), Algorithms: expr.DAGAlgorithms(), Form: form}
 }
 
 func (s *server) handleIndex(w http.ResponseWriter, r *http.Request) {
@@ -81,96 +155,202 @@ func (s *server) handleIndex(w http.ResponseWriter, r *http.Request) {
 		http.NotFound(w, r)
 		return
 	}
-	s.render(w, viewModel{
-		Workloads:  []string{"cholesky", "qr", "lu", "wavefront", "chains", "uniform"},
-		Algorithms: expr.DAGAlgorithms(),
-		Form:       defaultForm(),
-	})
+	s.render(w, s.viewModel(defaultForm()), http.StatusOK)
 }
 
 func (s *server) handleSchedule(w http.ResponseWriter, r *http.Request) {
-	form := defaultForm()
-	form.Workload = r.FormValue("workload")
-	form.Alg = r.FormValue("alg")
-	form.N = atoiDefault(r.FormValue("n"), 8)
-	form.CPUs = atoiDefault(r.FormValue("cpus"), 8)
-	form.GPUs = atoiDefault(r.FormValue("gpus"), 2)
-
-	vm := viewModel{
-		Workloads:  []string{"cholesky", "qr", "lu", "wavefront", "chains", "uniform"},
-		Algorithms: expr.DAGAlgorithms(),
-		Form:       form,
-	}
-	res, err := runSchedule(form)
+	form := parseForm(r)
+	vm := s.viewModel(form)
+	res, err := s.runSchedule(form)
 	if err != nil {
 		vm.Error = err.Error()
-	} else {
-		vm.Result = res
+		s.render(w, vm, errStatus(err))
+		return
 	}
-	s.render(w, vm)
+	vm.Result = res
+	s.render(w, vm, http.StatusOK)
 }
 
 // handleCompare runs every DAG algorithm on the same workload and renders
 // a comparison table.
 func (s *server) handleCompare(w http.ResponseWriter, r *http.Request) {
-	form := defaultForm()
-	form.Workload = r.FormValue("workload")
-	form.N = atoiDefault(r.FormValue("n"), 8)
-	form.CPUs = atoiDefault(r.FormValue("cpus"), 8)
-	form.GPUs = atoiDefault(r.FormValue("gpus"), 2)
-	vm := viewModel{
-		Workloads:  []string{"cholesky", "qr", "lu", "wavefront", "chains", "uniform"},
-		Algorithms: expr.DAGAlgorithms(),
-		Form:       form,
-	}
-	rows, err := runCompare(form)
+	form := parseForm(r)
+	vm := s.viewModel(form)
+	rows, err := s.runCompare(form)
 	if err != nil {
 		vm.Error = err.Error()
-	} else {
-		vm.Compare = rows
+		s.render(w, vm, errStatus(err))
+		return
 	}
-	s.render(w, vm)
+	vm.Compare = rows
+	s.render(w, vm, http.StatusOK)
 }
 
-func runCompare(form scheduleForm) ([]compareRow, error) {
-	if form.N < 1 || form.N > 16 {
-		return nil, fmt.Errorf("compare limits n to [1, 16], got %d", form.N)
+// handleRuns serves the recent run summaries as JSON, newest first.
+func (s *server) handleRuns(w http.ResponseWriter, _ *http.Request) {
+	payload := struct {
+		Runs []obs.RunSummary `json:"runs"`
+	}{Runs: s.runs.Recent()}
+	body, err := json.MarshalIndent(payload, "", " ")
+	if err != nil {
+		jsonError(w, err, http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_, _ = w.Write(body)
+}
+
+// handleTrace runs the requested schedule with a live obs.Timeline
+// attached and serves the Perfetto/Chrome trace-event JSON bridged from
+// the captured events (falling back to the post-hoc trace for schedulers
+// outside the HeteroPrio event loop, which emit no events).
+func (s *server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	form := parseForm(r)
+	tl := obs.NewTimeline()
+	sched, g, _, err := s.executeRun(form, tl)
+	if err != nil {
+		jsonError(w, err, errStatus(err))
+		return
+	}
+	names := make(map[int]string, g.Len())
+	for _, t := range g.Tasks() {
+		names[t.ID] = t.Name
+	}
+	var raw []byte
+	if tl.Len() > 0 {
+		raw, err = trace.ChromeLive(tl, sched.Platform, names)
+	} else {
+		raw, err = trace.Chrome(sched, names)
+	}
+	if err != nil {
+		jsonError(w, err, http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_, _ = w.Write(raw)
+}
+
+// internalError marks failures that are the server's fault (HTTP 500);
+// everything else reported by executeRun is a client input error (400).
+type internalError struct{ err error }
+
+func (e internalError) Error() string { return e.err.Error() }
+func (e internalError) Unwrap() error { return e.err }
+
+func errStatus(err error) int {
+	if _, ok := err.(internalError); ok {
+		return http.StatusInternalServerError
+	}
+	return http.StatusBadRequest
+}
+
+// executeRun validates the form, builds the workload, runs the algorithm
+// with the server's live metrics observer (plus tl when non-nil), records
+// the run summary and returns the schedule. Sizes are clamped so a stray
+// request cannot wedge the server.
+func (s *server) executeRun(form scheduleForm, tl *obs.Timeline) (*sim.Schedule, *dag.Graph, obs.RunSummary, error) {
+	var zero obs.RunSummary
+	if form.N < 1 || form.N > 24 {
+		return nil, nil, zero, fmt.Errorf("n must be in [1, 24], got %d", form.N)
+	}
+	if form.CPUs < 0 || form.CPUs > 64 || form.GPUs < 0 || form.GPUs > 16 {
+		return nil, nil, zero, fmt.Errorf("platform out of range: %d CPUs, %d GPUs", form.CPUs, form.GPUs)
 	}
 	pl := platform.Platform{CPUs: form.CPUs, GPUs: form.GPUs}
 	if err := pl.Validate(); err != nil {
+		return nil, nil, zero, err
+	}
+	g, err := buildServeWorkload(form.Workload, form.N)
+	if err != nil {
+		return nil, nil, zero, err
+	}
+	var o obs.Observer = s.sched
+	if tl != nil {
+		o = obs.Multi(s.sched, tl)
+	}
+	start := time.Now()
+	sched, err := expr.RunDAGObserved(form.Alg, g, pl, o)
+	if err != nil {
+		return nil, nil, zero, err
+	}
+	if err := sched.Validate(g.Tasks(), g); err != nil {
+		return nil, nil, zero, internalError{fmt.Errorf("schedule validation failed: %w", err)}
+	}
+	lower, err := bounds.DAGLowerRefined(g, pl)
+	if err != nil {
+		return nil, nil, zero, internalError{err}
+	}
+	sum := obs.Summarize(sched, g.Tasks(), lower)
+	sum.ID = fmt.Sprintf("run-%06d", s.runSeq.Add(1))
+	sum.When = time.Now()
+	sum.Workload = form.Workload
+	sum.Alg = form.Alg
+	sum.N = form.N
+	sum.Elapsed = float64(time.Since(start).Microseconds()) / 1000
+	s.recordRun(sum)
+	return sched, g, sum, nil
+}
+
+// recordRun feeds the run-level metrics, the /runs ring and the run log.
+func (s *server) recordRun(sum obs.RunSummary) {
+	s.runs.Add(sum)
+	s.runMakespan.Observe(sum.Makespan)
+	if sum.Ratio > 0 {
+		s.runRatio.Observe(sum.Ratio)
+	}
+	s.runsTotal.With(sum.Alg).Inc()
+	s.log.Info("run complete",
+		"id", sum.ID, "workload", sum.Workload, "alg", sum.Alg, "n", sum.N,
+		"cpus", sum.CPUs, "gpus", sum.GPUs, "tasks", sum.Tasks,
+		"makespan_ms", sum.Makespan, "ratio", sum.Ratio,
+		"spoliations", sum.Spoliations, "wasted_ms", sum.WastedWork,
+		"elapsed_ms", sum.Elapsed)
+}
+
+func (s *server) runSchedule(form scheduleForm) (*scheduleResult, error) {
+	sched, _, sum, err := s.executeRun(form, nil)
+	if err != nil {
 		return nil, err
 	}
-	var rows []compareRow
+	return &scheduleResult{RunSummary: sum, SVG: template.HTML(trace.SVG(sched, 1100))}, nil
+}
+
+func (s *server) runCompare(form scheduleForm) ([]obs.RunSummary, error) {
+	if form.N < 1 || form.N > 16 {
+		return nil, fmt.Errorf("compare limits n to [1, 16], got %d", form.N)
+	}
+	var rows []obs.RunSummary
 	for _, alg := range expr.DAGAlgorithms() {
-		g, err := buildServeWorkload(form.Workload, form.N)
+		f := form
+		f.Alg = alg
+		_, _, sum, err := s.executeRun(f, nil)
 		if err != nil {
 			return nil, err
 		}
-		sched, err := expr.RunDAG(alg, g, pl)
-		if err != nil {
-			return nil, err
-		}
-		lower, err := bounds.DAGLowerRefined(g, pl)
-		if err != nil {
-			return nil, err
-		}
-		rows = append(rows, compareRow{
-			Algorithm:   alg,
-			Makespan:    sched.Makespan(),
-			Ratio:       sched.Makespan() / lower,
-			Spoliations: sched.SpoliationCount(),
-			CPUAccel:    sched.EquivalentAccel(g.Tasks(), platform.CPU),
-			GPUAccel:    sched.EquivalentAccel(g.Tasks(), platform.GPU),
-		})
+		rows = append(rows, sum)
 	}
 	return rows, nil
 }
 
-func (s *server) render(w http.ResponseWriter, vm viewModel) {
-	w.Header().Set("Content-Type", "text/html; charset=utf-8")
-	if err := s.page.Execute(w, vm); err != nil {
+// render executes the page template into a buffer first, so template
+// failures surface as a clean 500 instead of a half-written page.
+func (s *server) render(w http.ResponseWriter, vm viewModel, status int) {
+	var buf bytes.Buffer
+	if err := s.page.Execute(&buf, vm); err != nil {
+		s.log.Error("template render failed", "err", err)
 		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
 	}
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	w.WriteHeader(status)
+	_, _ = buf.WriteTo(w)
+}
+
+// jsonError writes an error payload with the right status and type.
+func jsonError(w http.ResponseWriter, err error, status int) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
 }
 
 func atoiDefault(s string, def int) int {
@@ -178,46 +358,6 @@ func atoiDefault(s string, def int) int {
 		return v
 	}
 	return def
-}
-
-// runSchedule builds the workload, runs the algorithm and packages the
-// metrics; sizes are clamped so a stray request cannot wedge the server.
-func runSchedule(form scheduleForm) (*scheduleResult, error) {
-	if form.N < 1 || form.N > 24 {
-		return nil, fmt.Errorf("n must be in [1, 24], got %d", form.N)
-	}
-	if form.CPUs < 0 || form.CPUs > 64 || form.GPUs < 0 || form.GPUs > 16 {
-		return nil, fmt.Errorf("platform out of range: %d CPUs, %d GPUs", form.CPUs, form.GPUs)
-	}
-	pl := platform.Platform{CPUs: form.CPUs, GPUs: form.GPUs}
-	if err := pl.Validate(); err != nil {
-		return nil, err
-	}
-	g, err := buildServeWorkload(form.Workload, form.N)
-	if err != nil {
-		return nil, err
-	}
-	sched, err := expr.RunDAG(form.Alg, g, pl)
-	if err != nil {
-		return nil, err
-	}
-	if err := sched.Validate(g.Tasks(), g); err != nil {
-		return nil, err
-	}
-	lower, err := bounds.DAGLowerRefined(g, pl)
-	if err != nil {
-		return nil, err
-	}
-	return &scheduleResult{
-		Tasks:       g.Len(),
-		Makespan:    sched.Makespan(),
-		Lower:       lower,
-		Ratio:       sched.Makespan() / lower,
-		Spoliations: sched.SpoliationCount(),
-		CPUAccel:    sched.EquivalentAccel(g.Tasks(), platform.CPU),
-		GPUAccel:    sched.EquivalentAccel(g.Tasks(), platform.GPU),
-		SVG:         template.HTML(trace.SVG(sched, 1100)),
-	}, nil
 }
 
 func buildServeWorkload(name string, n int) (*dag.Graph, error) {
@@ -250,12 +390,16 @@ label { margin-right: 1em; }
 table { border-collapse: collapse; margin: 1em 0; }
 td, th { border: 1px solid #ccc; padding: 0.3em 0.8em; text-align: right; }
 .error { color: #b00; font-weight: bold; }
+nav { margin-bottom: 1em; font-size: 0.9em; }
 </style>
 </head>
 <body>
 <h1>HeteroPrio schedule explorer</h1>
 <p>Affinity-based list scheduling with spoliation on a simulated CPU+GPU
 node (Beaumont, Eyraud-Dubois, Kumar — IPDPS 2017).</p>
+<nav>observability: <a href="/metrics">/metrics</a> ·
+<a href="/runs">/runs</a> ·
+<a href="/debug/pprof/">/debug/pprof</a></nav>
 <form action="/schedule" method="get">
 <fieldset>
 <label>workload
@@ -277,21 +421,22 @@ node (Beaumont, Eyraud-Dubois, Kumar — IPDPS 2017).</p>
 {{if .Compare}}
 <table>
 <tr><th>algorithm</th><th>makespan (ms)</th><th>ratio</th><th>spoliations</th>
-<th>CPU equiv. accel</th><th>GPU equiv. accel</th></tr>
+<th>wasted (ms)</th><th>CPU equiv. accel</th><th>GPU equiv. accel</th></tr>
 {{range .Compare}}
-<tr><td style="text-align:left">{{.Algorithm}}</td><td>{{printf "%.2f" .Makespan}}</td>
+<tr><td style="text-align:left">{{.Alg}}</td><td>{{printf "%.2f" .Makespan}}</td>
 <td>{{printf "%.3f" .Ratio}}</td><td>{{.Spoliations}}</td>
-<td>{{printf "%.2f" .CPUAccel}}</td><td>{{printf "%.2f" .GPUAccel}}</td></tr>
+<td>{{printf "%.2f" .WastedWork}}</td>
+<td>{{printf "%.2f" .CPUEquivAccel}}</td><td>{{printf "%.2f" .GPUEquivAccel}}</td></tr>
 {{end}}
 </table>
 {{end}}
 {{with .Result}}
 <table>
-<tr><th>tasks</th><th>makespan (ms)</th><th>lower bound (ms)</th><th>ratio</th>
-<th>spoliations</th><th>CPU equiv. accel</th><th>GPU equiv. accel</th></tr>
-<tr><td>{{.Tasks}}</td><td>{{printf "%.2f" .Makespan}}</td><td>{{printf "%.2f" .Lower}}</td>
-<td>{{printf "%.3f" .Ratio}}</td><td>{{.Spoliations}}</td>
-<td>{{printf "%.2f" .CPUAccel}}</td><td>{{printf "%.2f" .GPUAccel}}</td></tr>
+<tr><th>run</th><th>tasks</th><th>makespan (ms)</th><th>lower bound (ms)</th><th>ratio</th>
+<th>spoliations</th><th>wasted (ms)</th><th>CPU equiv. accel</th><th>GPU equiv. accel</th></tr>
+<tr><td>{{.ID}}</td><td>{{.Tasks}}</td><td>{{printf "%.2f" .Makespan}}</td><td>{{printf "%.2f" .LowerBound}}</td>
+<td>{{printf "%.3f" .Ratio}}</td><td>{{.Spoliations}}</td><td>{{printf "%.2f" .WastedWork}}</td>
+<td>{{printf "%.2f" .CPUEquivAccel}}</td><td>{{printf "%.2f" .GPUEquivAccel}}</td></tr>
 </table>
 {{.SVG}}
 {{end}}

@@ -1,12 +1,15 @@
 package main
 
 import (
+	"encoding/json"
 	"io"
 	"net/http"
 	"net/http/httptest"
 	"net/url"
 	"strings"
 	"testing"
+
+	"repro/internal/obs"
 )
 
 func get(t *testing.T, srv http.Handler, path string) (int, string) {
@@ -22,12 +25,12 @@ func get(t *testing.T, srv http.Handler, path string) (int, string) {
 }
 
 func TestIndexPage(t *testing.T) {
-	srv := newServer()
+	srv := newServer(nil)
 	code, body := get(t, srv, "/")
 	if code != http.StatusOK {
 		t.Fatalf("status %d", code)
 	}
-	for _, want := range []string{"HeteroPrio schedule explorer", "cholesky", "HeteroPrio-min"} {
+	for _, want := range []string{"HeteroPrio schedule explorer", "cholesky", "HeteroPrio-min", "/metrics"} {
 		if !strings.Contains(body, want) {
 			t.Errorf("index missing %q", want)
 		}
@@ -35,14 +38,14 @@ func TestIndexPage(t *testing.T) {
 }
 
 func TestNotFound(t *testing.T) {
-	srv := newServer()
+	srv := newServer(nil)
 	if code, _ := get(t, srv, "/nope"); code != http.StatusNotFound {
 		t.Errorf("status %d, want 404", code)
 	}
 }
 
 func TestScheduleEndpoint(t *testing.T) {
-	srv := newServer()
+	srv := newServer(nil)
 	q := url.Values{
 		"workload": {"cholesky"}, "n": {"6"}, "cpus": {"4"}, "gpus": {"2"},
 		"alg": {"HeteroPrio-min"},
@@ -51,7 +54,7 @@ func TestScheduleEndpoint(t *testing.T) {
 	if code != http.StatusOK {
 		t.Fatalf("status %d", code)
 	}
-	for _, want := range []string{"<svg", "makespan", "spoliations"} {
+	for _, want := range []string{"<svg", "makespan", "spoliations", "run-000001"} {
 		if !strings.Contains(body, want) {
 			t.Errorf("schedule page missing %q", want)
 		}
@@ -59,7 +62,7 @@ func TestScheduleEndpoint(t *testing.T) {
 }
 
 func TestScheduleEndpointAllWorkloads(t *testing.T) {
-	srv := newServer()
+	srv := newServer(nil)
 	for _, wl := range []string{"qr", "lu", "wavefront", "chains", "uniform"} {
 		q := url.Values{"workload": {wl}, "n": {"4"}, "cpus": {"4"}, "gpus": {"1"}, "alg": {"HEFT-avg"}}
 		code, body := get(t, srv, "/schedule?"+q.Encode())
@@ -69,8 +72,10 @@ func TestScheduleEndpointAllWorkloads(t *testing.T) {
 	}
 }
 
+// Input errors must come back as 400 with the message surfaced in the
+// page, not as a 200 that only looks like an error.
 func TestScheduleEndpointErrors(t *testing.T) {
-	srv := newServer()
+	srv := newServer(nil)
 	cases := []url.Values{
 		{"workload": {"nope"}, "n": {"4"}, "cpus": {"2"}, "gpus": {"1"}, "alg": {"HeteroPrio-min"}},
 		{"workload": {"cholesky"}, "n": {"999"}, "cpus": {"2"}, "gpus": {"1"}, "alg": {"HeteroPrio-min"}},
@@ -79,8 +84,8 @@ func TestScheduleEndpointErrors(t *testing.T) {
 	}
 	for i, q := range cases {
 		code, body := get(t, srv, "/schedule?"+q.Encode())
-		if code != http.StatusOK {
-			t.Errorf("case %d: status %d", i, code)
+		if code != http.StatusBadRequest {
+			t.Errorf("case %d: status %d, want 400", i, code)
 		}
 		if !strings.Contains(body, "class=\"error\"") {
 			t.Errorf("case %d: error not surfaced", i)
@@ -89,7 +94,7 @@ func TestScheduleEndpointErrors(t *testing.T) {
 }
 
 func TestCompareEndpoint(t *testing.T) {
-	srv := newServer()
+	srv := newServer(nil)
 	q := url.Values{"workload": {"cholesky"}, "n": {"5"}, "cpus": {"4"}, "gpus": {"2"}}
 	code, body := get(t, srv, "/compare?"+q.Encode())
 	if code != http.StatusOK {
@@ -103,10 +108,132 @@ func TestCompareEndpoint(t *testing.T) {
 }
 
 func TestCompareEndpointLimits(t *testing.T) {
-	srv := newServer()
+	srv := newServer(nil)
 	q := url.Values{"workload": {"cholesky"}, "n": {"99"}, "cpus": {"4"}, "gpus": {"2"}}
-	_, body := get(t, srv, "/compare?"+q.Encode())
+	code, body := get(t, srv, "/compare?"+q.Encode())
+	if code != http.StatusBadRequest {
+		t.Errorf("status %d, want 400", code)
+	}
 	if !strings.Contains(body, "class=\"error\"") {
 		t.Error("oversized n not rejected")
+	}
+}
+
+// TestMetricsEndpoint checks the Prometheus exposition carries the
+// scheduler series after a run, and the HTTP series for every handler
+// even before it has been hit.
+func TestMetricsEndpoint(t *testing.T) {
+	srv := newServer(nil)
+	q := url.Values{
+		"workload": {"cholesky"}, "n": {"6"}, "cpus": {"4"}, "gpus": {"2"},
+		"alg": {"HeteroPrio-min"},
+	}
+	if code, _ := get(t, srv, "/schedule?"+q.Encode()); code != http.StatusOK {
+		t.Fatalf("schedule failed")
+	}
+	req := httptest.NewRequest(http.MethodGet, "/metrics", nil)
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); !strings.Contains(ct, "text/plain") {
+		t.Errorf("content type %q", ct)
+	}
+	body := rec.Body.String()
+	for _, want := range []string{
+		"hp_tasks_completed_total",
+		"hp_tasks_queued_total",
+		"hp_spoliations_total",
+		"hp_queue_depth",
+		"hp_run_makespan_bucket{le=",
+		"hp_run_makespan_count 1",
+		"hp_runs_total{alg=\"HeteroPrio-min\"} 1",
+		"hp_http_requests_total{handler=\"schedule\"} 1",
+		"hp_http_requests_total{handler=\"compare\"} 0",
+		"hp_http_request_duration_seconds_bucket{handler=\"schedule\",le=",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+}
+
+// TestRunsEndpoint checks the JSON run ring: newest first, with the
+// summary fields populated.
+func TestRunsEndpoint(t *testing.T) {
+	srv := newServer(nil)
+	for _, alg := range []string{"HeteroPrio-min", "HEFT-avg"} {
+		q := url.Values{"workload": {"cholesky"}, "n": {"5"}, "cpus": {"4"}, "gpus": {"2"}, "alg": {alg}}
+		if code, _ := get(t, srv, "/schedule?"+q.Encode()); code != http.StatusOK {
+			t.Fatalf("schedule %s failed", alg)
+		}
+	}
+	req := httptest.NewRequest(http.MethodGet, "/runs", nil)
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Errorf("content type %q", ct)
+	}
+	var payload struct {
+		Runs []obs.RunSummary `json:"runs"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &payload); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if len(payload.Runs) != 2 {
+		t.Fatalf("got %d runs, want 2", len(payload.Runs))
+	}
+	if payload.Runs[0].Alg != "HEFT-avg" || payload.Runs[1].Alg != "HeteroPrio-min" {
+		t.Errorf("runs not newest-first: %s, %s", payload.Runs[0].Alg, payload.Runs[1].Alg)
+	}
+	for _, r := range payload.Runs {
+		if r.Makespan <= 0 || r.Tasks == 0 || r.ID == "" {
+			t.Errorf("incomplete summary: %+v", r)
+		}
+	}
+}
+
+// TestTraceEndpoint checks the live-bridged Perfetto export for both an
+// observed scheduler (HeteroPrio) and a comparison scheduler that falls
+// back to the post-hoc trace.
+func TestTraceEndpoint(t *testing.T) {
+	srv := newServer(nil)
+	for _, alg := range []string{"HeteroPrio-min", "HEFT-avg"} {
+		q := url.Values{"workload": {"cholesky"}, "n": {"5"}, "cpus": {"4"}, "gpus": {"2"}, "alg": {alg}}
+		code, body := get(t, srv, "/trace?"+q.Encode())
+		if code != http.StatusOK {
+			t.Fatalf("%s: status %d", alg, code)
+		}
+		var events []map[string]any
+		if err := json.Unmarshal([]byte(body), &events); err != nil {
+			t.Fatalf("%s: invalid trace JSON: %v", alg, err)
+		}
+		var complete int
+		for _, e := range events {
+			if e["ph"] == "X" {
+				complete++
+			}
+		}
+		if complete == 0 {
+			t.Errorf("%s: no complete events in trace", alg)
+		}
+	}
+	if code, body := get(t, srv, "/trace?workload=nope"); code != http.StatusBadRequest || !strings.Contains(body, "error") {
+		t.Errorf("bad workload: status %d, body %q", code, body)
+	}
+}
+
+// TestPprofEndpoints checks the profiling handlers are mounted.
+func TestPprofEndpoints(t *testing.T) {
+	srv := newServer(nil)
+	if code, body := get(t, srv, "/debug/pprof/"); code != http.StatusOK || !strings.Contains(body, "profile") {
+		t.Errorf("pprof index: status %d", code)
+	}
+	if code, _ := get(t, srv, "/debug/pprof/cmdline"); code != http.StatusOK {
+		t.Errorf("pprof cmdline: status %d", code)
 	}
 }

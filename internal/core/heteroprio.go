@@ -27,6 +27,7 @@ import (
 	"sort"
 
 	"repro/internal/dag"
+	"repro/internal/obs"
 	"repro/internal/platform"
 	"repro/internal/sim"
 )
@@ -58,6 +59,13 @@ type Options struct {
 	// Schedules produced with a transfer delay validate with
 	// sim.Schedule.ValidateRelaxed (runs appear longer than nominal).
 	TransferDelay float64
+	// Observer, if non-nil, receives live scheduling events (task queued /
+	// started / spoliated / completed, worker-idle and queue-depth
+	// samples) at each simulated-clock decision point. Every emission site
+	// is guarded on the nil default, so a disabled observer adds zero
+	// allocations and zero calls to the scheduling loop (guarded by
+	// BenchmarkScheduleIndependent and TestObserverNopZeroAlloc).
+	Observer obs.Observer
 }
 
 func (o Options) actual(t platform.Task, k platform.Kind) float64 {
@@ -169,6 +177,9 @@ func ScheduleIndependent(in platform.Instance, pl platform.Platform, opt Options
 	if !opt.DisableSpoliation {
 		nsOpt := opt
 		nsOpt.DisableSpoliation = true
+		// The S_HP^NS shadow run is an analysis object, not a live run:
+		// it must not double-emit events.
+		nsOpt.Observer = nil
 		ns := runList(in, nil, pl, nsOpt)
 		res.NoSpoliation = ns.Schedule
 	} else {
@@ -197,6 +208,7 @@ func runList(in platform.Instance, g *dag.Graph, pl platform.Platform, opt Optio
 	k := sim.NewKernel(pl)
 	q := NewQueue(opt.UsePriorities)
 	eps := opt.eps()
+	o := opt.Observer
 
 	var rt *dag.ReadyTracker
 	remaining := 0
@@ -212,13 +224,20 @@ func runList(in platform.Instance, g *dag.Graph, pl platform.Platform, opt Optio
 			classReady = make([][platform.NumKinds]float64, g.Len())
 		}
 		for _, id := range rt.Drain() {
-			q.Push(g.Task(id))
+			t := g.Task(id)
+			q.Push(t)
+			if o != nil {
+				o.TaskQueued(k.Now, t, q.Len())
+			}
 		}
 	} else {
 		remaining = len(in)
 		// Stable order: queue stability reproduces the paper's tie cases.
 		for _, t := range in {
 			q.Push(t)
+			if o != nil {
+				o.TaskQueued(k.Now, t, q.Len())
+			}
 		}
 	}
 
@@ -267,6 +286,10 @@ func runList(in platform.Instance, g *dag.Graph, pl platform.Platform, opt Optio
 				k.Abort(v.Worker)
 				k.StartTimed(w, v.Task, startDuration(v.Task, kind), true)
 				spoliations++
+				if o != nil {
+					o.TaskSpoliated(k.Now, v.Worker, w, v.Task, k.Now-v.Start)
+					o.TaskStarted(k.Now, w, kind, v.Task, newEnd, true)
+				}
 				return true
 			}
 		}
@@ -285,6 +308,9 @@ func runList(in platform.Instance, g *dag.Graph, pl platform.Platform, opt Optio
 				t := q.PopFront()
 				k.StartTimed(w, t, startDuration(t, platform.GPU), false)
 				changed = true
+				if o != nil {
+					o.TaskStarted(k.Now, w, platform.GPU, t, k.Now+t.Time(platform.GPU), false)
+				}
 			}
 			for _, w := range k.IdleWorkers(platform.CPU) {
 				if q.Len() == 0 {
@@ -293,6 +319,9 @@ func runList(in platform.Instance, g *dag.Graph, pl platform.Platform, opt Optio
 				t := q.PopBack()
 				k.StartTimed(w, t, startDuration(t, platform.CPU), false)
 				changed = true
+				if o != nil {
+					o.TaskStarted(k.Now, w, platform.CPU, t, k.Now+t.Time(platform.CPU), false)
+				}
 			}
 			if q.Len() == 0 && !opt.DisableSpoliation {
 				for _, kind := range []platform.Kind{platform.GPU, platform.CPU} {
@@ -311,6 +340,9 @@ func runList(in platform.Instance, g *dag.Graph, pl platform.Platform, opt Optio
 
 	complete := func(run sim.Running) {
 		remaining--
+		if o != nil {
+			o.TaskCompleted(k.Now, run.Worker, pl.KindOf(run.Worker), run.Task, run.Start)
+		}
 		if rt != nil {
 			if classReady != nil {
 				kind := pl.KindOf(run.Worker)
@@ -325,7 +357,11 @@ func runList(in platform.Instance, g *dag.Graph, pl platform.Platform, opt Optio
 			}
 			rt.Complete(run.Task.ID)
 			for _, id := range rt.Drain() {
-				q.Push(g.Task(id))
+				t := g.Task(id)
+				q.Push(t)
+				if o != nil {
+					o.TaskQueued(k.Now, t, q.Len())
+				}
 			}
 		}
 	}
@@ -333,6 +369,14 @@ func runList(in platform.Instance, g *dag.Graph, pl platform.Platform, opt Optio
 		assign()
 		if remaining > 0 && k.NumBusy() < pl.Workers() && k.Now < tFirstIdle {
 			tFirstIdle = k.Now
+		}
+		if o != nil && remaining > 0 {
+			o.QueueDepthSample(k.Now, q.Len())
+			for w := 0; w < pl.Workers(); w++ {
+				if !k.Busy(w) {
+					o.WorkerIdle(k.Now, w, pl.KindOf(w))
+				}
+			}
 		}
 		run, ok := k.CompleteNext()
 		if !ok {

@@ -43,6 +43,7 @@ func ScheduleOnline(tasks []ReleasedTask, pl platform.Platform, opt Options) (Re
 	k := sim.NewKernel(pl)
 	q := NewQueue(opt.UsePriorities)
 	eps := opt.eps()
+	o := opt.Observer
 	next := 0 // next arrival index
 	remaining := len(arrivals)
 	spoliations := 0
@@ -51,6 +52,9 @@ func ScheduleOnline(tasks []ReleasedTask, pl platform.Platform, opt Options) (Re
 	admit := func() {
 		for next < len(arrivals) && arrivals[next].Release <= k.Now+1e-12 {
 			q.Push(arrivals[next].Task)
+			if o != nil {
+				o.TaskQueued(k.Now, arrivals[next].Task, q.Len())
+			}
 			next++
 		}
 	}
@@ -71,6 +75,10 @@ func ScheduleOnline(tasks []ReleasedTask, pl platform.Platform, opt Options) (Re
 				k.Abort(v.Worker)
 				k.StartTimed(w, v.Task, opt.actual(v.Task, kind), true)
 				spoliations++
+				if o != nil {
+					o.TaskSpoliated(k.Now, v.Worker, w, v.Task, k.Now-v.Start)
+					o.TaskStarted(k.Now, w, kind, v.Task, newEnd, true)
+				}
 				return true
 			}
 		}
@@ -87,6 +95,9 @@ func ScheduleOnline(tasks []ReleasedTask, pl platform.Platform, opt Options) (Re
 				t := q.PopFront()
 				k.StartTimed(w, t, opt.actual(t, platform.GPU), false)
 				changed = true
+				if o != nil {
+					o.TaskStarted(k.Now, w, platform.GPU, t, k.Now+t.Time(platform.GPU), false)
+				}
 			}
 			for _, w := range k.IdleWorkers(platform.CPU) {
 				if q.Len() == 0 {
@@ -95,6 +106,9 @@ func ScheduleOnline(tasks []ReleasedTask, pl platform.Platform, opt Options) (Re
 				t := q.PopBack()
 				k.StartTimed(w, t, opt.actual(t, platform.CPU), false)
 				changed = true
+				if o != nil {
+					o.TaskStarted(k.Now, w, platform.CPU, t, k.Now+t.Time(platform.CPU), false)
+				}
 			}
 			if q.Len() == 0 && !opt.DisableSpoliation {
 				for _, kind := range []platform.Kind{platform.GPU, platform.CPU} {
@@ -111,11 +125,25 @@ func ScheduleOnline(tasks []ReleasedTask, pl platform.Platform, opt Options) (Re
 		}
 	}
 
+	complete := func(run sim.Running) {
+		remaining--
+		if o != nil {
+			o.TaskCompleted(k.Now, run.Worker, pl.KindOf(run.Worker), run.Task, run.Start)
+		}
+	}
 	for remaining > 0 || k.NumBusy() > 0 {
 		admit()
 		assign()
 		if remaining > 0 && k.NumBusy() < pl.Workers() && k.Now < tFirstIdle {
 			tFirstIdle = k.Now
+		}
+		if o != nil && remaining > 0 {
+			o.QueueDepthSample(k.Now, q.Len())
+			for w := 0; w < pl.Workers(); w++ {
+				if !k.Busy(w) {
+					o.WorkerIdle(k.Now, w, pl.KindOf(w))
+				}
+			}
 		}
 		// Advance to the earlier of next completion and next arrival.
 		nextArrival := math.Inf(1)
@@ -127,15 +155,16 @@ func ScheduleOnline(tasks []ReleasedTask, pl platform.Platform, opt Options) (Re
 			k.Now = nextArrival
 			continue
 		}
-		if _, ok := k.CompleteNext(); !ok {
+		run, ok := k.CompleteNext()
+		if !ok {
 			break
 		}
-		remaining--
+		complete(run)
 		for k.NextCompletion() == k.Now {
-			if _, ok := k.CompleteNext(); !ok {
+			if run, ok = k.CompleteNext(); !ok {
 				break
 			}
-			remaining--
+			complete(run)
 		}
 	}
 	if remaining != 0 {

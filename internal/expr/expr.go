@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/dag"
+	"repro/internal/obs"
 	"repro/internal/platform"
 	"repro/internal/sched"
 	"repro/internal/sim"
@@ -29,9 +30,17 @@ func IndepAlgorithms() []string { return []string{"HeteroPrio", "DualHP", "HEFT"
 
 // RunIndependent executes the named independent-task scheduler.
 func RunIndependent(name string, in platform.Instance, pl platform.Platform) (*sim.Schedule, error) {
+	return RunIndependentObserved(name, in, pl, nil)
+}
+
+// RunIndependentObserved is RunIndependent with a live Observer attached.
+// Only the HeteroPrio event loop emits events; the comparison schedulers
+// (DualHP, HEFT) run unobserved and their metrics are derived post hoc
+// from the returned schedule.
+func RunIndependentObserved(name string, in platform.Instance, pl platform.Platform, o obs.Observer) (*sim.Schedule, error) {
 	switch name {
 	case "HeteroPrio":
-		res, err := core.ScheduleIndependent(in, pl, core.Options{})
+		res, err := core.ScheduleIndependent(in, pl, core.Options{Observer: o})
 		if err != nil {
 			return nil, err
 		}
@@ -59,12 +68,20 @@ func DAGAlgorithms() []string {
 // priority state (bottom levels are reassigned per the algorithm's
 // scheme).
 func RunDAG(name string, g *dag.Graph, pl platform.Platform) (*sim.Schedule, error) {
+	return RunDAGObserved(name, g, pl, nil)
+}
+
+// RunDAGObserved is RunDAG with a live Observer attached. Only the
+// HeteroPrio event loop emits events; the comparison schedulers run
+// unobserved and their metrics are derived post hoc from the returned
+// schedule.
+func RunDAGObserved(name string, g *dag.Graph, pl platform.Platform, o obs.Observer) (*sim.Schedule, error) {
 	switch name {
 	case "HeteroPrio-min":
 		if _, err := g.AssignBottomLevelPriorities(dag.WeightMin, pl); err != nil {
 			return nil, err
 		}
-		res, err := core.ScheduleDAG(g, pl, core.Options{UsePriorities: true})
+		res, err := core.ScheduleDAG(g, pl, core.Options{UsePriorities: true, Observer: o})
 		if err != nil {
 			return nil, err
 		}
@@ -73,7 +90,7 @@ func RunDAG(name string, g *dag.Graph, pl platform.Platform) (*sim.Schedule, err
 		if _, err := g.AssignBottomLevelPriorities(dag.WeightAvg, pl); err != nil {
 			return nil, err
 		}
-		res, err := core.ScheduleDAG(g, pl, core.Options{UsePriorities: true})
+		res, err := core.ScheduleDAG(g, pl, core.Options{UsePriorities: true, Observer: o})
 		if err != nil {
 			return nil, err
 		}

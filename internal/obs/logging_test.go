@@ -1,0 +1,48 @@
+package obs
+
+import (
+	"context"
+	"log/slog"
+	"strings"
+	"testing"
+)
+
+func TestNewLoggerLevels(t *testing.T) {
+	t.Setenv(LogEnv, "")
+	var b strings.Builder
+	l := NewLogger(&b, false)
+	l.Debug("hidden")
+	l.Info("shown", "k", "v")
+	out := b.String()
+	if strings.Contains(out, "hidden") {
+		t.Error("debug shown at info level")
+	}
+	if !strings.Contains(out, "shown") || !strings.Contains(out, "k=v") {
+		t.Errorf("info record missing: %q", out)
+	}
+
+	b.Reset()
+	NewLogger(&b, true).Debug("verbose-on")
+	if !strings.Contains(b.String(), "verbose-on") {
+		t.Error("verbose flag did not enable debug")
+	}
+}
+
+func TestNewLoggerEnv(t *testing.T) {
+	t.Setenv(LogEnv, "json,debug")
+	var b strings.Builder
+	l := NewLogger(&b, false)
+	l.Debug("dbg", "n", 1)
+	out := b.String()
+	if !strings.Contains(out, `"msg":"dbg"`) {
+		t.Errorf("HP_LOG=json,debug not honored: %q", out)
+	}
+
+	t.Setenv(LogEnv, "error")
+	if !NewLogger(nil, false).Enabled(context.Background(), slog.LevelError) {
+		t.Error("error level not enabled")
+	}
+	if NewLogger(nil, true).Enabled(context.Background(), slog.LevelInfo) {
+		t.Error("HP_LOG=error should override -v")
+	}
+}

@@ -1,0 +1,125 @@
+package obs
+
+import (
+	"math"
+	"sync"
+	"time"
+
+	"repro/internal/platform"
+	"repro/internal/sim"
+)
+
+// RunSummary is the canonical per-run record shared by the commands and
+// the /runs endpoint: every quantity of the paper's evaluation (makespan,
+// ratio to the lower bound, per-class busy/idle time, spoliation count and
+// wasted area, equivalent acceleration factors) in one struct, replacing
+// the ad-hoc per-command field sets.
+type RunSummary struct {
+	ID       string    `json:"id,omitempty"`
+	When     time.Time `json:"when"`
+	Workload string    `json:"workload,omitempty"`
+	Alg      string    `json:"alg,omitempty"`
+	N        int       `json:"n,omitempty"`
+	Seed     int64     `json:"seed,omitempty"`
+	CPUs     int       `json:"cpus"`
+	GPUs     int       `json:"gpus"`
+
+	Tasks       int     `json:"tasks"`
+	Makespan    float64 `json:"makespan_ms"`
+	LowerBound  float64 `json:"lower_bound_ms"`
+	Ratio       float64 `json:"ratio"`
+	Spoliations int     `json:"spoliations"`
+	WastedWork  float64 `json:"wasted_work_ms"`
+
+	CPUBusy       float64 `json:"cpu_busy_ms"`
+	CPUIdle       float64 `json:"cpu_idle_ms"`
+	GPUBusy       float64 `json:"gpu_busy_ms"`
+	GPUIdle       float64 `json:"gpu_idle_ms"`
+	CPUEquivAccel float64 `json:"cpu_equiv_accel"`
+	GPUEquivAccel float64 `json:"gpu_equiv_accel"`
+
+	// Elapsed is the wall-clock time of the scheduling computation (not
+	// simulated time), in milliseconds.
+	Elapsed float64 `json:"elapsed_ms,omitempty"`
+}
+
+// Summarize derives a RunSummary from a finished schedule: every field
+// that can be computed from the schedule, the instance and the lower
+// bound. Identification fields (ID, When, Workload, ...) are the caller's.
+// NaN metrics (e.g. the equivalent acceleration of a class that executed
+// nothing) are reported as zero so summaries always marshal to JSON.
+func Summarize(s *sim.Schedule, in platform.Instance, lower float64) RunSummary {
+	sum := RunSummary{
+		CPUs:        s.Platform.CPUs,
+		GPUs:        s.Platform.GPUs,
+		Tasks:       len(in),
+		Makespan:    s.Makespan(),
+		LowerBound:  lower,
+		Spoliations: s.SpoliationCount(),
+	}
+	if lower > 0 {
+		sum.Ratio = sum.Makespan / lower
+	}
+	for _, e := range s.Entries {
+		if e.Aborted {
+			sum.WastedWork += e.Duration()
+		}
+	}
+	sum.CPUBusy = s.BusyTime(platform.CPU)
+	sum.CPUIdle = s.IdleTime(platform.CPU)
+	sum.GPUBusy = s.BusyTime(platform.GPU)
+	sum.GPUIdle = s.IdleTime(platform.GPU)
+	sum.CPUEquivAccel = finiteOrZero(s.EquivalentAccel(in, platform.CPU))
+	sum.GPUEquivAccel = finiteOrZero(s.EquivalentAccel(in, platform.GPU))
+	return sum
+}
+
+func finiteOrZero(v float64) float64 {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0
+	}
+	return v
+}
+
+// RunLog is a bounded, concurrency-safe ring of recent run summaries
+// backing the /runs endpoint.
+type RunLog struct {
+	mu   sync.Mutex
+	buf  []RunSummary
+	next int
+	full bool
+}
+
+// NewRunLog returns a ring keeping the last capacity summaries.
+func NewRunLog(capacity int) *RunLog {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &RunLog{buf: make([]RunSummary, capacity)}
+}
+
+// Add records a summary, evicting the oldest once the ring is full.
+func (l *RunLog) Add(s RunSummary) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.buf[l.next] = s
+	l.next++
+	if l.next == len(l.buf) {
+		l.next, l.full = 0, true
+	}
+}
+
+// Recent returns the recorded summaries, newest first.
+func (l *RunLog) Recent() []RunSummary {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	n := l.next
+	if l.full {
+		n = len(l.buf)
+	}
+	out := make([]RunSummary, 0, n)
+	for i := 1; i <= n; i++ {
+		out = append(out, l.buf[(l.next-i+len(l.buf))%len(l.buf)])
+	}
+	return out
+}

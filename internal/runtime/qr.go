@@ -125,9 +125,35 @@ func QRGraph(td *tile.Tiled, est QREstimates) (*Graph, error) {
 			ii := i
 			aik := td.Tile(ii, kk)
 			t2 := make([]float64, b*b)
-			ts := g.Add(snap(
-				fmt.Sprintf("TSQRT(%d,%d)", ii, kk), [][]float64{akk, aik}, est.TSQRT,
-				func(flag *cancel.Flag) bool { return tile.TSQRTCancel(akk, aik, t2, b, flag) }))
+			// TSQRT writes only the R part of akk (upper triangle incl.
+			// diagonal); the strict lower triangle holds the Householder
+			// vectors that concurrent LARFB tasks of the same panel read.
+			// The spoliation snapshot must stay inside the written region —
+			// restoring the whole tile would race with those readers.
+			var upperBak, aikBak []float64
+			ts := g.Add(Task{
+				Name:   fmt.Sprintf("TSQRT(%d,%d)", ii, kk),
+				EstCPU: est.TSQRT[0], EstGPU: est.TSQRT[1],
+				Prepare: func() {
+					upperBak = upperBak[:0]
+					for r := 0; r < b; r++ {
+						upperBak = append(upperBak, akk[r*b+r:(r+1)*b]...)
+					}
+					aikBak = append(aikBak[:0], aik...)
+				},
+				Reset: func() {
+					off := 0
+					for r := 0; r < b; r++ {
+						n := b - r
+						copy(akk[r*b+r:(r+1)*b], upperBak[off:off+n])
+						off += n
+					}
+					copy(aik, aikBak)
+				},
+				Run: func(kind platform.Kind, flag *cancel.Flag) (bool, error) {
+					return tile.TSQRTCancel(akk, aik, t2, b, flag), nil
+				},
+			})
 			g.AddDep(panelPrev, ts)
 			dep(ts, ii, kk)
 			last[ii][kk] = ts

@@ -8,8 +8,10 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"strconv"
 	"strings"
 
+	"repro/internal/obs"
 	"repro/internal/platform"
 	"repro/internal/sim"
 )
@@ -70,6 +72,9 @@ func Chrome(s *sim.Schedule, names map[int]string) ([]byte, error) {
 		args := map[string]string{}
 		if e.Aborted {
 			args["state"] = "aborted (spoliated)"
+			// The run's whole duration is lost work — the paper's
+			// "spoliation wasted area", surfaced per run in the viewer.
+			args["wasted_ms"] = strconv.FormatFloat(e.Duration(), 'g', -1, 64)
 		} else if e.Spoliation {
 			args["state"] = "restarted by spoliation"
 		}
@@ -84,6 +89,15 @@ func Chrome(s *sim.Schedule, names map[int]string) ([]byte, error) {
 		}
 	}
 	return json.MarshalIndent(out, "", " ")
+}
+
+// ChromeLive exports a live-captured obs.Timeline as Chrome trace-event
+// JSON: the bridge from the observer event stream to the same Perfetto
+// format as post-hoc schedules. The timeline may still be open — runs
+// without a completion event yet are rendered as aborted at their last
+// observed instant.
+func ChromeLive(tl *obs.Timeline, pl platform.Platform, names map[int]string) ([]byte, error) {
+	return Chrome(tl.Schedule(pl), names)
 }
 
 // SVG renders the schedule as a standalone SVG Gantt chart of the given

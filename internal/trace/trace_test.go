@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/platform"
 	"repro/internal/sim"
 )
@@ -38,7 +39,7 @@ func TestChromeValidJSON(t *testing.T) {
 	if err := json.Unmarshal(raw, &events); err != nil {
 		t.Fatalf("invalid JSON: %v", err)
 	}
-	var complete, meta, aborted int
+	var complete, meta, aborted, wastedTagged int
 	for _, e := range events {
 		switch e["ph"] {
 		case "X":
@@ -46,6 +47,9 @@ func TestChromeValidJSON(t *testing.T) {
 			if args, ok := e["args"].(map[string]any); ok {
 				if strings.Contains(asString(args["state"]), "aborted") {
 					aborted++
+				}
+				if asString(args["wasted_ms"]) != "" {
+					wastedTagged++
 				}
 			}
 		case "M":
@@ -61,6 +65,9 @@ func TestChromeValidJSON(t *testing.T) {
 	}
 	if aborted != 1 {
 		t.Errorf("aborted events = %d, want 1", aborted)
+	}
+	if wastedTagged != aborted {
+		t.Errorf("wasted_ms tagged on %d events, want %d (every aborted run)", wastedTagged, aborted)
 	}
 	if !strings.Contains(string(raw), "\"a\"") {
 		t.Error("task names missing from trace")
@@ -80,6 +87,59 @@ func TestChromeUnnamedTasks(t *testing.T) {
 	}
 	if !strings.Contains(string(raw), "task 0") {
 		t.Error("fallback task names missing")
+	}
+}
+
+// TestChromeLiveMatchesPostHoc runs the scheduler with a live Timeline
+// observer attached and checks the bridged export agrees with the post-hoc
+// trace of the finished schedule: same task set, same makespan, same
+// aborted runs with their wasted-work tags.
+func TestChromeLiveMatchesPostHoc(t *testing.T) {
+	in := platform.Instance{
+		{ID: 0, Name: "a", CPUTime: 10, GPUTime: 1},
+		{ID: 1, Name: "b", CPUTime: 10, GPUTime: 2},
+	}
+	pl := platform.NewPlatform(1, 1)
+	tl := obs.NewTimeline()
+	res, err := core.ScheduleIndependent(in, pl, core.Options{Observer: tl})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	live := tl.Schedule(pl)
+	if got, want := live.Makespan(), res.Schedule.Makespan(); got != want {
+		t.Errorf("live makespan %v, post-hoc %v", got, want)
+	}
+	if got, want := live.SpoliationCount(), res.Schedule.SpoliationCount(); got != want {
+		t.Errorf("live spoliations %d, post-hoc %d", got, want)
+	}
+	if err := live.Validate(in, nil); err != nil {
+		t.Errorf("live-reconstructed schedule invalid: %v", err)
+	}
+
+	raw, err := ChromeLive(tl, pl, map[int]string{0: "a", 1: "b"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal(raw, &events); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	var complete int
+	var wasted bool
+	for _, e := range events {
+		if e["ph"] == "X" {
+			complete++
+			if args, ok := e["args"].(map[string]any); ok && asString(args["wasted_ms"]) != "" {
+				wasted = true
+			}
+		}
+	}
+	if complete != len(res.Schedule.Entries) {
+		t.Errorf("live trace has %d runs, schedule has %d", complete, len(res.Schedule.Entries))
+	}
+	if res.Spoliations > 0 && !wasted {
+		t.Error("spoliated run not tagged with wasted_ms in live trace")
 	}
 }
 
