@@ -1,0 +1,74 @@
+// Command hplint runs the repository's static-analysis suite
+// (internal/analysis) over every package in the module and exits non-zero
+// on any diagnostic. It is the machine check behind the invariants the
+// paper's guarantees rest on: deterministic scheduling code, float
+// comparison hygiene, the zero-alloc observer contract, ordered map
+// iteration, and sleep-free tests.
+//
+// Usage:
+//
+//	go run ./cmd/hplint ./...
+//
+// Package patterns are accepted for familiarity but the whole module is
+// always loaded — the analyzers are repo-wide invariants, not per-package
+// opts-ins. With -catalog the tool lists the analyzers and exits.
+//
+// A finding can be suppressed at the offending line (or the line above)
+// with a justified escape comment:
+//
+//	//hplint:allow <analyzer> <reason>
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/analysis"
+)
+
+func main() {
+	catalog := flag.Bool("catalog", false, "list the analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: hplint [-catalog] [packages]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	suite := analysis.All()
+	if *catalog {
+		for _, a := range suite {
+			fmt.Printf("%-16s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	wd, err := os.Getwd()
+	if err != nil {
+		fatal(err)
+	}
+	loader, err := analysis.NewLoader(wd)
+	if err != nil {
+		fatal(err)
+	}
+	pkgs, err := loader.LoadModule()
+	if err != nil {
+		fatal(err)
+	}
+	count := 0
+	for _, pkg := range pkgs {
+		for _, d := range analysis.RunAnalyzers(suite, pkg) {
+			fmt.Println(d)
+			count++
+		}
+	}
+	if count > 0 {
+		fmt.Fprintf(os.Stderr, "hplint: %d diagnostic(s)\n", count)
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "hplint:", err)
+	os.Exit(2)
+}

@@ -1,0 +1,103 @@
+package analysis
+
+import (
+	"bytes"
+	"go/ast"
+	"go/printer"
+	"go/token"
+	"go/types"
+)
+
+// FloatEq forbids exact ==/!= between floating-point expressions in the
+// scheduling and bounds packages. Acceleration-factor (ρ) ties, expected
+// completion times, and area-bound comparisons are all derived floats;
+// exact equality on them either never fires (noise) or fires
+// nondeterministically across refactorings. The sanctioned forms are an
+// epsilon comparison or the deterministic three-way tie-break idiom
+//
+//	if a != b { return a < b }   // then break the tie on a stable key
+//
+// which the analyzer recognizes and admits.
+var FloatEq = &Analyzer{
+	Name:      "floateq",
+	Doc:       "no exact float equality in scheduler/bounds code; use an epsilon or a deterministic tie-break",
+	Packages:  deterministicPackages,
+	SkipTests: true,
+	Run:       runFloatEq,
+}
+
+func isFloat(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// exprText renders an expression to canonical source text for structural
+// comparison of comparator operands.
+func exprText(fset *token.FileSet, e ast.Expr) string {
+	var buf bytes.Buffer
+	if err := printer.Fprint(&buf, fset, e); err != nil {
+		return ""
+	}
+	return buf.String()
+}
+
+// comparatorIdiomConds collects the conditions of the deterministic
+// three-way comparator idiom: an if statement whose condition is `a != b`
+// on floats and whose body is exactly `return a < b` or `return a > b`
+// over the same two operands (in either order).
+func comparatorIdiomConds(fset *token.FileSet, f *ast.File) map[*ast.BinaryExpr]bool {
+	ok := make(map[*ast.BinaryExpr]bool)
+	ast.Inspect(f, func(n ast.Node) bool {
+		ifs, isIf := n.(*ast.IfStmt)
+		if !isIf || ifs.Init != nil {
+			return true
+		}
+		cond, isBin := ifs.Cond.(*ast.BinaryExpr)
+		if !isBin || cond.Op != token.NEQ {
+			return true
+		}
+		if len(ifs.Body.List) != 1 {
+			return true
+		}
+		ret, isRet := ifs.Body.List[0].(*ast.ReturnStmt)
+		if !isRet || len(ret.Results) != 1 {
+			return true
+		}
+		cmp, isCmp := ret.Results[0].(*ast.BinaryExpr)
+		if !isCmp || (cmp.Op != token.LSS && cmp.Op != token.GTR) {
+			return true
+		}
+		cx, cy := exprText(fset, cond.X), exprText(fset, cond.Y)
+		rx, ry := exprText(fset, cmp.X), exprText(fset, cmp.Y)
+		if cx == "" || cy == "" {
+			return true
+		}
+		if (cx == rx && cy == ry) || (cx == ry && cy == rx) {
+			ok[cond] = true
+		}
+		return true
+	})
+	return ok
+}
+
+func runFloatEq(pass *Pass) {
+	for _, f := range pass.Files {
+		idiom := comparatorIdiomConds(pass.Fset, f)
+		ast.Inspect(f, func(n ast.Node) bool {
+			bin, ok := n.(*ast.BinaryExpr)
+			if !ok || (bin.Op != token.EQL && bin.Op != token.NEQ) {
+				return true
+			}
+			if idiom[bin] {
+				return true
+			}
+			tx := pass.Info.TypeOf(bin.X)
+			ty := pass.Info.TypeOf(bin.Y)
+			if tx == nil || ty == nil || !isFloat(tx) || !isFloat(ty) {
+				return true
+			}
+			pass.Reportf(bin.OpPos, "exact float %s: compare with an epsilon or a deterministic tie-break", bin.Op)
+			return true
+		})
+	}
+}

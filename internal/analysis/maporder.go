@@ -1,0 +1,153 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// MapOrder flags `for range` loops over maps that build up a slice
+// (append to a variable declared outside the loop) without a subsequent
+// sort in the same function. Go randomizes map iteration order, so such a
+// slice feeds whatever consumes it — victim selection, queue fills,
+// reports — in a different order on every run, which is exactly the
+// nondeterminism the scheduling packages must not contain. Sorting the
+// slice afterwards (as the spoliation victim scan does) restores a total
+// order and silences the diagnostic.
+var MapOrder = &Analyzer{
+	Name:      "maporder",
+	Doc:       "slices built from map iteration must be sorted before use",
+	Packages:  deterministicPackages,
+	SkipTests: true,
+	Run:       runMapOrder,
+}
+
+// sortPackages are the packages whose calls count as establishing a
+// deterministic order.
+var sortPackages = map[string]bool{"sort": true, "slices": true}
+
+func runMapOrder(pass *Pass) {
+	for _, f := range pass.Files {
+		// Visit every function body so "after the loop" has a scope.
+		ast.Inspect(f, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				body = fn.Body
+			case *ast.FuncLit:
+				body = fn.Body
+			}
+			if body == nil {
+				return true
+			}
+			checkMapRanges(pass, body)
+			return true
+		})
+	}
+}
+
+// checkMapRanges inspects the direct statements of one function body.
+// Nested function literals are handled by their own visit.
+func checkMapRanges(pass *Pass, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, isLit := n.(*ast.FuncLit); isLit {
+			return false // inner literals get their own pass
+		}
+		rng, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		t := pass.Info.TypeOf(rng.X)
+		if t == nil {
+			return true
+		}
+		if _, isMap := t.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		for _, target := range appendTargetsOutside(pass.Info, rng) {
+			if !sortedAfter(pass, body, target, rng.End()) {
+				pass.Reportf(rng.For, "map iteration appends to %q in nondeterministic order; sort it afterwards or tie-break deterministically", target.Name())
+			}
+		}
+		return true
+	})
+}
+
+// appendTargetsOutside returns the objects of variables declared outside
+// the range statement that the loop body appends to.
+func appendTargetsOutside(info *types.Info, rng *ast.RangeStmt) []types.Object {
+	var out []types.Object
+	seen := make(map[types.Object]bool)
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fun, ok := call.Fun.(*ast.Ident)
+		if !ok || fun.Name != "append" {
+			return true
+		}
+		if _, isBuiltin := info.Uses[fun].(*types.Builtin); !isBuiltin {
+			return true
+		}
+		if len(call.Args) == 0 {
+			return true
+		}
+		dst, ok := call.Args[0].(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := info.Uses[dst]
+		if obj == nil || seen[obj] {
+			return true
+		}
+		// Declared inside the loop: each iteration gets its own slice, no
+		// cross-iteration ordering leaks out.
+		if rng.Pos() <= obj.Pos() && obj.Pos() < rng.End() {
+			return true
+		}
+		seen[obj] = true
+		out = append(out, obj)
+		return true
+	})
+	return out
+}
+
+// sortedAfter reports whether fnBody contains, after pos, a call into the
+// sort/slices packages that mentions obj.
+func sortedAfter(pass *Pass, fnBody *ast.BlockStmt, obj types.Object, pos token.Pos) bool {
+	found := false
+	ast.Inspect(fnBody, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < pos {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		fn, ok := pass.Info.Uses[sel.Sel].(*types.Func)
+		if !ok || fn.Pkg() == nil || !sortPackages[fn.Pkg().Path()] {
+			return true
+		}
+		for _, arg := range call.Args {
+			mentioned := false
+			ast.Inspect(arg, func(m ast.Node) bool {
+				if id, ok := m.(*ast.Ident); ok && pass.Info.Uses[id] == obj {
+					mentioned = true
+					return false
+				}
+				return true
+			})
+			if mentioned {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,161 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// ObsGuard enforces the zero-alloc observer contract in core's event
+// loops: every obs.Observer method call must sit inside an `if o != nil`
+// guard on the same observer variable (so the nil fast path costs
+// nothing), and its arguments must be non-allocating — no function
+// literals, no composite literals, no fmt.Sprint-family calls. The
+// contract is what keeps BenchmarkScheduleIndependent /
+// TestObserverNopZeroAlloc at zero allocations per event.
+var ObsGuard = &Analyzer{
+	Name:      "obsguard",
+	Doc:       "observer emission must be nil-guarded and pass only non-allocating arguments",
+	Packages:  []string{"internal/core"},
+	SkipTests: true,
+	Run:       runObsGuard,
+}
+
+// isObserverType reports whether t is the obs.Observer interface.
+func isObserverType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Observer" && obj.Pkg() != nil &&
+		strings.HasSuffix(obj.Pkg().Path(), "internal/obs")
+}
+
+// guardRange is one `if o != nil { ... }` body protecting observer obj.
+type guardRange struct {
+	obj      types.Object
+	from, to token.Pos
+}
+
+// nilCheckedObjects returns the observer objects that cond proves
+// non-nil: `o != nil` possibly among the conjuncts of &&-chains.
+func nilCheckedObjects(info *types.Info, cond ast.Expr) []types.Object {
+	switch e := cond.(type) {
+	case *ast.ParenExpr:
+		return nilCheckedObjects(info, e.X)
+	case *ast.BinaryExpr:
+		if e.Op == token.LAND {
+			return append(nilCheckedObjects(info, e.X), nilCheckedObjects(info, e.Y)...)
+		}
+		if e.Op != token.NEQ {
+			return nil
+		}
+		x, y := e.X, e.Y
+		if isNilIdent(info, x) {
+			x, y = y, x
+		}
+		if !isNilIdent(info, y) {
+			return nil
+		}
+		id, ok := x.(*ast.Ident)
+		if !ok {
+			return nil
+		}
+		obj := info.Uses[id]
+		if obj == nil || !isObserverType(obj.Type()) {
+			return nil
+		}
+		return []types.Object{obj}
+	}
+	return nil
+}
+
+func isNilIdent(info *types.Info, e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	_, isNil := info.Uses[id].(*types.Nil)
+	return isNil
+}
+
+// allocatingExpr returns a description of the first allocating
+// sub-expression of e ("" if none): function literals, composite
+// literals, and fmt.Sprint-family calls all allocate per event.
+func allocatingExpr(info *types.Info, e ast.Expr) (desc string, pos token.Pos) {
+	ast.Inspect(e, func(n ast.Node) bool {
+		if desc != "" {
+			return false
+		}
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			desc, pos = "function literal", x.Pos()
+			return false
+		case *ast.CompositeLit:
+			desc, pos = "composite literal", x.Pos()
+			return false
+		case *ast.CallExpr:
+			if sel, ok := x.Fun.(*ast.SelectorExpr); ok {
+				if fn, ok := info.Uses[sel.Sel].(*types.Func); ok && fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
+					desc, pos = "fmt."+fn.Name()+" call", x.Pos()
+					return false
+				}
+			}
+		}
+		return true
+	})
+	return desc, pos
+}
+
+func runObsGuard(pass *Pass) {
+	for _, f := range pass.Files {
+		var guards []guardRange
+		ast.Inspect(f, func(n ast.Node) bool {
+			ifs, ok := n.(*ast.IfStmt)
+			if !ok {
+				return true
+			}
+			for _, obj := range nilCheckedObjects(pass.Info, ifs.Cond) {
+				guards = append(guards, guardRange{obj: obj, from: ifs.Body.Pos(), to: ifs.Body.End()})
+			}
+			return true
+		})
+		guarded := func(obj types.Object, pos token.Pos) bool {
+			for _, g := range guards {
+				if g.obj == obj && g.from <= pos && pos < g.to {
+					return true
+				}
+			}
+			return false
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			recv, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			obj := pass.Info.Uses[recv]
+			if obj == nil || !isObserverType(obj.Type()) {
+				return true
+			}
+			if !guarded(obj, call.Pos()) {
+				pass.Reportf(call.Pos(), "observer call %s.%s outside an `if %s != nil` guard defeats the nil fast path", recv.Name, sel.Sel.Name, recv.Name)
+			}
+			for _, arg := range call.Args {
+				if desc, pos := allocatingExpr(pass.Info, arg); desc != "" {
+					pass.Reportf(pos, "allocating argument (%s) in observer call %s.%s breaks the zero-alloc contract", desc, recv.Name, sel.Sel.Name)
+				}
+			}
+			return true
+		})
+	}
+}

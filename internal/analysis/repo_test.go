@@ -1,0 +1,26 @@
+package analysis
+
+import "testing"
+
+// TestRepoIsClean runs the full analyzer suite over the whole module and
+// requires zero diagnostics: the repository must stay hplint-clean. CI
+// also runs the cmd/hplint binary; this keeps plain `go test ./...`
+// self-contained.
+func TestRepoIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module")
+	}
+	l, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := l.LoadModule()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range pkgs {
+		for _, d := range RunAnalyzers(All(), p) {
+			t.Errorf("%s", d)
+		}
+	}
+}

@@ -1,0 +1,88 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// forbiddenTimeFuncs are the package-level time functions that read or
+// wait on the wall clock. Scheduling code must go through an injected
+// clock (internal/clock) instead, so that a schedule is a pure function
+// of task durations and every run can be replayed.
+var forbiddenTimeFuncs = map[string]bool{
+	"Now":       true,
+	"Since":     true,
+	"Until":     true,
+	"Sleep":     true,
+	"After":     true,
+	"AfterFunc": true,
+	"Tick":      true,
+	"NewTicker": true,
+	"NewTimer":  true,
+}
+
+// forbiddenRandFuncs are the package-level math/rand functions backed by
+// the shared global source. Randomness must flow through an injected,
+// seeded *rand.Rand (rand.New(rand.NewSource(seed)) is fine).
+var forbiddenRandFuncs = map[string]bool{
+	"Int":         true,
+	"Intn":        true,
+	"Int31":       true,
+	"Int31n":      true,
+	"Int63":       true,
+	"Int63n":      true,
+	"Uint32":      true,
+	"Uint64":      true,
+	"Float32":     true,
+	"Float64":     true,
+	"ExpFloat64":  true,
+	"NormFloat64": true,
+	"Perm":        true,
+	"Shuffle":     true,
+	"Seed":        true,
+	"Read":        true,
+}
+
+// SimDeterminism forbids wall-clock reads and global-source randomness in
+// the scheduling packages. The paper's approximation ratios (and this
+// repository's replay, fuzz, and survey machinery) hold only if a
+// schedule is a deterministic function of the task durations; a stray
+// time.Now or rand.Intn silently breaks that.
+var SimDeterminism = &Analyzer{
+	Name:      "simdeterminism",
+	Doc:       "scheduling code must not read the wall clock or the global rand source",
+	Packages:  deterministicPackages,
+	SkipTests: true,
+	Run:       runSimDeterminism,
+}
+
+func runSimDeterminism(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.Info.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil {
+				return true
+			}
+			// Only package-level functions: methods on *rand.Rand (the
+			// sanctioned injected source) have a receiver.
+			if fn.Type().(*types.Signature).Recv() != nil {
+				return true
+			}
+			switch fn.Pkg().Path() {
+			case "time":
+				if forbiddenTimeFuncs[fn.Name()] {
+					pass.Reportf(sel.Pos(), "time.%s in scheduling code: inject a clock (internal/clock) so runs stay replayable", fn.Name())
+				}
+			case "math/rand", "math/rand/v2":
+				if forbiddenRandFuncs[fn.Name()] {
+					pass.Reportf(sel.Pos(), "global rand.%s in scheduling code: thread a seeded *rand.Rand instead", fn.Name())
+				}
+			}
+			return true
+		})
+	}
+}

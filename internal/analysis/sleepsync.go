@@ -1,0 +1,40 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// SleepSync forbids time.Sleep in test files. Sleeping until a concurrent
+// effect "should have happened" is the classic flaky-test pattern: it
+// couples correctness to machine load and it hides the actual completion
+// signal. Tests must synchronize on channels, sync primitives, or polling
+// with a deadline; simulated-duration kernels that genuinely need to pace
+// themselves document it with an hplint:allow escape.
+var SleepSync = &Analyzer{
+	Name:      "sleepsync",
+	Doc:       "tests must not synchronize with time.Sleep",
+	OnlyTests: true,
+	Run:       runSleepSync,
+}
+
+func runSleepSync(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.Info.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "time" || fn.Name() != "Sleep" {
+				return true
+			}
+			pass.Reportf(call.Pos(), "time.Sleep in a test is a flaky synchronization; wait on a channel or poll a condition instead")
+			return true
+		})
+	}
+}

@@ -1,0 +1,8 @@
+package fixture
+
+// sameBits compares floats copied from the same slice, where equal bits
+// mean the same element.
+func sameBits(a, b float64) bool {
+	//hplint:allow floateq fixture exercises the escape-comment path
+	return a == b
+}

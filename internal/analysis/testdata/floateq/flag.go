@@ -1,0 +1,9 @@
+package fixture
+
+func equalExact(a, b float64) bool {
+	return a == b // want "exact float =="
+}
+
+func notEqualExact(a, b float64) bool {
+	return a != b // want "exact float !="
+}

@@ -1,0 +1,19 @@
+package fixture
+
+import "math"
+
+const eps = 1e-9
+
+// equalEps is the sanctioned epsilon comparison.
+func equalEps(a, b float64) bool { return math.Abs(a-b) <= eps }
+
+// less is the sanctioned deterministic three-way comparator idiom.
+func less(a, b float64, i, j int) bool {
+	if a != b {
+		return a < b
+	}
+	return i < j
+}
+
+// intEqual compares integers: exact equality is fine outside floats.
+func intEqual(a, b int) bool { return a == b }

@@ -1,0 +1,10 @@
+package fixture
+
+func keysEscaped(m map[int]float64) []int {
+	var ids []int
+	//hplint:allow maporder fixture exercises the escape-comment path
+	for id := range m {
+		ids = append(ids, id)
+	}
+	return ids
+}

@@ -1,0 +1,9 @@
+package fixture
+
+func keysUnsorted(m map[int]float64) []int {
+	var ids []int
+	for id := range m { // want "nondeterministic order; sort it afterwards"
+		ids = append(ids, id)
+	}
+	return ids
+}

@@ -1,0 +1,25 @@
+package fixture
+
+import "sort"
+
+// keysSorted restores a total order after the map iteration.
+func keysSorted(m map[int]float64) []int {
+	var ids []int
+	for id := range m {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	return ids
+}
+
+// perIteration declares the slice inside the loop: no cross-iteration
+// order escapes it.
+func perIteration(m map[int][]int) int {
+	total := 0
+	for _, vs := range m {
+		var local []int
+		local = append(local, vs...)
+		total += len(local)
+	}
+	return total
+}

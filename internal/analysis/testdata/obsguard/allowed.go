@@ -1,0 +1,8 @@
+package fixture
+
+import "repro/internal/obs"
+
+func emitEscaped(o obs.Observer, now float64) {
+	//hplint:allow obsguard fixture exercises the escape-comment path
+	o.QueueDepthSample(now, 0)
+}

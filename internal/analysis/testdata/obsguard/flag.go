@@ -1,0 +1,19 @@
+package fixture
+
+import (
+	"fmt"
+
+	"repro/internal/obs"
+	"repro/internal/platform"
+)
+
+func emitUnguarded(o obs.Observer, now float64) {
+	o.QueueDepthSample(now, 0) // want "outside an `if o != nil` guard"
+}
+
+func emitAllocating(o obs.Observer, now float64) {
+	if o != nil {
+		o.TaskQueued(now, platform.Task{ID: 1}, 0)            // want "allocating argument (composite literal)"
+		o.WorkerIdle(now, len(fmt.Sprint(now)), platform.CPU) // want "allocating argument (fmt.Sprint call)"
+	}
+}

@@ -1,0 +1,16 @@
+package fixture
+
+import (
+	"repro/internal/obs"
+	"repro/internal/platform"
+)
+
+func emitGuarded(o obs.Observer, now float64, t platform.Task) {
+	if o != nil {
+		o.TaskQueued(now, t, 1)
+	}
+	// The nil check may sit among other conjuncts.
+	if now > 0 && o != nil {
+		o.QueueDepthSample(now, 2)
+	}
+}

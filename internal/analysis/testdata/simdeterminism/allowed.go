@@ -1,0 +1,8 @@
+package fixture
+
+import "time"
+
+func epoch() time.Time {
+	//hplint:allow simdeterminism fixture exercises the escape-comment path
+	return time.Now()
+}

@@ -1,0 +1,12 @@
+package fixture
+
+import (
+	"math/rand"
+	"time"
+)
+
+func wallClock() float64 {
+	start := time.Now()   // want "time.Now in scheduling code"
+	_ = time.Since(start) // want "time.Since in scheduling code"
+	return rand.Float64() // want "global rand.Float64 in scheduling code"
+}

@@ -1,0 +1,17 @@
+package fixture
+
+import (
+	"math/rand"
+	"time"
+)
+
+// seededDraw draws from an injected, seeded source: methods on *rand.Rand
+// are the sanctioned form of randomness.
+func seededDraw(r *rand.Rand) float64 { return r.Float64() }
+
+// makeSource builds such a source; rand.New and rand.NewSource do not
+// touch the global source and are allowed.
+func makeSource(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+// horizon only does duration arithmetic, never reads the clock.
+func horizon(d time.Duration) float64 { return d.Seconds() }

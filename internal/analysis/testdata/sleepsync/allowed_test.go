@@ -1,0 +1,8 @@
+package fixture
+
+import "time"
+
+func pacedKernel() {
+	//hplint:allow sleepsync fixture exercises the escape-comment path
+	time.Sleep(time.Millisecond)
+}

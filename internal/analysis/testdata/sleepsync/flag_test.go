@@ -1,0 +1,7 @@
+package fixture
+
+import "time"
+
+func sleepyWait() {
+	time.Sleep(time.Millisecond) // want "time.Sleep in a test is a flaky synchronization"
+}

@@ -1,0 +1,6 @@
+package fixture
+
+// channelWait synchronizes on an explicit completion signal.
+func channelWait(done chan struct{}) {
+	<-done
+}

@@ -115,6 +115,7 @@ func sweep(g *dag.Graph, pl platform.Platform, levels []float64, fromBottom bool
 	// Iterate thetas from largest to smallest, growing the selection.
 	for i := len(thetas) - 1; i >= 0; i-- {
 		theta := thetas[i]
+		//hplint:allow floateq dedup of candidate thetas copied from the same sorted slice; equal bits mean the same candidate
 		if theta == prev {
 			continue
 		}

@@ -1,0 +1,65 @@
+// Package clock provides the injectable time source used by the live
+// runtime executor (package runtime). The paper's guarantees — and this
+// repository's replay and validation machinery — require a schedule to be
+// a pure function of task durations; wall-clock reads buried in scheduling
+// code break that. Code in scheduling packages therefore never calls
+// time.Now directly (enforced by the simdeterminism analyzer in
+// internal/analysis): it receives a Clock, which is the wall clock in
+// production and a Manual clock in tests and replays.
+package clock
+
+import (
+	"sync"
+	"time"
+)
+
+// Clock is a time source. Implementations must be safe for concurrent use.
+type Clock interface {
+	// Now returns the current time.
+	Now() time.Time
+	// Since returns the elapsed time between t and Now.
+	Since(t time.Time) time.Duration
+}
+
+// Wall is the real wall clock. It is the only place in the repository
+// (outside tests and command entry points) that reads time.Now.
+type Wall struct{}
+
+// Now returns time.Now().
+func (Wall) Now() time.Time { return time.Now() }
+
+// Since returns time.Since(t).
+func (Wall) Since(t time.Time) time.Duration { return time.Since(t) }
+
+// Manual is a deterministic clock that only moves when Advance is called.
+// It makes live-runtime runs replayable the same way simulator runs are:
+// two executions that advance the clock identically observe identical
+// timestamps.
+type Manual struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+// NewManual returns a Manual clock frozen at start.
+func NewManual(start time.Time) *Manual { return &Manual{now: start} }
+
+// Now returns the clock's current frozen time.
+func (m *Manual) Now() time.Time {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.now
+}
+
+// Since returns the elapsed time between t and the frozen time.
+func (m *Manual) Since(t time.Time) time.Duration {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.now.Sub(t)
+}
+
+// Advance moves the clock forward by d (backward if d is negative).
+func (m *Manual) Advance(d time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.now = m.now.Add(d)
+}

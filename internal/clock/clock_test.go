@@ -1,0 +1,37 @@
+package clock
+
+import (
+	"testing"
+	"time"
+)
+
+func TestManualFrozen(t *testing.T) {
+	start := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+	m := NewManual(start)
+	if got := m.Now(); !got.Equal(start) {
+		t.Fatalf("Now() = %v, want %v", got, start)
+	}
+	if got := m.Since(start); got != 0 {
+		t.Fatalf("Since(start) = %v, want 0", got)
+	}
+}
+
+func TestManualAdvance(t *testing.T) {
+	start := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+	m := NewManual(start)
+	m.Advance(3 * time.Second)
+	if got := m.Since(start); got != 3*time.Second {
+		t.Fatalf("Since(start) = %v, want 3s", got)
+	}
+	if got := m.Now(); !got.Equal(start.Add(3 * time.Second)) {
+		t.Fatalf("Now() = %v, want %v", got, start.Add(3*time.Second))
+	}
+}
+
+func TestWallMonotone(t *testing.T) {
+	var w Wall
+	a := w.Now()
+	if d := w.Since(a); d < 0 {
+		t.Fatalf("Since(Now()) = %v, want >= 0", d)
+	}
+}

@@ -6,7 +6,36 @@ import (
 
 	"repro/internal/bounds"
 	"repro/internal/platform"
+	"repro/internal/sim"
 )
+
+// checkSpoliationProfit re-derives Algorithm 1's spoliation rule directly
+// from the trace, independently of Schedule.Validate: every aborted run
+// must have a spoliation restart at the abort instant, and the restart's
+// estimated completion must strictly beat the victim's.
+func checkSpoliationProfit(t *testing.T, in platform.Instance, s *sim.Schedule) {
+	t.Helper()
+	byID := in.ByID()
+	for _, a := range s.Entries {
+		if !a.Aborted {
+			continue
+		}
+		found := false
+		for _, r := range s.Entries {
+			if !r.Spoliation || r.TaskID != a.TaskID || math.Abs(r.Start-a.End) > 1e-9 {
+				continue
+			}
+			found = true
+			task := byID[a.TaskID]
+			if r.Start+task.Time(r.Kind) >= a.Start+task.Time(a.Kind) {
+				t.Fatalf("task %d: restart at %v on %v does not strictly improve on the victim's completion", a.TaskID, r.Start, r.Kind)
+			}
+		}
+		if !found {
+			t.Fatalf("task %d aborted at %v without a spoliation restart", a.TaskID, a.End)
+		}
+	}
+}
 
 // decodeInstance turns fuzz bytes into a valid instance and platform:
 // two bytes per task (CPU time, acceleration-factor bucket), first two
@@ -60,6 +89,7 @@ func FuzzHeteroPrioInvariants(f *testing.F) {
 		if !math.IsInf(res.TFirstIdle, 1) && res.TFirstIdle > ab+1e-6*math.Max(1, ab) {
 			t.Fatalf("TFirstIdle %v > area bound %v", res.TFirstIdle, ab)
 		}
+		checkSpoliationProfit(t, in, res.Schedule)
 		checkSpoliationLemmas(t, res.Schedule)
 	})
 }

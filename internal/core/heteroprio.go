@@ -127,6 +127,7 @@ func (q *Queue) before(a, b queueItem) bool {
 	if a.accel != b.accel {
 		return a.accel > b.accel
 	}
+	//hplint:allow floateq priorities are copied inputs, not derived floats; != only routes equal-priority pairs to the stable seq tie-break
 	if q.usePrio && a.task.Priority != b.task.Priority {
 		if a.accel >= 1 {
 			return a.task.Priority > b.task.Priority
@@ -388,6 +389,7 @@ func runList(in platform.Instance, g *dag.Graph, pl platform.Platform, opt Optio
 		// see the same queue, with GPUs served first (otherwise a CPU could
 		// steal a high-affinity task from a GPU that frees up at the very
 		// same time).
+		//hplint:allow floateq completions at one instant carry the same stored float; the exact same-timestamp drain is intended
 		for k.NextCompletion() == k.Now {
 			run, ok = k.CompleteNext()
 			if !ok {

@@ -160,6 +160,7 @@ func ScheduleOnline(tasks []ReleasedTask, pl platform.Platform, opt Options) (Re
 			break
 		}
 		complete(run)
+		//hplint:allow floateq completions at one instant carry the same stored float; the exact same-timestamp drain is intended
 		for k.NextCompletion() == k.Now {
 			if run, ok = k.CompleteNext(); !ok {
 				break

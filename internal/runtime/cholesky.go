@@ -3,9 +3,9 @@ package runtime
 import (
 	"fmt"
 	"math/rand"
-	"time"
 
 	"repro/internal/cancel"
+	"repro/internal/clock"
 	"repro/internal/platform"
 	"repro/internal/tile"
 )
@@ -29,6 +29,12 @@ func (e CholeskyEstimates) Accel() float64 { return e.GEMM[0] / e.GEMM[1] }
 // exactly like the per-kernel timings a runtime system collects on first
 // use — and only their ratios matter to the scheduling policy.
 func CalibrateCholesky(b int, rng *rand.Rand) CholeskyEstimates {
+	return CalibrateCholeskyClock(b, rng, clock.Wall{})
+}
+
+// CalibrateCholeskyClock is CalibrateCholesky with an injected time
+// source, so calibrations — like runs — can be replayed deterministically.
+func CalibrateCholeskyClock(b int, rng *rand.Rand, clk clock.Clock) CholeskyEstimates {
 	mk := func() []float64 {
 		t := make([]float64, b*b)
 		for i := range t {
@@ -49,9 +55,9 @@ func CalibrateCholesky(b int, rng *rand.Rand) CholeskyEstimates {
 		return t
 	}
 	timeIt := func(f func()) float64 {
-		start := time.Now()
+		start := clk.Now()
 		f()
-		return time.Since(start).Seconds()
+		return clk.Since(start).Seconds()
 	}
 	est := CholeskyEstimates{B: b}
 	// POTRF (both classes share the implementation; measure twice anyway).

@@ -3,9 +3,9 @@ package runtime
 import (
 	"fmt"
 	"math/rand"
-	"time"
 
 	"repro/internal/cancel"
+	"repro/internal/clock"
 	"repro/internal/platform"
 	"repro/internal/tile"
 )
@@ -24,6 +24,12 @@ type LUEstimates struct {
 
 // CalibrateLU measures the LU kernels once on random tiles of size b.
 func CalibrateLU(b int, rng *rand.Rand) LUEstimates {
+	return CalibrateLUClock(b, rng, clock.Wall{})
+}
+
+// CalibrateLUClock is CalibrateLU with an injected time source, so
+// calibrations — like runs — can be replayed deterministically.
+func CalibrateLUClock(b int, rng *rand.Rand, clk clock.Clock) LUEstimates {
 	mk := func() []float64 {
 		t := make([]float64, b*b)
 		for i := range t {
@@ -33,9 +39,9 @@ func CalibrateLU(b int, rng *rand.Rand) LUEstimates {
 	}
 	dd := tile.RandomDiagDominant(b, rng)
 	timeIt := func(f func()) float64 {
-		start := time.Now()
+		start := clk.Now()
 		f()
-		return time.Since(start).Seconds()
+		return clk.Since(start).Seconds()
 	}
 	est := LUEstimates{B: b}
 	g1 := dd.Clone()

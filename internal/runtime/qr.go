@@ -3,9 +3,9 @@ package runtime
 import (
 	"fmt"
 	"math/rand"
-	"time"
 
 	"repro/internal/cancel"
+	"repro/internal/clock"
 	"repro/internal/platform"
 	"repro/internal/tile"
 )
@@ -24,6 +24,12 @@ type QREstimates struct {
 // CalibrateQR measures each QR kernel once on random tiles of size b and
 // returns symmetric estimates.
 func CalibrateQR(b int, rng *rand.Rand) QREstimates {
+	return CalibrateQRClock(b, rng, clock.Wall{})
+}
+
+// CalibrateQRClock is CalibrateQR with an injected time source, so
+// calibrations — like runs — can be replayed deterministically.
+func CalibrateQRClock(b int, rng *rand.Rand, clk clock.Clock) QREstimates {
 	mk := func() []float64 {
 		t := make([]float64, b*b)
 		for i := range t {
@@ -32,9 +38,9 @@ func CalibrateQR(b int, rng *rand.Rand) QREstimates {
 		return t
 	}
 	timeIt := func(f func()) float64 {
-		start := time.Now()
+		start := clk.Now()
 		f()
-		return time.Since(start).Seconds()
+		return clk.Since(start).Seconds()
 	}
 	est := QREstimates{B: b}
 	a, t := mk(), make([]float64, b*b)

@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"repro/internal/cancel"
+	"repro/internal/clock"
 	"repro/internal/core"
 	"repro/internal/dag"
 	"repro/internal/platform"
@@ -85,6 +86,10 @@ type Config struct {
 	// UsePriorities assigns min-weight bottom levels as priorities and
 	// uses them for tie-breaking, as in the paper's best configuration.
 	UsePriorities bool
+	// Clock is the time source for timestamps and spoliation estimates.
+	// Nil means the wall clock; tests and replays inject a clock.Manual
+	// so live runs observe deterministic timestamps.
+	Clock clock.Clock
 }
 
 // Report is the outcome of an execution.
@@ -133,18 +138,22 @@ func Run(g *Graph, cfg Config) (*Report, error) {
 		}
 	}
 
-	epoch := time.Now()
+	clk := cfg.Clock
+	if clk == nil {
+		clk = clock.Wall{}
+	}
+	epoch := clk.Now()
 	jobs := make([]chan job, pl.Workers())
 	done := make(chan completion, pl.Workers())
 	for w := 0; w < pl.Workers(); w++ {
 		jobs[w] = make(chan job, 1)
 		go func(w int, kind platform.Kind) {
 			for j := range jobs[w] {
-				start := time.Since(epoch)
+				start := clk.Since(epoch)
 				completed, err := j.t.Run(kind, j.flag)
 				done <- completion{
 					worker: w, id: j.id,
-					start: start, end: time.Since(epoch),
+					start: start, end: clk.Since(epoch),
 					completed: completed, err: err,
 				}
 			}
@@ -188,7 +197,7 @@ func Run(g *Graph, cfg Config) (*Report, error) {
 		est := g.d.Task(id).Time(pl.KindOf(w))
 		running[w] = &runInfo{
 			id: id, flag: flag,
-			estEnd: time.Since(epoch) + time.Duration(est*float64(time.Second)),
+			estEnd: clk.Since(epoch) + time.Duration(est*float64(time.Second)),
 			spol:   spol,
 		}
 		delete(idle, w)
@@ -204,7 +213,7 @@ func Run(g *Graph, cfg Config) (*Report, error) {
 			return false
 		}
 		kind := pl.KindOf(w)
-		now := time.Since(epoch)
+		now := clk.Since(epoch)
 		// Victims: running tasks on the other class, not already being
 		// spoliated, in decreasing estimated completion time.
 		type victim struct {
@@ -327,7 +336,7 @@ func Run(g *Graph, cfg Config) (*Report, error) {
 	}
 
 	return &Report{
-		Wall:        time.Since(epoch),
+		Wall:        clk.Since(epoch),
 		Trace:       trace,
 		Spoliations: spoliations,
 	}, nil

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"repro/internal/cancel"
+	"repro/internal/clock"
 	"repro/internal/platform"
 	"repro/internal/tile"
 )
@@ -30,6 +31,7 @@ func sleepTask(name string, cpu, gpu time.Duration) Task {
 				if flag.Cancelled() {
 					return false, nil
 				}
+				//hplint:allow sleepsync paces a simulated kernel between cancellation polls; completion is signalled via channels, not the sleep
 				time.Sleep(200 * time.Microsecond)
 			}
 			return true, nil
@@ -302,5 +304,62 @@ func TestRunGPUOnlyPool(t *testing.T) {
 	}
 	if rep.Wall <= 0 {
 		t.Error("no wall time measured")
+	}
+}
+
+// TestRunManualClock: with an injected frozen clock, every observed
+// timestamp is deterministic — the live executor's replayability hinges on
+// its time source being injectable, which the simdeterminism analyzer
+// enforces by forbidding bare time.Now in this package.
+func TestRunManualClock(t *testing.T) {
+	g := NewGraph()
+	mk := func() Task {
+		return Task{
+			Name: "t", EstCPU: 0.001, EstGPU: 0.001,
+			Run: func(platform.Kind, *cancel.Flag) (bool, error) { return true, nil },
+		}
+	}
+	a := g.Add(mk())
+	b := g.Add(mk())
+	g.AddDep(a, b)
+	clk := clock.NewManual(time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC))
+	rep, err := Run(g, Config{CPUWorkers: 1, GPUWorkers: 1, Clock: clk})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Wall != 0 {
+		t.Errorf("frozen clock measured wall %v, want 0", rep.Wall)
+	}
+	for _, e := range rep.Trace.Entries {
+		if e.Start != 0 || e.End != 0 {
+			t.Errorf("frozen clock produced entry [%v,%v], want [0,0]", e.Start, e.End)
+		}
+	}
+	if got := len(rep.Trace.SuccessfulEntries()); got != 2 {
+		t.Errorf("%d successful runs, want 2", got)
+	}
+}
+
+// TestCalibrateClock: the calibrators accept an injected clock; frozen
+// time yields zero estimates, proving no hidden wall-clock read feeds the
+// measurement.
+func TestCalibrateClock(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	clk := clock.NewManual(time.Unix(0, 0))
+	est := CalibrateCholeskyClock(4, rng, clk)
+	for _, d := range [][2]float64{est.POTRF, est.TRSM, est.SYRK, est.GEMM} {
+		if d[0] != 0 || d[1] != 0 {
+			t.Fatalf("frozen clock measured nonzero cholesky estimate %v", d)
+		}
+	}
+	lu := CalibrateLUClock(4, rng, clk)
+	if lu.GETRF != 0 || lu.TRSM != 0 || lu.GEMM[0] != 0 || lu.GEMM[1] != 0 {
+		t.Fatalf("frozen clock measured nonzero LU estimates %+v", lu)
+	}
+	qr := CalibrateQRClock(4, rng, clk)
+	for _, d := range [][2]float64{qr.GEQRT, qr.LARFB, qr.TSQRT, qr.TSMQR} {
+		if d[0] != 0 || d[1] != 0 {
+			t.Fatalf("frozen clock measured nonzero QR estimate %v", d)
+		}
 	}
 }

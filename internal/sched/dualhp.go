@@ -280,6 +280,7 @@ func DualHPDAGTimed(g *dag.Graph, pl platform.Platform, rank Ranking, actual fun
 				}
 			default:
 				if p.t.Priority > b.t.Priority ||
+					//hplint:allow floateq priorities are copied inputs; == only routes equal-priority pairs to the stable seq tie-break
 					(p.t.Priority == b.t.Priority && p.seq < b.seq) {
 					best = i
 				}

@@ -136,6 +136,10 @@ func (s *Schedule) NormalizedIdleTime(k platform.Kind, usage float64) float64 {
 //   - every task has exactly one successful run with the exact processing
 //     time of its class, and every aborted run is shorter than or equal to
 //     that class time and ends no later than the successful completion;
+//   - every aborted run has a spoliation restart at its abort time whose
+//     estimated completion strictly improves on the victim's (Algorithm 1's
+//     spoliation-profit rule: an idle worker may only steal a task it
+//     would finish strictly earlier);
 //   - with a DAG, every run starts at or after the completion of all the
 //     task's predecessors (their successful runs).
 func (s *Schedule) Validate(in platform.Instance, g *dag.Graph) error {
@@ -208,6 +212,36 @@ func (s *Schedule) validate(in platform.Instance, g *dag.Graph, dur func(t platf
 			if fin := success[e.TaskID]; e.End > fin.End+tol {
 				return fmt.Errorf("sim: task %d aborted at %v after its successful completion %v", e.TaskID, e.End, fin.End)
 			}
+		}
+	}
+	// Spoliation profit (Algorithm 1): every aborted run must be answered
+	// by a spoliation restart at the abort instant, and the thief's
+	// estimated completion — start plus the nominal processing time of its
+	// class, which is what the scheduler decided on — must strictly
+	// improve on the victim's. Estimated times are used on both sides even
+	// under an actual-duration model (ValidateTimed): the rule is about
+	// what the scheduler believed, which never includes the noise.
+	for i, a := range s.Entries {
+		if !a.Aborted {
+			continue
+		}
+		restart := -1
+		for j, r := range s.Entries {
+			if r.Spoliation && r.TaskID == a.TaskID && math.Abs(r.Start-a.End) <= tol {
+				restart = j
+				break
+			}
+		}
+		if restart < 0 {
+			return fmt.Errorf("sim: entry %d: task %d aborted at %v with no spoliation restart", i, a.TaskID, a.End)
+		}
+		r := s.Entries[restart]
+		t := byID[a.TaskID]
+		victimEnd := a.Start + t.Time(a.Kind)
+		thiefEnd := r.Start + t.Time(r.Kind)
+		if thiefEnd >= victimEnd {
+			return fmt.Errorf("sim: task %d spoliated without profit: restart on %v would finish at %v, victim on %v at %v",
+				a.TaskID, r.Kind, thiefEnd, a.Kind, victimEnd)
 		}
 	}
 	for w, es := range perWorker {

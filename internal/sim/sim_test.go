@@ -203,6 +203,73 @@ func TestValidateCatchesBadSchedules(t *testing.T) {
 	}
 }
 
+func TestValidateSpoliationProfit(t *testing.T) {
+	pl := platform.NewPlatform(1, 1)
+	// Profitable spoliation: victim would finish on CPU at 4, the GPU
+	// restart at 0.5 finishes at 1.5.
+	good := &Schedule{Platform: pl, Entries: []Entry{
+		{TaskID: 0, Worker: 0, Kind: platform.CPU, Start: 0, End: 0.5, Aborted: true},
+		{TaskID: 0, Worker: 1, Kind: platform.GPU, Start: 0.5, End: 1.5, Spoliation: true},
+	}}
+	if err := good.Validate(platform.Instance{task(0, 4, 1)}, nil); err != nil {
+		t.Fatalf("profitable spoliation rejected: %v", err)
+	}
+	cases := []struct {
+		name string
+		in   platform.Instance
+		s    []Entry
+		want string
+	}{
+		{
+			// Restart at 0.5 would finish at 4.5, the victim at 1.
+			"unprofitable", platform.Instance{task(0, 1, 4)},
+			[]Entry{
+				{TaskID: 0, Worker: 0, Kind: platform.CPU, Start: 0, End: 0.5, Aborted: true},
+				{TaskID: 0, Worker: 1, Kind: platform.GPU, Start: 0.5, End: 4.5, Spoliation: true},
+			},
+			"without profit",
+		},
+		{
+			// Both completions land at exactly 2; the rule is strict.
+			"equal completion", platform.Instance{task(0, 2, 1.5)},
+			[]Entry{
+				{TaskID: 0, Worker: 0, Kind: platform.CPU, Start: 0, End: 0.5, Aborted: true},
+				{TaskID: 0, Worker: 1, Kind: platform.GPU, Start: 0.5, End: 2, Spoliation: true},
+			},
+			"without profit",
+		},
+		{
+			// The later GPU run is not flagged as a spoliation restart.
+			"unflagged restart", platform.Instance{task(0, 4, 1)},
+			[]Entry{
+				{TaskID: 0, Worker: 0, Kind: platform.CPU, Start: 0, End: 0.5, Aborted: true},
+				{TaskID: 0, Worker: 1, Kind: platform.GPU, Start: 0.5, End: 1.5},
+			},
+			"no spoliation restart",
+		},
+		{
+			// A restart exists but not at the abort instant.
+			"late restart", platform.Instance{task(0, 4, 1)},
+			[]Entry{
+				{TaskID: 0, Worker: 0, Kind: platform.CPU, Start: 0, End: 0.5, Aborted: true},
+				{TaskID: 0, Worker: 1, Kind: platform.GPU, Start: 1, End: 2, Spoliation: true},
+			},
+			"no spoliation restart",
+		},
+	}
+	for _, c := range cases {
+		s := &Schedule{Platform: pl, Entries: c.s}
+		err := s.Validate(c.in, nil)
+		if err == nil {
+			t.Errorf("%s: expected validation error", c.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: error %q does not mention %q", c.name, err, c.want)
+		}
+	}
+}
+
 func TestValidateDAGDependencies(t *testing.T) {
 	g := dag.New()
 	a := g.AddTask(task(0, 1, 1))
