@@ -3,7 +3,9 @@
 // on any diagnostic. It is the machine check behind the invariants the
 // paper's guarantees rest on: deterministic scheduling code, float
 // comparison hygiene, the zero-alloc observer contract, ordered map
-// iteration, and sleep-free tests.
+// iteration, sleep-free tests, and — flow-sensitively — unit-consistent
+// arithmetic, mutex discipline, scheduler input purity, and error
+// handling along every path.
 //
 // Usage:
 //
@@ -11,7 +13,15 @@
 //
 // Package patterns are accepted for familiarity but the whole module is
 // always loaded — the analyzers are repo-wide invariants, not per-package
-// opts-ins. With -catalog the tool lists the analyzers and exits.
+// opt-ins. With -catalog the tool lists the analyzers and exits.
+//
+// Flags:
+//
+//	-catalog          list the analyzers and exit
+//	-enable a,b,...   run only the named analyzers (default: all nine)
+//	-json             emit one JSON object per finding, one per line
+//	-dir path -rel p  lint a single directory as module-relative path p
+//	                  (used by CI to assert the golden flag fixtures fail)
 //
 // A finding can be suppressed at the offending line (or the line above)
 // with a justified escape comment:
@@ -20,17 +30,33 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"repro/internal/analysis"
 )
 
+// finding is the JSON shape of one diagnostic: stable field names so CI
+// can convert findings to GitHub annotations without parsing text.
+type finding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
 func main() {
 	catalog := flag.Bool("catalog", false, "list the analyzers and exit")
+	jsonOut := flag.Bool("json", false, "emit findings as one JSON object per line")
+	enable := flag.String("enable", "", "comma-separated analyzer names to run (default: all)")
+	dir := flag.String("dir", "", "lint a single directory instead of the module")
+	rel := flag.String("rel", "", "module-relative path the -dir package is loaded under")
 	flag.Usage = func() {
-		fmt.Fprintf(flag.CommandLine.Output(), "usage: hplint [-catalog] [packages]\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: hplint [-catalog] [-json] [-enable a,b] [-dir path -rel relpath] [packages]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -42,6 +68,28 @@ func main() {
 		}
 		return
 	}
+	if *enable != "" {
+		known := map[string]*analysis.Analyzer{}
+		for _, a := range suite {
+			known[a.Name] = a
+		}
+		var picked []*analysis.Analyzer
+		for _, name := range strings.Split(*enable, ",") {
+			name = strings.TrimSpace(name)
+			if name == "" {
+				continue
+			}
+			a, ok := known[name]
+			if !ok {
+				fatal(fmt.Errorf("-enable names unknown analyzer %q (see -catalog)", name))
+			}
+			picked = append(picked, a)
+		}
+		if len(picked) == 0 {
+			fatal(fmt.Errorf("-enable selected no analyzers"))
+		}
+		suite = picked
+	}
 
 	wd, err := os.Getwd()
 	if err != nil {
@@ -51,14 +99,30 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	pkgs, err := loader.LoadModule()
+	var pkgs []*analysis.Package
+	if *dir != "" {
+		if *rel == "" {
+			fatal(fmt.Errorf("-dir requires -rel (the module-relative path to lint the directory as)"))
+		}
+		pkgs, err = loader.LoadDir(*dir, *rel)
+	} else {
+		pkgs, err = loader.LoadModule()
+	}
 	if err != nil {
 		fatal(err)
 	}
+	enc := json.NewEncoder(os.Stdout)
 	count := 0
 	for _, pkg := range pkgs {
 		for _, d := range analysis.RunAnalyzers(suite, pkg) {
-			fmt.Println(d)
+			if *jsonOut {
+				f := finding{File: d.Pos.Filename, Line: d.Pos.Line, Col: d.Pos.Column, Analyzer: d.Analyzer, Message: d.Message}
+				if err := enc.Encode(f); err != nil {
+					fatal(err)
+				}
+			} else {
+				fmt.Println(d)
+			}
 			count++
 		}
 	}

@@ -12,7 +12,19 @@
 //     guarantee of PR 1);
 //   - maporder: no scheduling-relevant slice built from a map iteration
 //     without a subsequent sort;
-//   - sleepsync: no time.Sleep-based synchronization in tests.
+//   - sleepsync: no time.Sleep-based synchronization in tests;
+//
+// plus four flow-sensitive analyzers built on the package's CFG +
+// forward-dataflow engine (cfg.go, dataflow.go):
+//
+//   - unitflow: dimensional analysis — no arithmetic or comparison mixing
+//     time with area or ratio, or milliseconds with seconds;
+//   - lockcheck: mutex discipline — fields declared after a mutex in
+//     their struct are accessed only with it held;
+//   - purity: schedulers treat Platform, task slices, and DAGs as
+//     read-only;
+//   - errflow: no dropped or shadowed errors along any path in the
+//     binaries and the live executor.
 //
 // A diagnostic can be suppressed with a trailing (or immediately
 // preceding) comment of the form
@@ -85,7 +97,9 @@ func (d Diagnostic) String() string {
 	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
 }
 
-// All returns the full analyzer suite in stable order.
+// All returns the full analyzer suite in stable order: the five
+// syntactic analyzers from PR 2, then the four flow-sensitive analyzers
+// built on the CFG/dataflow engine (cfg.go, dataflow.go).
 func All() []*Analyzer {
 	return []*Analyzer{
 		SimDeterminism,
@@ -93,6 +107,10 @@ func All() []*Analyzer {
 		ObsGuard,
 		MapOrder,
 		SleepSync,
+		UnitFlow,
+		LockCheck,
+		Purity,
+		ErrFlow,
 	}
 }
 

@@ -58,6 +58,10 @@ func TestAnalyzerFixtures(t *testing.T) {
 		{"obsguard", "internal/core", ObsGuard},
 		{"maporder", "internal/sched", MapOrder},
 		{"sleepsync", "internal/sleepfixture", SleepSync},
+		{"unitflow", "internal/sim", UnitFlow},
+		{"lockcheck", "internal/obs", LockCheck},
+		{"purity", "internal/sched", Purity},
+		{"errflow", "internal/runtime", ErrFlow},
 	}
 	for _, c := range cases {
 		t.Run(c.dir, func(t *testing.T) {

@@ -1,0 +1,323 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// parseFuncBody parses src as the body of a function and returns its CFG.
+func parseFuncBody(t *testing.T, src string) *CFG {
+	t.Helper()
+	file := "package p\nfunc f() {\n" + src + "\n}\n"
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "cfg.go", file, parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	fd := f.Decls[0].(*ast.FuncDecl)
+	return BuildCFG(fd.Body)
+}
+
+// reachable returns the set of blocks reachable from the entry.
+func reachable(g *CFG) map[int]bool {
+	seen := map[int]bool{}
+	var walk func(b *Block)
+	walk = func(b *Block) {
+		if seen[b.Index] {
+			return
+		}
+		seen[b.Index] = true
+		for _, s := range b.Succs {
+			walk(s)
+		}
+	}
+	if len(g.Blocks) > 0 {
+		walk(g.Blocks[0])
+	}
+	return seen
+}
+
+func TestCFGStraightLine(t *testing.T) {
+	g := parseFuncBody(t, "x := 1\ny := x\n_ = y")
+	if !reachable(g)[g.Exit.Index] {
+		t.Fatalf("exit unreachable:\n%s", g)
+	}
+	if len(g.Blocks[0].Nodes) != 3 {
+		t.Errorf("entry block has %d nodes, want 3:\n%s", len(g.Blocks[0].Nodes), g)
+	}
+}
+
+func TestCFGIfElseJoin(t *testing.T) {
+	g := parseFuncBody(t, `
+x := 0
+if x > 0 {
+	x = 1
+} else {
+	x = 2
+}
+_ = x`)
+	entry := g.Blocks[0]
+	if len(entry.Succs) != 2 {
+		t.Fatalf("condition block has %d successors, want 2:\n%s", len(entry.Succs), g)
+	}
+	// Both branches must reconverge on the same join block.
+	a, b := entry.Succs[0], entry.Succs[1]
+	if len(a.Succs) != 1 || len(b.Succs) != 1 || a.Succs[0] != b.Succs[0] {
+		t.Errorf("branches do not reconverge:\n%s", g)
+	}
+}
+
+func TestCFGIfWithoutElse(t *testing.T) {
+	g := parseFuncBody(t, `
+x := 0
+if x > 0 {
+	x = 1
+}
+_ = x`)
+	entry := g.Blocks[0]
+	if len(entry.Succs) != 2 {
+		t.Fatalf("condition block has %d successors, want 2 (then + skip):\n%s", len(entry.Succs), g)
+	}
+}
+
+func TestCFGForLoop(t *testing.T) {
+	g := parseFuncBody(t, `
+s := 0
+for i := 0; i < 10; i++ {
+	s += i
+}
+_ = s`)
+	// The loop head must have a back edge reaching it and two ways out
+	// (into the body and past the loop).
+	var head *Block
+	for _, b := range g.Blocks {
+		if strings.Contains(b.comment, "for.head") {
+			head = b
+		}
+	}
+	if head == nil {
+		t.Fatalf("no loop head:\n%s", g)
+	}
+	if len(head.Succs) != 2 {
+		t.Errorf("loop head has %d successors, want 2:\n%s", len(head.Succs), g)
+	}
+	backEdge := false
+	for _, b := range g.Blocks {
+		for _, s := range b.Succs {
+			if s == head && b.Index > head.Index {
+				backEdge = true
+			}
+		}
+	}
+	if !backEdge {
+		t.Errorf("no back edge to the loop head:\n%s", g)
+	}
+}
+
+func TestCFGRangeLoop(t *testing.T) {
+	g := parseFuncBody(t, `
+s := 0
+for _, v := range []int{1, 2} {
+	s += v
+}
+_ = s`)
+	if !reachable(g)[g.Exit.Index] {
+		t.Fatalf("exit unreachable:\n%s", g)
+	}
+	var head *Block
+	for _, b := range g.Blocks {
+		if strings.Contains(b.comment, "range.head") {
+			head = b
+		}
+	}
+	if head == nil || len(head.Succs) != 2 {
+		t.Fatalf("range head missing or wrong arity:\n%s", g)
+	}
+}
+
+func TestCFGReturnTerminates(t *testing.T) {
+	g := parseFuncBody(t, `
+x := 0
+if x > 0 {
+	return
+}
+x = 1
+_ = x`)
+	// The then-branch must lead straight to the exit, not to the join.
+	entry := g.Blocks[0]
+	then := entry.Succs[0]
+	if len(then.Succs) != 1 || then.Succs[0] != g.Exit {
+		t.Errorf("return branch does not lead to exit:\n%s", g)
+	}
+}
+
+func TestCFGSwitchFallthrough(t *testing.T) {
+	g := parseFuncBody(t, `
+x := 0
+switch x {
+case 0:
+	x = 1
+	fallthrough
+case 1:
+	x = 2
+default:
+	x = 3
+}
+_ = x`)
+	if !reachable(g)[g.Exit.Index] {
+		t.Fatalf("exit unreachable:\n%s", g)
+	}
+	// Find the case-0 block (contains the fallthrough) and check it chains
+	// into the next clause, not the join.
+	var caseBlocks []*Block
+	for _, b := range g.Blocks {
+		if strings.Contains(b.comment, "switch.case") {
+			caseBlocks = append(caseBlocks, b)
+		}
+	}
+	if len(caseBlocks) != 3 {
+		t.Fatalf("got %d case blocks, want 3:\n%s", len(caseBlocks), g)
+	}
+	if len(caseBlocks[0].Succs) != 1 || caseBlocks[0].Succs[0] != caseBlocks[1] {
+		t.Errorf("fallthrough does not chain into the next clause:\n%s", g)
+	}
+}
+
+func TestCFGSwitchNoDefaultSkips(t *testing.T) {
+	g := parseFuncBody(t, `
+x := 0
+switch x {
+case 1:
+	x = 2
+}
+_ = x`)
+	// Without a default the head must also branch past every clause.
+	var head *Block
+	for _, b := range g.Blocks {
+		for _, s := range b.Succs {
+			if strings.Contains(s.comment, "switch.case") {
+				head = b
+			}
+		}
+	}
+	if head == nil {
+		t.Fatalf("no switch head:\n%s", g)
+	}
+	if len(head.Succs) != 2 {
+		t.Errorf("switch head has %d successors, want 2 (case + skip):\n%s", len(head.Succs), g)
+	}
+}
+
+func TestCFGLabeledContinue(t *testing.T) {
+	g := parseFuncBody(t, `
+outer:
+for i := 0; i < 3; i++ {
+	for j := 0; j < 3; j++ {
+		if j == i {
+			continue outer
+		}
+	}
+}`)
+	if !reachable(g)[g.Exit.Index] {
+		t.Fatalf("exit unreachable:\n%s", g)
+	}
+}
+
+func TestCFGGotoForward(t *testing.T) {
+	g := parseFuncBody(t, `
+x := 0
+if x == 0 {
+	goto done
+}
+x = 1
+done:
+_ = x`)
+	if !reachable(g)[g.Exit.Index] {
+		t.Fatalf("exit unreachable:\n%s", g)
+	}
+	// The goto block must have exactly one successor: the label block.
+	var labelBlock *Block
+	for _, b := range g.Blocks {
+		if strings.Contains(b.comment, "label.done") {
+			labelBlock = b
+		}
+	}
+	if labelBlock == nil {
+		t.Fatalf("no label block:\n%s", g)
+	}
+	preds := 0
+	for _, b := range g.Blocks {
+		for _, s := range b.Succs {
+			if s == labelBlock {
+				preds++
+			}
+		}
+	}
+	if preds != 2 {
+		t.Errorf("label block has %d predecessors, want 2 (goto + fallthrough):\n%s", preds, g)
+	}
+}
+
+func TestCFGSelect(t *testing.T) {
+	g := parseFuncBody(t, `
+c := make(chan int)
+select {
+case v := <-c:
+	_ = v
+default:
+}`)
+	if !reachable(g)[g.Exit.Index] {
+		t.Fatalf("exit unreachable:\n%s", g)
+	}
+}
+
+func TestInspectShallowCutsRangeBodyAndFuncLits(t *testing.T) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "s.go", `package p
+func f(xs []int) int {
+	s := 0
+	for _, v := range xs {
+		s += v
+	}
+	g := func() { s *= 2 }
+	g()
+	return s
+}`, parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fd := f.Decls[0].(*ast.FuncDecl)
+	var rs *ast.RangeStmt
+	var assign ast.Stmt
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.RangeStmt:
+			rs = n
+		case *ast.AssignStmt:
+			if len(n.Rhs) == 1 {
+				if _, ok := n.Rhs[0].(*ast.FuncLit); ok {
+					assign = n
+				}
+			}
+		}
+		return true
+	})
+	// The range body (s += v) must not be visited through the header node.
+	InspectShallow(rs, func(n ast.Node) bool {
+		if as, ok := n.(*ast.AssignStmt); ok && as.Tok == token.ADD_ASSIGN {
+			t.Errorf("InspectShallow descended into the range body: %v", as)
+		}
+		return true
+	})
+	// The func literal body (s *= 2) must not be visited through the
+	// assignment that captures it.
+	InspectShallow(assign, func(n ast.Node) bool {
+		if as, ok := n.(*ast.AssignStmt); ok && as.Tok == token.MUL_ASSIGN {
+			t.Errorf("InspectShallow descended into the func literal: %v", as)
+		}
+		return true
+	})
+}

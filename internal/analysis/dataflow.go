@@ -1,0 +1,76 @@
+package analysis
+
+// This file implements the generic forward-dataflow fixpoint the
+// flow-sensitive analyzers share. An analysis instantiates FlowProblem
+// with its fact type F (an abstract state treated as immutable), a join
+// over the lattice of facts, and a block transfer function; Solve runs a
+// worklist to fixpoint and returns each block's input fact. The analyzer
+// then makes one reporting pass, replaying its per-node transfer from
+// each block's input fact to diagnose individual statements.
+
+// FlowProblem describes one forward dataflow analysis over a CFG.
+type FlowProblem[F any] struct {
+	CFG *CFG
+	// Entry is the fact at function entry.
+	Entry F
+	// Join combines the facts of two incoming paths. It must be
+	// commutative, associative and idempotent, and must not mutate its
+	// arguments.
+	Join func(a, b F) F
+	// Equal reports whether two facts are equal (the fixpoint test).
+	Equal func(a, b F) bool
+	// Transfer computes the fact after executing block b from the fact
+	// before it. It must not mutate in.
+	Transfer func(b *Block, in F) F
+}
+
+// FlowResult carries the fixpoint: the input fact of every block, and
+// which blocks are reachable from the entry (facts of unreachable blocks
+// are zero values and must not be interpreted).
+type FlowResult[F any] struct {
+	In      []F
+	Reached []bool
+}
+
+// Solve runs the worklist algorithm to fixpoint. Termination is
+// guaranteed for monotone transfers over finite-height lattices; a
+// defensive iteration cap (generous for any realistic function) bounds
+// the damage of a non-monotone client.
+func Solve[F any](p *FlowProblem[F]) FlowResult[F] {
+	n := len(p.CFG.Blocks)
+	res := FlowResult[F]{In: make([]F, n), Reached: make([]bool, n)}
+	if n == 0 {
+		return res
+	}
+	entry := p.CFG.Blocks[0].Index
+	res.In[entry] = p.Entry
+	res.Reached[entry] = true
+	work := []int{entry}
+	inWork := make([]bool, n)
+	inWork[entry] = true
+	budget := 256 * n
+	for len(work) > 0 && budget > 0 {
+		budget--
+		i := work[len(work)-1]
+		work = work[:len(work)-1]
+		inWork[i] = false
+		out := p.Transfer(p.CFG.Blocks[i], res.In[i])
+		for _, s := range p.CFG.Blocks[i].Succs {
+			j := s.Index
+			changed := false
+			if !res.Reached[j] {
+				res.In[j] = out
+				res.Reached[j] = true
+				changed = true
+			} else if next := p.Join(res.In[j], out); !p.Equal(next, res.In[j]) {
+				res.In[j] = next
+				changed = true
+			}
+			if changed && !inWork[j] {
+				work = append(work, j)
+				inWork[j] = true
+			}
+		}
+	}
+	return res
+}

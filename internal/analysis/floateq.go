@@ -27,6 +27,9 @@ var FloatEq = &Analyzer{
 }
 
 func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
 	b, ok := t.Underlying().(*types.Basic)
 	return ok && b.Info()&types.IsFloat != 0
 }

@@ -1,0 +1,346 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Purity enforces the scheduler contract: a scheduler must treat its
+// inputs — the Platform, task slices/Instances, and DAGs — as read-only,
+// so the same instance can be handed to several schedulers (and to the
+// bounds) without order-dependent results. The analysis taints every
+// parameter and receiver whose type aliases caller state (slices,
+// pointers and maps over platform/dag types), propagates the taint
+// flow-sensitively through assignments, slicing and address-taking, and
+// flags stores through tainted values and in-place sorts of tainted
+// slices. Call results are deliberately untainted: `in.Clone()` and
+// `g.Tasks()` produce (or are treated as producing) fresh values — the
+// one known hole, Tasks() returning the backing slice, is documented in
+// DESIGN.md §8.
+var Purity = &Analyzer{
+	Name:      "purity",
+	Doc:       "schedulers must not mutate Platform, task slices, or DAG inputs",
+	Packages:  []string{"internal/sched"},
+	SkipTests: true,
+	Run:       runPurity,
+}
+
+// isProtectedType reports whether t reaches a platform/dag type through
+// slices, pointers, arrays or maps — i.e. whether a value of this type
+// can alias scheduler-input state worth protecting. By-value structs
+// (platform.Platform, platform.Task) are copies and need no protection.
+func isProtectedType(t types.Type, depth int) bool {
+	if depth > 6 {
+		return false
+	}
+	switch t := t.(type) {
+	case *types.Pointer:
+		return protectedNamed(t.Elem()) || isProtectedType(t.Elem(), depth+1)
+	case *types.Slice:
+		return protectedNamed(t.Elem()) || isProtectedType(t.Elem(), depth+1)
+	case *types.Array:
+		return protectedNamed(t.Elem()) || isProtectedType(t.Elem(), depth+1)
+	case *types.Map:
+		return protectedNamed(t.Elem()) || isProtectedType(t.Elem(), depth+1)
+	case *types.Named:
+		// A named slice type (platform.Instance = []Task) is itself
+		// reference-like.
+		if _, ok := t.Underlying().(*types.Slice); ok {
+			return protectedNamed(t) || isProtectedType(t.Underlying(), depth+1)
+		}
+		return false
+	}
+	return false
+}
+
+// protectedNamed reports whether t is one of the protected named types
+// from internal/platform or internal/dag.
+func protectedNamed(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil {
+		return false
+	}
+	path := obj.Pkg().Path()
+	if !strings.HasSuffix(path, "internal/platform") && !strings.HasSuffix(path, "internal/dag") {
+		return false
+	}
+	switch obj.Name() {
+	case "Task", "Instance", "Platform", "Graph":
+		return true
+	}
+	return false
+}
+
+// taintSet is the dataflow fact: objects that may alias scheduler input.
+type taintSet map[types.Object]bool
+
+func (s taintSet) clone() taintSet {
+	c := make(taintSet, len(s))
+	for k := range s {
+		c[k] = true
+	}
+	return c
+}
+
+// joinTaint is set union: taint is a may-analysis.
+func joinTaint(a, b taintSet) taintSet {
+	out := make(taintSet, len(a)+len(b))
+	for k := range a {
+		out[k] = true
+	}
+	for k := range b {
+		out[k] = true
+	}
+	return out
+}
+
+func equalTaint(a, b taintSet) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k := range a {
+		if !b[k] {
+			return false
+		}
+	}
+	return true
+}
+
+type purity struct {
+	pass *Pass
+}
+
+// taintedExpr reports whether e may alias tainted state: a tainted
+// identifier, or an index/slice/field/deref/address chain rooted at one.
+// Calls break the chain (their results are fresh by contract).
+func (p *purity) taintedExpr(ts taintSet, e ast.Expr) bool {
+	switch e := e.(type) {
+	case *ast.Ident:
+		obj := p.pass.Info.Uses[e]
+		if obj == nil {
+			obj = p.pass.Info.Defs[e]
+		}
+		return obj != nil && ts[obj]
+	case *ast.ParenExpr:
+		return p.taintedExpr(ts, e.X)
+	case *ast.IndexExpr:
+		return p.taintedExpr(ts, e.X)
+	case *ast.SliceExpr:
+		return p.taintedExpr(ts, e.X)
+	case *ast.SelectorExpr:
+		// Field of a tainted struct pointer; method values break the chain.
+		if _, isField := p.pass.Info.Uses[e.Sel].(*types.Var); isField {
+			return p.taintedExpr(ts, e.X)
+		}
+		return false
+	case *ast.StarExpr:
+		return p.taintedExpr(ts, e.X)
+	case *ast.UnaryExpr:
+		if e.Op == token.AND {
+			return p.taintedExpr(ts, e.X)
+		}
+	}
+	return false
+}
+
+// transferTaint propagates taint through a block's assignments.
+func (p *purity) transferTaint(b *Block, in taintSet) taintSet {
+	ts := in
+	mutated := false
+	set := func(obj types.Object, tainted bool) {
+		if obj == nil {
+			return
+		}
+		if ts[obj] == tainted {
+			return
+		}
+		if !mutated {
+			ts = ts.clone()
+			mutated = true
+		}
+		if tainted {
+			ts[obj] = true
+		} else {
+			delete(ts, obj)
+		}
+	}
+	for _, n := range b.Nodes {
+		InspectShallow(n, func(m ast.Node) bool {
+			as, ok := m.(*ast.AssignStmt)
+			if !ok || (as.Tok != token.ASSIGN && as.Tok != token.DEFINE) {
+				return true
+			}
+			if len(as.Lhs) != len(as.Rhs) {
+				// Tuple-from-call: results are fresh, clear the LHS.
+				for _, lhs := range as.Lhs {
+					if id, isID := lhs.(*ast.Ident); isID && id.Name != "_" {
+						set(p.objectOf(id), false)
+					}
+				}
+				return true
+			}
+			for i, lhs := range as.Lhs {
+				id, isID := lhs.(*ast.Ident)
+				if !isID || id.Name == "_" {
+					continue
+				}
+				obj := p.objectOf(id)
+				// Only reference-like destinations can carry taint:
+				// `t := in[0]` copies a by-value Task and owns the copy.
+				tainted := p.taintedExpr(ts, as.Rhs[i]) && obj != nil && isProtectedType(obj.Type(), 0)
+				set(obj, tainted)
+			}
+			return true
+		})
+	}
+	return ts
+}
+
+func (p *purity) objectOf(id *ast.Ident) types.Object {
+	if o := p.pass.Info.Uses[id]; o != nil {
+		return o
+	}
+	return p.pass.Info.Defs[id]
+}
+
+// sortFuncs are the in-place sorters from the standard library.
+var sortFuncs = map[string]bool{
+	"Sort": true, "Stable": true, "Slice": true, "SliceStable": true,
+	"Float64s": true, "Ints": true, "Strings": true, "SortFunc": true,
+	"SortStableFunc": true, "Reverse": true,
+}
+
+// rootOf returns the leftmost identifier of an lvalue chain, or nil.
+func rootOf(e ast.Expr) *ast.Ident {
+	for {
+		switch x := e.(type) {
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.Ident:
+			return x
+		default:
+			return nil
+		}
+	}
+}
+
+// reportBlock flags the impure operations of one node given the taint
+// state before it.
+func (p *purity) reportNode(n ast.Node, ts taintSet) {
+	InspectShallow(n, func(m ast.Node) bool {
+		switch m := m.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range m.Lhs {
+				root := rootOf(lhs)
+				if root == nil {
+					continue
+				}
+				// A plain rebind `x = ...` of a tainted local only changes
+				// the local; a store `x[i] = ...` / `x.f = ...` / `*x = ...`
+				// writes through the alias.
+				if _, isIdent := lhs.(*ast.Ident); isIdent {
+					continue
+				}
+				obj := p.objectOf(root)
+				if obj != nil && ts[obj] {
+					p.pass.Reportf(lhs.Pos(), "store through %s mutates scheduler input (schedulers must treat Platform, task slices and DAGs as read-only)", root.Name)
+				}
+			}
+		case *ast.IncDecStmt:
+			if root := rootOf(m.X); root != nil {
+				if _, isIdent := m.X.(*ast.Ident); !isIdent {
+					obj := p.objectOf(root)
+					if obj != nil && ts[obj] {
+						p.pass.Reportf(m.Pos(), "increment through %s mutates scheduler input", root.Name)
+					}
+				}
+			}
+		case *ast.CallExpr:
+			sel, isSel := m.Fun.(*ast.SelectorExpr)
+			if !isSel {
+				return true
+			}
+			// sort.Slice(in, ...) / slices.SortFunc(in, ...) on a tainted arg.
+			if pkgID, isPkg := sel.X.(*ast.Ident); isPkg {
+				if _, isPkgName := p.pass.Info.Uses[pkgID].(*types.PkgName); isPkgName {
+					if (pkgID.Name == "sort" || pkgID.Name == "slices") && sortFuncs[sel.Sel.Name] && len(m.Args) > 0 {
+						if p.taintedExpr(ts, m.Args[0]) {
+							root := rootOf(m.Args[0])
+							name := "argument"
+							if root != nil {
+								name = root.Name
+							}
+							p.pass.Reportf(m.Pos(), "%s.%s sorts %s in place, mutating scheduler input — sort a Clone() instead", pkgID.Name, sel.Sel.Name, name)
+						}
+					}
+					return true
+				}
+			}
+			// Method with "Sort" in the name on a tainted receiver.
+			if strings.Contains(sel.Sel.Name, "Sort") && p.taintedExpr(ts, sel.X) {
+				root := rootOf(sel.X)
+				name := "receiver"
+				if root != nil {
+					name = root.Name
+				}
+				p.pass.Reportf(m.Pos(), "%s.%s may reorder scheduler input in place — operate on a Clone() instead", name, sel.Sel.Name)
+			}
+		}
+		return true
+	})
+}
+
+func runPurity(pass *Pass) {
+	p := &purity{pass: pass}
+	for _, fb := range FunctionsOf(pass.Files) {
+		entry := make(taintSet)
+		for _, fl := range []*ast.FieldList{fb.Recv, fb.Type.Params} {
+			if fl == nil {
+				continue
+			}
+			for _, f := range fl.List {
+				for _, name := range f.Names {
+					obj := pass.Info.Defs[name]
+					if obj != nil && isProtectedType(obj.Type(), 0) {
+						entry[obj] = true
+					}
+				}
+			}
+		}
+		if len(entry) == 0 {
+			continue
+		}
+		g := BuildCFG(fb.Body)
+		res := Solve(&FlowProblem[taintSet]{
+			CFG:      g,
+			Entry:    entry,
+			Join:     joinTaint,
+			Equal:    equalTaint,
+			Transfer: p.transferTaint,
+		})
+		for _, b := range g.Blocks {
+			if !res.Reached[b.Index] {
+				continue
+			}
+			ts := res.In[b.Index]
+			for _, n := range b.Nodes {
+				p.reportNode(n, ts)
+				ts = p.transferTaint(&Block{Nodes: []ast.Node{n}}, ts)
+			}
+		}
+	}
+}

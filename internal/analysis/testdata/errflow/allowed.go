@@ -1,0 +1,6 @@
+package fixture
+
+func bestEffortCleanup() {
+	//hplint:allow errflow best-effort cleanup, failure changes nothing
+	mightFail()
+}

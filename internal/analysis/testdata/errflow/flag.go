@@ -1,0 +1,36 @@
+package fixture
+
+// Errors dropped along some path, shadowed errors, and discarded error
+// results in statement position.
+
+func dropStatement() {
+	mightFail() // want "discards its error result"
+}
+
+func dropOnBranch(b bool) error {
+	err := mightFail() // want "dropped on some path"
+	if b {
+		return err
+	}
+	return nil
+}
+
+func dropByOverwrite() error {
+	err := mightFail() // want "dropped on some path"
+	err = mightFail()
+	return err
+}
+
+func dropShadowed(b bool) error {
+	_, err := parse()
+	if err != nil {
+		return err
+	}
+	if b {
+		n, err := parse() // want "shadows the outer err"
+		if n > 0 {
+			return err
+		}
+	}
+	return nil
+}

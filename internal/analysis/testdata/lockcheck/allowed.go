@@ -1,0 +1,6 @@
+package fixture
+
+func racyReadByDesign(c *counter) float64 {
+	//hplint:allow lockcheck approximate metric read, staleness is acceptable here
+	return c.n
+}

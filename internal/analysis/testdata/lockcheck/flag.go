@@ -1,0 +1,35 @@
+package fixture
+
+// Accesses to guarded fields (declared after their mutex) that some path
+// reaches without the lock held.
+
+func badWrite(c *counter) {
+	c.n++ // want "write to c.n guarded by mu"
+}
+
+func badRead(c *counter) float64 {
+	return c.n // want "read of c.n guarded by mu"
+}
+
+func badAfterUnlock(c *counter) float64 {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+	return c.n // want "read of c.n guarded by mu"
+}
+
+func badOnOnePath(c *counter, b bool) {
+	if b {
+		c.mu.Lock()
+	}
+	c.n++ // want "write to c.n guarded by mu"
+	if b {
+		c.mu.Unlock()
+	}
+}
+
+func badWriteUnderRLock(g *gauge, x float64) {
+	g.mu.RLock()
+	g.v = x // want "write to g.v guarded by mu"
+	g.mu.RUnlock()
+}

@@ -1,0 +1,63 @@
+package fixture
+
+import "sync"
+
+// counter follows the positional convention: mu guards n (declared after
+// it) but not label (declared before it).
+type counter struct {
+	label string
+	mu    sync.Mutex
+	n     float64
+}
+
+type gauge struct {
+	mu sync.RWMutex
+	v  float64
+}
+
+func okWrite(c *counter) {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+}
+
+func okDeferred(c *counter, x float64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n += x
+}
+
+func (c *counter) Add(x float64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n += x
+}
+
+func okReadUnderRLock(g *gauge) float64 {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return g.v
+}
+
+func okUnguardedField(c *counter) string {
+	return c.label // declared before mu: not guarded
+}
+
+func okConstructor() *counter {
+	c := &counter{}
+	c.n = 1 // local value, not yet shared: the constructor idiom
+	return c
+}
+
+func okDoubleChecked(g *gauge, x float64) float64 {
+	g.mu.RLock()
+	v := g.v
+	g.mu.RUnlock()
+	if v > 0 {
+		return v
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.v = x
+	return g.v
+}

@@ -1,0 +1,8 @@
+package fixture
+
+import "repro/internal/platform"
+
+func sanctionedMutation(in platform.Instance) {
+	//hplint:allow purity priority annotation pass owns its input by contract
+	in[0].Priority = 7
+}

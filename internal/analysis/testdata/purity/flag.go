@@ -1,0 +1,39 @@
+package fixture
+
+import (
+	"sort"
+
+	"repro/internal/platform"
+)
+
+// Schedulers must not mutate their inputs: stores through aliases of the
+// caller's slices and in-place sorts are flagged.
+
+func badSort(in platform.Instance) {
+	sort.SliceStable(in, func(i, j int) bool { return in[i].Priority > in[j].Priority }) // want "sorts in in place"
+}
+
+func badStore(in platform.Instance) {
+	in[0].Priority = 1 // want "store through in"
+}
+
+func badAliasStore(in platform.Instance) {
+	view := in[1:]
+	view[0].Priority = 2 // want "store through view"
+}
+
+func badPtrStore(ts []*platform.Task) {
+	ts[0].Priority = 3 // want "store through ts"
+}
+
+func badMaybeAlias(in platform.Instance, b bool) {
+	work := make(platform.Instance, len(in))
+	if b {
+		work = in
+	}
+	work[0].Priority = 4 // want "store through work"
+}
+
+func badIncrement(in platform.Instance) {
+	in[0].Priority++ // want "increment through in"
+}

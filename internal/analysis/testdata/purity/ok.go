@@ -1,0 +1,49 @@
+package fixture
+
+import (
+	"sort"
+
+	"repro/internal/dag"
+	"repro/internal/platform"
+)
+
+// The sanctioned forms: clone before sorting, write only to scratch
+// state, reads are always fine.
+
+func okCloneSort(in platform.Instance) platform.Instance {
+	order := in.Clone()
+	sort.SliceStable(order, func(i, j int) bool { return order[i].Priority > order[j].Priority })
+	return order
+}
+
+func okScratchWrite(in platform.Instance, out []int) {
+	for i := range in {
+		out[i] = in[i].ID // []int scratch is not scheduler input
+	}
+}
+
+func okRebind(in platform.Instance) int {
+	in = in[:0] // rebinding the local parameter copies no caller state
+	return len(in)
+}
+
+func okCloneReassign(in platform.Instance) platform.Instance {
+	in = in.Clone() // the local name now aliases a fresh slice...
+	in[0].Priority = 1
+	return in
+}
+
+func okReadGraph(g *dag.Graph, pl platform.Platform) float64 {
+	var total float64
+	for _, t := range g.Tasks() {
+		total += t.Time(platform.CPU)
+	}
+	_ = pl
+	return total
+}
+
+func okValueCopy(in platform.Instance) platform.Task {
+	t := in[0] // Task is a value type; the copy is ours
+	t.Priority = 9
+	return t
+}

@@ -1,0 +1,6 @@
+package fixture
+
+func deliberateMix(makespan, accel float64) float64 {
+	//hplint:allow unitflow demonstration of an intentionally dimensionless merge
+	return makespan + accel
+}

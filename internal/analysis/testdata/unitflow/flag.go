@@ -1,0 +1,35 @@
+package fixture
+
+// Each function mixes units the dimensional analysis must catch.
+
+func mixTimeRatio(makespan, accel float64) float64 {
+	return makespan + accel // want "mixes time and ratio"
+}
+
+func mixScales(elapsedMs, waitSec float64) float64 {
+	return elapsedMs + waitSec // want "mixes milliseconds and seconds"
+}
+
+func compareAreaTime(area, makespan float64) bool {
+	return area > makespan // want "mixes area and time"
+}
+
+func assignMismatch(spanSec float64) float64 {
+	totalMs := spanSec // want "mixes milliseconds and seconds"
+	return totalMs
+}
+
+func flowMix(makespan, accel float64) float64 {
+	v := makespan
+	return v + accel // want "mixes time and ratio"
+}
+
+func compoundMix(idleTime, rho float64) float64 {
+	total := idleTime
+	total += rho // want "mixes time and ratio"
+	return total
+}
+
+func divideScales(busyMs, horizonSec float64) float64 {
+	return busyMs / horizonSec // want "mixes milliseconds and seconds"
+}

@@ -1,0 +1,45 @@
+package fixture
+
+// Sanctioned arithmetic: same-dimension sums, the unit-preserving
+// multiplicative algebra, and conservative silence around unknowns.
+
+func sumTimes(makespan, idleTime float64) float64 {
+	return makespan + idleTime
+}
+
+func scaleByRatio(makespan, accel float64) float64 {
+	return makespan * accel // time x ratio -> time
+}
+
+func accelOf(cpuTime, gpuTime float64) float64 {
+	ratio := cpuTime / gpuTime // time / time -> ratio
+	return ratio
+}
+
+func areaFromTimes(busyTime, horizon float64) float64 {
+	area := busyTime * horizon // time x time -> area
+	return area
+}
+
+func unknownStaysSilent(makespan float64, cols int) float64 {
+	scale := float64(cols) / makespan // int operand is unit-free
+	return scale * makespan
+}
+
+func scaleConversion(spanSec float64) float64 {
+	// Multiplying by a bare literal loses the unit (the analysis cannot
+	// know 1000 is a scale factor), so the ms-named destination is fine.
+	spanMs := spanSec * 1000.0
+	return spanMs
+}
+
+func boundsAreTimes(areaBound, makespan float64) bool {
+	// Every *Bound in this repository is a makespan lower bound — a time.
+	return areaBound <= makespan
+}
+
+func flowTracksReassignment(makespan, accel float64) float64 {
+	v := makespan
+	v = accel // v is now a ratio...
+	return v * makespan
+}

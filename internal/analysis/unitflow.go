@@ -1,0 +1,564 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// UnitFlow is a taint-style dimensional analysis over the quantities the
+// paper's bounds are arithmetic on: times (in seconds or milliseconds),
+// areas (time x workers, the denominator of the area bound), and
+// dimensionless ratios (acceleration factors rho = p/q, fractions,
+// phi-family constants). Units are seeded from the repository's naming
+// conventions (a float named "*_ms" or "StartMs" is a time in
+// milliseconds, "Area" an area, "Accel"/"Ratio"/"rho" a ratio, ...) and
+// propagated flow-sensitively through assignments and unit-preserving
+// arithmetic; additions and comparisons that mix dimensions — or mix
+// milliseconds with seconds — are flagged. The multiplicative algebra is
+// deliberately conservative: an operand of unknown unit makes the result
+// unknown, so generic scaling code stays silent.
+var UnitFlow = &Analyzer{
+	Name:      "unitflow",
+	Doc:       "no arithmetic or comparison mixing time with area or ratio, or ms with s",
+	Packages:  []string{"internal/sim", "internal/bounds", "internal/core", "internal/lp"},
+	SkipTests: true,
+	Run:       runUnitFlow,
+}
+
+// dim is the dimension component of a unit.
+type dim uint8
+
+const (
+	dimUnknown dim = iota
+	dimTime
+	dimArea  // time x worker-count (the area-bound denominator is per worker)
+	dimRatio // dimensionless: acceleration factors, fractions, phi constants
+)
+
+func (d dim) String() string {
+	switch d {
+	case dimTime:
+		return "time"
+	case dimArea:
+		return "area"
+	case dimRatio:
+		return "ratio"
+	}
+	return "unknown"
+}
+
+// tscale is the scale component of a time unit.
+type tscale uint8
+
+const (
+	scaleAny tscale = iota // a time of unspecified scale
+	scaleMs
+	scaleS
+)
+
+func (s tscale) String() string {
+	switch s {
+	case scaleMs:
+		return "milliseconds"
+	case scaleS:
+		return "seconds"
+	}
+	return "unspecified scale"
+}
+
+// unit is one point of the unit lattice: a dimension plus, for times, a
+// scale. The lattice is flat under dimUnknown (any disagreement joins to
+// unknown), so propagation can only lose information, never invent it.
+type unit struct {
+	d dim
+	s tscale
+}
+
+var noUnit = unit{}
+
+// known reports whether the unit carries any information.
+func (u unit) known() bool { return u.d != dimUnknown }
+
+func (u unit) String() string {
+	if u.d == dimTime && u.s != scaleAny {
+		return "time (" + u.s.String() + ")"
+	}
+	return u.d.String()
+}
+
+// compatible reports whether two known units may meet in an additive
+// operation (+, -, comparison) without mixing dimensions or scales.
+func compatible(a, b unit) bool {
+	if a.d != b.d {
+		return false
+	}
+	if a.d == dimTime && a.s != scaleAny && b.s != scaleAny && a.s != b.s {
+		return false
+	}
+	return true
+}
+
+// joinUnits is the lattice join: equal units survive, a known unit meets
+// scaleAny by keeping the more specific scale, everything else drops to
+// unknown.
+func joinUnits(a, b unit) unit {
+	if a == b {
+		return a
+	}
+	if !a.known() || !b.known() {
+		return noUnit
+	}
+	if a.d == b.d && a.d == dimTime {
+		if a.s == scaleAny {
+			return b
+		}
+		if b.s == scaleAny {
+			return a
+		}
+	}
+	return noUnit
+}
+
+// splitWords lowercases and splits an identifier on underscores and
+// case boundaries: "TFirstIdleMs" -> [t first idle ms].
+func splitWords(name string) []string {
+	var words []string
+	var cur []rune
+	flush := func() {
+		if len(cur) > 0 {
+			words = append(words, strings.ToLower(string(cur)))
+			cur = nil
+		}
+	}
+	runes := []rune(name)
+	for i, r := range runes {
+		switch {
+		case r == '_':
+			flush()
+		case r >= 'A' && r <= 'Z':
+			// Boundary before an upper rune unless we are inside an acronym
+			// run ("GPU"); a lower rune after the run starts a new word.
+			if i > 0 && (runes[i-1] < 'A' || runes[i-1] > 'Z') {
+				flush()
+			} else if i+1 < len(runes) && runes[i+1] >= 'a' && runes[i+1] <= 'z' && len(cur) > 1 {
+				flush()
+			}
+			cur = append(cur, r)
+		default:
+			cur = append(cur, r)
+		}
+	}
+	flush()
+	return words
+}
+
+var (
+	msWords = map[string]bool{"ms": true, "millis": true, "milliseconds": true, "msec": true}
+	sWords  = map[string]bool{"sec": true, "secs": true, "second": true, "seconds": true}
+	// ratioWords cover acceleration factors and the paper's dimensionless
+	// constants; "frac"/"fraction" appear in utilization accounting.
+	ratioWords = map[string]bool{
+		"ratio": true, "rho": true, "accel": true, "acceleration": true,
+		"fraction": true, "frac": true, "speedup": true, "phi": true,
+	}
+	timeWords = map[string]bool{
+		"time": true, "duration": true, "makespan": true, "elapsed": true,
+		"latency": true, "horizon": true, "busy": true, "idle": true,
+		"wait": true, "wasted": true, "start": true, "end": true,
+		"finish": true, "deadline": true, "release": true, "cmax": true,
+	}
+)
+
+// seedUnit derives a unit from an identifier name, or noUnit. Precedence:
+// an explicit scale suffix wins; then "bound" (every *Bound in this
+// repository is a makespan lower bound, i.e. a time — AreaBound included);
+// then ratio words; then "area"; then generic time words.
+func seedUnit(name string) unit {
+	words := splitWords(name)
+	for _, w := range words {
+		if msWords[w] {
+			return unit{dimTime, scaleMs}
+		}
+		if sWords[w] {
+			return unit{dimTime, scaleS}
+		}
+	}
+	for _, w := range words {
+		if w == "bound" {
+			return unit{d: dimTime}
+		}
+	}
+	for _, w := range words {
+		if ratioWords[w] {
+			return unit{d: dimRatio}
+		}
+	}
+	for _, w := range words {
+		if w == "area" {
+			return unit{d: dimArea}
+		}
+	}
+	for _, w := range words {
+		if timeWords[w] {
+			return unit{d: dimTime}
+		}
+	}
+	return noUnit
+}
+
+// unitEnv is the dataflow fact: the inferred unit of each float object at
+// a program point. Facts are immutable; transfer clones before writing.
+type unitEnv map[types.Object]unit
+
+func (e unitEnv) clone() unitEnv {
+	c := make(unitEnv, len(e))
+	for k, v := range e {
+		c[k] = v
+	}
+	return c
+}
+
+func joinUnitEnv(a, b unitEnv) unitEnv {
+	out := make(unitEnv)
+	for k, va := range a {
+		if vb, ok := b[k]; ok {
+			if j := joinUnits(va, vb); j.known() {
+				out[k] = j
+			}
+		}
+	}
+	return out
+}
+
+func equalUnitEnv(a, b unitEnv) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, va := range a {
+		if vb, ok := b[k]; !ok || va != vb {
+			return false
+		}
+	}
+	return true
+}
+
+// unitflow ties one function's analysis together.
+type unitflow struct {
+	pass *Pass
+}
+
+// objectOf resolves an identifier to its object (use or def).
+func (u *unitflow) objectOf(id *ast.Ident) types.Object {
+	if o := u.pass.Info.Uses[id]; o != nil {
+		return o
+	}
+	return u.pass.Info.Defs[id]
+}
+
+// unitOf evaluates the unit of a float expression under env. report, when
+// non-nil, is called for mixed-unit binary operations (the reporting pass
+// passes it; the transfer pass leaves it nil).
+func (u *unitflow) unitOf(env unitEnv, e ast.Expr, report func(pos token.Pos, op token.Token, a, b unit)) unit {
+	if !isFloat(u.pass.Info.TypeOf(e)) {
+		return noUnit
+	}
+	switch e := e.(type) {
+	case *ast.ParenExpr:
+		return u.unitOf(env, e.X, report)
+	case *ast.UnaryExpr:
+		if e.Op == token.SUB || e.Op == token.ADD {
+			return u.unitOf(env, e.X, report)
+		}
+	case *ast.Ident:
+		obj := u.objectOf(e)
+		if obj == nil {
+			return noUnit
+		}
+		if v, ok := env[obj]; ok {
+			return v
+		}
+		return seedUnit(e.Name)
+	case *ast.SelectorExpr:
+		// Field access x.Start: the field's name seeds the unit (fields are
+		// not tracked flow-sensitively; their declarations are the source of
+		// truth). Package-qualified idents (math.Pi) resolve here too.
+		if obj := u.pass.Info.Uses[e.Sel]; obj != nil {
+			if _, isField := obj.(*types.Var); isField {
+				return seedUnit(e.Sel.Name)
+			}
+		}
+		return noUnit
+	case *ast.CallExpr:
+		// A conversion float64(x) preserves the unit of x.
+		if tv, ok := u.pass.Info.Types[e.Fun]; ok && tv.IsType() && len(e.Args) == 1 {
+			if isFloat(u.pass.Info.TypeOf(e.Args[0])) {
+				return u.unitOf(env, e.Args[0], report)
+			}
+			return noUnit // int->float conversions carry no unit
+		}
+		// A call's result is seeded from the callee's name (AreaBound(...)
+		// is a time, (Task).Accel() a ratio).
+		switch fn := e.Fun.(type) {
+		case *ast.Ident:
+			return seedUnit(fn.Name)
+		case *ast.SelectorExpr:
+			return seedUnit(fn.Sel.Name)
+		}
+		return noUnit
+	case *ast.BinaryExpr:
+		a := u.unitOf(env, e.X, report)
+		b := u.unitOf(env, e.Y, report)
+		switch e.Op {
+		case token.ADD, token.SUB:
+			if a.known() && b.known() {
+				if !compatible(a, b) {
+					if report != nil {
+						report(e.OpPos, e.Op, a, b)
+					}
+					return noUnit
+				}
+				return joinAdditive(a, b)
+			}
+			// One side unknown: trust the known side (the unknown operand
+			// is most often a seeded-free intermediate of the same unit).
+			if a.known() {
+				return a
+			}
+			return b
+		case token.MUL:
+			return mulUnit(a, b)
+		case token.QUO:
+			if a.d == dimTime && b.d == dimTime && a.s != scaleAny && b.s != scaleAny && a.s != b.s {
+				if report != nil {
+					report(e.OpPos, e.Op, a, b)
+				}
+				return noUnit
+			}
+			return quoUnit(a, b)
+		}
+		return noUnit
+	}
+	return noUnit
+}
+
+// joinAdditive merges two compatible units after +/-: the more specific
+// time scale survives.
+func joinAdditive(a, b unit) unit {
+	if a.d == dimTime && a.s == scaleAny {
+		return b
+	}
+	return a
+}
+
+// mulUnit is the conservative multiplicative algebra: both operands must
+// be known for the result to be, so dimensionless scaling code (counts,
+// factors read from flags) never pollutes the analysis.
+func mulUnit(a, b unit) unit {
+	switch {
+	case !a.known() || !b.known():
+		return noUnit
+	case a.d == dimTime && b.d == dimRatio:
+		return a
+	case a.d == dimRatio && b.d == dimTime:
+		return b
+	case a.d == dimRatio && b.d == dimRatio:
+		return unit{d: dimRatio}
+	case a.d == dimTime && b.d == dimTime:
+		return unit{d: dimArea}
+	}
+	return noUnit
+}
+
+func quoUnit(a, b unit) unit {
+	switch {
+	case !a.known() || !b.known():
+		return noUnit
+	case a.d == dimTime && b.d == dimTime:
+		return unit{d: dimRatio}
+	case a.d == dimTime && b.d == dimRatio:
+		return a
+	case a.d == dimArea && b.d == dimTime:
+		return unit{d: dimTime}
+	case a.d == dimRatio && b.d == dimRatio:
+		return unit{d: dimRatio}
+	}
+	return noUnit
+}
+
+// transferUnits applies a block's effect on the environment; when report
+// is non-nil it also emits diagnostics (the reporting replay).
+func (u *unitflow) transferUnits(b *Block, in unitEnv, report func(pos token.Pos, op token.Token, a, b unit)) unitEnv {
+	env := in
+	mutated := false
+	write := func(obj types.Object, v unit) {
+		if obj == nil {
+			return
+		}
+		if !mutated {
+			env = env.clone()
+			mutated = true
+		}
+		if v.known() {
+			env[obj] = v
+		} else {
+			delete(env, obj)
+		}
+	}
+	for _, n := range b.Nodes {
+		InspectShallow(n, func(m ast.Node) bool {
+			switch m := m.(type) {
+			case *ast.BinaryExpr:
+				switch m.Op {
+				case token.LSS, token.LEQ, token.GTR, token.GEQ, token.EQL, token.NEQ:
+					// Comparisons are additive meets too.
+					a := u.unitOf(env, m.X, report)
+					bb := u.unitOf(env, m.Y, report)
+					if a.known() && bb.known() && !compatible(a, bb) && report != nil {
+						report(m.OpPos, m.Op, a, bb)
+					}
+					return false // operands already evaluated (with reporting)
+				case token.ADD, token.SUB, token.MUL, token.QUO:
+					// Arithmetic in any other position (return values, call
+					// arguments, ...): evaluate for its reporting side effects.
+					u.unitOf(env, m, report)
+					return false
+				}
+			case *ast.AssignStmt:
+				u.transferAssign(m, env, write, report)
+				return false
+			}
+			return true
+		})
+	}
+	return env
+}
+
+// transferAssign updates the environment for one assignment and flags
+// stores of a unit incompatible with the destination's declared (seeded)
+// unit.
+func (u *unitflow) transferAssign(as *ast.AssignStmt, env unitEnv, write func(types.Object, unit), report func(pos token.Pos, op token.Token, a, b unit)) {
+	// Compound ops x += e are an additive meet of x and e.
+	switch as.Tok {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN:
+		a := u.unitOf(env, as.Lhs[0], report)
+		b := u.unitOf(env, as.Rhs[0], report)
+		if a.known() && b.known() && !compatible(a, b) && report != nil {
+			report(as.TokPos, token.ADD, a, b)
+		}
+		return
+	case token.MUL_ASSIGN, token.QUO_ASSIGN:
+		if id, ok := as.Lhs[0].(*ast.Ident); ok {
+			a := u.unitOf(env, as.Lhs[0], report)
+			b := u.unitOf(env, as.Rhs[0], report)
+			res := mulUnit(a, b)
+			if as.Tok == token.QUO_ASSIGN {
+				res = quoUnit(a, b)
+			}
+			write(u.objectOf(id), res)
+		}
+		return
+	}
+	if as.Tok != token.ASSIGN && as.Tok != token.DEFINE {
+		return
+	}
+	// Only the 1:1 and n:n value forms bind units; tuple-returning calls
+	// give every LHS an unknown unit.
+	if len(as.Lhs) != len(as.Rhs) {
+		return
+	}
+	for i, lhs := range as.Lhs {
+		rhs := u.unitOf(env, as.Rhs[i], report)
+		id, ok := lhs.(*ast.Ident)
+		if !ok || id.Name == "_" {
+			continue
+		}
+		obj := u.objectOf(id)
+		if obj == nil || !isFloat(obj.Type()) {
+			continue
+		}
+		declared := seedUnit(id.Name)
+		if declared.known() && rhs.known() && !compatible(declared, rhs) && report != nil {
+			report(as.TokPos, token.ASSIGN, declared, rhs)
+		}
+		switch {
+		case rhs.known():
+			write(obj, rhs)
+		case declared.known():
+			write(obj, declared)
+		default:
+			write(obj, noUnit)
+		}
+	}
+}
+
+func runUnitFlow(pass *Pass) {
+	u := &unitflow{pass: pass}
+	for _, fb := range FunctionsOf(pass.Files) {
+		entry := make(unitEnv)
+		seedFields := func(fl *ast.FieldList) {
+			if fl == nil {
+				return
+			}
+			for _, f := range fl.List {
+				for _, name := range f.Names {
+					obj := pass.Info.Defs[name]
+					if obj != nil && isFloat(obj.Type()) {
+						if su := seedUnit(name.Name); su.known() {
+							entry[obj] = su
+						}
+					}
+				}
+			}
+		}
+		seedFields(fb.Recv)
+		seedFields(fb.Type.Params)
+		seedFields(fb.Type.Results)
+		g := BuildCFG(fb.Body)
+		res := Solve(&FlowProblem[unitEnv]{
+			CFG:   g,
+			Entry: entry,
+			Join:  joinUnitEnv,
+			Equal: equalUnitEnv,
+			Transfer: func(b *Block, in unitEnv) unitEnv {
+				return u.transferUnits(b, in, nil)
+			},
+		})
+		// Reporting replay, deduplicated per position (a block may be
+		// re-walked only once here, but x+y inside a condition is seen by
+		// the condition's own block only).
+		seen := map[token.Pos]bool{}
+		for _, b := range g.Blocks {
+			if !res.Reached[b.Index] {
+				continue
+			}
+			u.transferUnits(b, res.In[b.Index], func(pos token.Pos, op token.Token, a, bu unit) {
+				if seen[pos] {
+					return
+				}
+				seen[pos] = true
+				what := "mixes " + a.String() + " and " + bu.String()
+				if a.d == dimTime && bu.d == dimTime {
+					what = "mixes " + a.s.String() + " and " + bu.s.String()
+				}
+				pass.Reportf(pos, "%s %s in %s (operator %s)", fb.Name, what, opContext(op), op)
+			})
+		}
+	}
+}
+
+// opContext names the operation class for diagnostics.
+func opContext(op token.Token) string {
+	switch op {
+	case token.ADD, token.SUB:
+		return "an additive expression"
+	case token.LSS, token.LEQ, token.GTR, token.GEQ, token.EQL, token.NEQ:
+		return "a comparison"
+	case token.QUO:
+		return "a division"
+	case token.ASSIGN:
+		return "an assignment"
+	}
+	return "an expression"
+}

@@ -347,7 +347,11 @@ func DualHPDAGWithPriorities(g *dag.Graph, pl platform.Platform, rank Ranking) (
 	return DualHPDAG(g, pl, rank)
 }
 
-// sortByPriorityDesc is a helper used in tests and experiments.
-func sortByPriorityDesc(in platform.Instance) {
-	sort.SliceStable(in, func(i, j int) bool { return in[i].Priority > in[j].Priority })
+// sortedByPriorityDesc is a helper used in tests and experiments. It
+// returns a sorted clone: scheduler inputs are read-only (see the purity
+// analyzer), so even helpers follow the clone-then-sort discipline.
+func sortedByPriorityDesc(in platform.Instance) platform.Instance {
+	order := in.Clone()
+	sort.SliceStable(order, func(i, j int) bool { return order[i].Priority > order[j].Priority })
+	return order
 }

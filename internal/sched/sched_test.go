@@ -347,14 +347,17 @@ func TestOptimalSandwichProperty(t *testing.T) {
 	}
 }
 
-func TestSortByPriorityDesc(t *testing.T) {
+func TestSortedByPriorityDesc(t *testing.T) {
 	in := platform.Instance{
 		{ID: 0, CPUTime: 1, GPUTime: 1, Priority: 1},
 		{ID: 1, CPUTime: 1, GPUTime: 1, Priority: 3},
 		{ID: 2, CPUTime: 1, GPUTime: 1, Priority: 2},
 	}
-	sortByPriorityDesc(in)
-	if in[0].ID != 1 || in[1].ID != 2 || in[2].ID != 0 {
-		t.Errorf("order = %v", in)
+	got := sortedByPriorityDesc(in)
+	if got[0].ID != 1 || got[1].ID != 2 || got[2].ID != 0 {
+		t.Errorf("order = %v", got)
+	}
+	if in[0].ID != 0 || in[1].ID != 1 || in[2].ID != 2 {
+		t.Errorf("input mutated: %v", in)
 	}
 }
