@@ -1,12 +1,15 @@
 package hetero
 
 import (
+	"context"
+	"fmt"
 	"math/rand"
 	"testing"
 
 	"repro/internal/bounds"
 	"repro/internal/core"
 	"repro/internal/dag"
+	"repro/internal/engine"
 	"repro/internal/expr"
 	"repro/internal/obs"
 	"repro/internal/platform"
@@ -205,6 +208,57 @@ func BenchmarkHeteroPrioIndependent(b *testing.B) {
 		if _, err := core.ScheduleIndependent(in, pl, core.Options{}); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkScheduleDAGCholesky measures one full DAG schedule of the
+// 816-task Cholesky graph with min priorities — the paper's headline
+// workload and the benchgate's DAG-path regression probe.
+func BenchmarkScheduleDAGCholesky(b *testing.B) {
+	g := workloads.Cholesky(16)
+	pl := expr.PaperPlatform()
+	if _, err := g.AssignBottomLevelPriorities(dag.WeightMin, pl); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.ScheduleDAG(g, pl, core.Options{UsePriorities: true}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkScheduleIndependentScaling fans 16 independent-instance cells
+// across engine pools of growing width. On a multi-core runner the
+// ns/op should drop as workers are added; the benchgate tracks the
+// workers-1 and workers-4 points.
+func BenchmarkScheduleIndependentScaling(b *testing.B) {
+	pl := expr.PaperPlatform()
+	for _, w := range []int{1, 2, 4, 8} {
+		// "workers=8" rather than "workers-8": a trailing -N is how go test
+		// encodes GOMAXPROCS, and cmd/benchgate strips that suffix when
+		// normalizing names.
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			pool := engine.NewPool(w, nil)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_, err := engine.Map(context.Background(), pool, engine.Job{Cells: 16, Seed: 3},
+					func(_ context.Context, c engine.Cell) (float64, error) {
+						rng := c.Rand()
+						in := workloads.UniformInstance(250, 1, 100, 0.2, 40, rng)
+						s, err := core.ScheduleIndependent(in, pl, core.Options{})
+						if err != nil {
+							return 0, err
+						}
+						return s.Makespan(), nil
+					})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

@@ -1,0 +1,172 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark's gated figures. Allocations are the primary
+// signal — they are machine-independent — while ns/op gets a wide
+// tolerance band to absorb runner noise.
+type Result struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+// Baseline is the checked-in reference (BENCH_baseline.json).
+type Baseline struct {
+	// Note documents how to regenerate the file.
+	Note       string            `json:"note,omitempty"`
+	Benchmarks map[string]Result `json:"benchmarks"`
+}
+
+func readBaseline(path string) (Baseline, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return Baseline{}, err
+	}
+	var b Baseline
+	if err := json.Unmarshal(raw, &b); err != nil {
+		return Baseline{}, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(b.Benchmarks) == 0 {
+		return Baseline{}, fmt.Errorf("%s: no benchmarks recorded", path)
+	}
+	return b, nil
+}
+
+func writeBaseline(path string, b Baseline) error {
+	raw, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(raw, '\n'), 0o644)
+}
+
+// benchLine matches one `go test -bench -benchmem` result line.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+\d+\s+([0-9.]+) ns/op(?:\s+[0-9.]+ MB/s)?\s+[0-9.]+ B/op\s+([0-9.]+) allocs/op`)
+
+// gomaxprocsSuffix is the trailing -N go test appends to benchmark names
+// when GOMAXPROCS > 1. Sub-benchmark names in this repo use key=value
+// segments ("workers=8") precisely so this strip stays unambiguous.
+var gomaxprocsSuffix = regexp.MustCompile(`-\d+$`)
+
+// parseBench reads `go test -bench -benchmem` output and returns the
+// per-benchmark figures, names normalized. With -count > 1 a benchmark
+// appears several times; the minimum ns/op is kept (the least noisy
+// estimate of the true cost) along with the minimum allocs/op.
+func parseBench(r io.Reader) (map[string]Result, error) {
+	out := make(map[string]Result)
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		name := gomaxprocsSuffix.ReplaceAllString(m[1], "")
+		ns, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad ns/op in %q: %w", sc.Text(), err)
+		}
+		allocs, err := strconv.ParseFloat(m[3], 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad allocs/op in %q: %w", sc.Text(), err)
+		}
+		if prev, ok := out[name]; ok {
+			if prev.NsPerOp < ns {
+				ns = prev.NsPerOp
+			}
+			if prev.AllocsPerOp < allocs {
+				allocs = prev.AllocsPerOp
+			}
+		}
+		out[name] = Result{NsPerOp: ns, AllocsPerOp: allocs}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no benchmark result lines found (was -benchmem set?)")
+	}
+	return out, nil
+}
+
+// compare gates the run against the baseline and returns one message per
+// violation, sorted by benchmark name. A benchmark present in the
+// baseline but absent from the run is a violation too — silently losing
+// gate coverage is how regressions sneak in. Benchmarks only in the run
+// are reported on w as candidates for -update, but do not fail.
+func compare(w io.Writer, base Baseline, got map[string]Result, nsTol, allocTol float64) []string {
+	names := make([]string, 0, len(base.Benchmarks))
+	for name := range base.Benchmarks {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	var fails []string
+	for _, name := range names {
+		want := base.Benchmarks[name]
+		g, ok := got[name]
+		if !ok {
+			fails = append(fails, fmt.Sprintf("%s: in baseline but missing from the run", name))
+			continue
+		}
+		if limit := want.NsPerOp * (1 + nsTol); g.NsPerOp > limit {
+			fails = append(fails, fmt.Sprintf("%s: %.0f ns/op exceeds baseline %.0f by %+.1f%% (tolerance %.0f%%)",
+				name, g.NsPerOp, want.NsPerOp, 100*(g.NsPerOp/want.NsPerOp-1), 100*nsTol))
+		}
+		// The +0.5 keeps integer jitter out and pins zero-alloc baselines
+		// to zero.
+		if limit := want.AllocsPerOp*(1+allocTol) + 0.5; g.AllocsPerOp > limit {
+			fails = append(fails, fmt.Sprintf("%s: %.0f allocs/op exceeds baseline %.0f by %+.1f%% (tolerance %.0f%%)",
+				name, g.AllocsPerOp, want.AllocsPerOp, 100*(g.AllocsPerOp/want.AllocsPerOp-1), 100*allocTol))
+		}
+	}
+
+	var extras []string
+	for name := range got {
+		if _, ok := base.Benchmarks[name]; !ok {
+			extras = append(extras, name)
+		}
+	}
+	sort.Strings(extras)
+	for _, name := range extras {
+		fmt.Fprintf(w, "benchgate: note: %s not in baseline (run -update to adopt it)\n", name)
+	}
+	return fails
+}
+
+// summarize prints the per-benchmark comparison table.
+func summarize(w io.Writer, base Baseline, got map[string]Result) {
+	names := make([]string, 0, len(base.Benchmarks))
+	for name := range base.Benchmarks {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		g, ok := got[name]
+		if !ok {
+			continue
+		}
+		want := base.Benchmarks[name]
+		fmt.Fprintf(w, "benchgate: %-55s %12.0f ns/op (base %12.0f, %+6.1f%%)  %8.0f allocs/op (base %8.0f)\n",
+			name, g.NsPerOp, want.NsPerOp, 100*(g.NsPerOp/want.NsPerOp-1), g.AllocsPerOp, want.AllocsPerOp)
+	}
+	var missing []string
+	for name := range got {
+		if _, ok := base.Benchmarks[name]; !ok {
+			missing = append(missing, name)
+		}
+	}
+	if len(missing) > 0 {
+		sort.Strings(missing)
+		fmt.Fprintf(w, "benchgate: %d benchmark(s) not in baseline: %s\n", len(missing), strings.Join(missing, ", "))
+	}
+}

@@ -1,0 +1,135 @@
+package main
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func parseFixture(t *testing.T, name string) map[string]Result {
+	t.Helper()
+	f, err := os.Open(filepath.Join("testdata", name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if err := f.Close(); err != nil {
+			t.Error(err)
+		}
+	}()
+	got, err := parseBench(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return got
+}
+
+// TestParseBench checks GOMAXPROCS-suffix normalization and the
+// min-of-count reduction.
+func TestParseBench(t *testing.T) {
+	got := parseFixture(t, "ok.txt")
+	if len(got) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3: %v", len(got), got)
+	}
+	r, ok := got["BenchmarkScheduleIndependent/disabled"]
+	if !ok {
+		t.Fatalf("-8 suffix not stripped: %v", got)
+	}
+	if r.NsPerOp != 1050000 {
+		t.Errorf("min of repeated runs = %v, want 1050000", r.NsPerOp)
+	}
+	if r.AllocsPerOp != 100 {
+		t.Errorf("allocs = %v, want 100", r.AllocsPerOp)
+	}
+	if r, ok := got["BenchmarkScheduleIndependentScaling/workers=4"]; !ok || r.AllocsPerOp != 5100 {
+		t.Errorf("workers=4 entry wrong: %v ok=%v", r, ok)
+	}
+}
+
+func TestParseBenchEmpty(t *testing.T) {
+	if _, err := parseBench(strings.NewReader("PASS\nok repro 1s\n")); err == nil {
+		t.Error("output without bench lines accepted")
+	}
+}
+
+// TestGateOK: a run within tolerance passes.
+func TestGateOK(t *testing.T) {
+	base, err := readBaseline(filepath.Join("testdata", "baseline.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := parseFixture(t, "ok.txt")
+	if fails := compare(io.Discard, base, got, 0.35, 0.10); len(fails) != 0 {
+		t.Errorf("in-tolerance run failed the gate: %v", fails)
+	}
+}
+
+// TestGateCatchesRegressions: a 50% ns/op slowdown, an 20% allocs/op
+// growth, and allocations appearing on a zero-alloc baseline all fail.
+func TestGateCatchesRegressions(t *testing.T) {
+	base, err := readBaseline(filepath.Join("testdata", "baseline.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := parseFixture(t, "slow.txt")
+	fails := compare(io.Discard, base, got, 0.35, 0.10)
+	if len(fails) != 3 {
+		t.Fatalf("got %d failures, want 3: %v", len(fails), fails)
+	}
+	for i, want := range []string{
+		"BenchmarkAreaBound: 1 allocs/op",
+		"BenchmarkScheduleIndependent/disabled: 1500000 ns/op",
+		"BenchmarkScheduleIndependentScaling/workers=4: 6000 allocs/op",
+	} {
+		if !strings.Contains(fails[i], want) {
+			t.Errorf("failure %d = %q, want substring %q", i, fails[i], want)
+		}
+	}
+}
+
+// TestGateMissingBenchmark: losing gate coverage is itself a failure.
+func TestGateMissingBenchmark(t *testing.T) {
+	base, err := readBaseline(filepath.Join("testdata", "baseline.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := parseFixture(t, "ok.txt")
+	delete(got, "BenchmarkAreaBound")
+	fails := compare(io.Discard, base, got, 0.35, 0.10)
+	if len(fails) != 1 || !strings.Contains(fails[0], "missing from the run") {
+		t.Errorf("missing benchmark not flagged: %v", fails)
+	}
+}
+
+// TestBaselineRoundTrip: -update output reads back identically.
+func TestBaselineRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "baseline.json")
+	want := Baseline{Note: "n", Benchmarks: map[string]Result{
+		"BenchmarkX": {NsPerOp: 12.5, AllocsPerOp: 3},
+	}}
+	if err := writeBaseline(path, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := readBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Note != want.Note || got.Benchmarks["BenchmarkX"] != want.Benchmarks["BenchmarkX"] {
+		t.Errorf("round trip mismatch: %+v vs %+v", got, want)
+	}
+}
+
+func TestReadBaselineErrors(t *testing.T) {
+	if _, err := readBaseline(filepath.Join("testdata", "nope.json")); err == nil {
+		t.Error("missing baseline accepted")
+	}
+	empty := filepath.Join(t.TempDir(), "empty.json")
+	if err := os.WriteFile(empty, []byte("{}"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := readBaseline(empty); err == nil {
+		t.Error("baseline without benchmarks accepted")
+	}
+}

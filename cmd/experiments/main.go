@@ -10,12 +10,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
 	"time"
 
+	"repro/internal/engine"
 	"repro/internal/expr"
 	"repro/internal/obs"
 	"repro/internal/plot"
@@ -32,6 +34,7 @@ func main() {
 		exp     = flag.String("exp", "all", "experiment: all, table1, table2, fig6, fig7, fig8, fig9, ablation, shape, bounds, kernelmix, distribution, adversary, transfer, robustness")
 		out     = flag.String("out", "results", "output directory for CSV files")
 		quick   = flag.Bool("quick", false, "reduced N sweep (fast)")
+		workers = flag.Int("workers", 0, "parallel sweep workers (0 = GOMAXPROCS); results are identical for any value")
 		verbose = flag.Bool("v", false, "structured debug logging to stderr; HP_LOG overrides")
 	)
 	flag.Parse()
@@ -39,22 +42,25 @@ func main() {
 	if *verbose || os.Getenv(obs.LogEnv) != "" {
 		logger = obs.NewLogger(os.Stderr, *verbose)
 	}
-	if err := run(*exp, *out, *quick); err != nil {
+	if err := run(*exp, *out, *quick, *workers); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
 	}
 }
 
-func run(exp, out string, quick bool) error {
+func run(exp, out string, quick bool, workers int) error {
 	if err := os.MkdirAll(out, 0o755); err != nil {
 		return err
 	}
+	ctx := context.Background()
+	pool := engine.NewPool(workers, nil)
 	pl := expr.PaperPlatform()
 	ns := expr.PaperNs()
 	if quick {
 		ns = expr.SmallNs()
 	}
-	logger.Info("experiments starting", "exp", exp, "out", out, "quick", quick, "platform", pl.String())
+	logger.Info("experiments starting", "exp", exp, "out", out, "quick", quick,
+		"workers", pool.Width(), "platform", pl.String())
 
 	emit := func(name string, t *stats.Table) error {
 		fmt.Println(t.Markdown())
@@ -102,7 +108,7 @@ func run(exp, out string, quick bool) error {
 	if want("fig6") {
 		ran = true
 		start := time.Now()
-		rows, err := expr.Fig6(ns, pl)
+		rows, err := expr.Fig6Pool(ctx, pool, ns, pl)
 		if err != nil {
 			return err
 		}
@@ -117,7 +123,7 @@ func run(exp, out string, quick bool) error {
 	if want("fig7") || want("fig8") || want("fig9") {
 		ran = true
 		start := time.Now()
-		rows, err := expr.Fig7(ns, pl)
+		rows, err := expr.Fig7Pool(ctx, pool, ns, pl)
 		if err != nil {
 			return err
 		}
@@ -160,7 +166,7 @@ func run(exp, out string, quick bool) error {
 	if want("ablation") {
 		ran = true
 		start := time.Now()
-		rows, err := expr.Ablation(ns, pl)
+		rows, err := expr.AblationPool(ctx, pool, ns, pl)
 		if err != nil {
 			return err
 		}
@@ -189,7 +195,7 @@ func run(exp, out string, quick bool) error {
 		if quick {
 			bns = []int{4, 8}
 		}
-		rows, err := expr.BoundsCmp(bns, pl)
+		rows, err := expr.BoundsCmpPool(ctx, pool, bns, pl)
 		if err != nil {
 			return err
 		}
@@ -205,7 +211,7 @@ func run(exp, out string, quick bool) error {
 		}
 		var all []expr.KernelMixRow
 		for _, fact := range workloads.Factorizations() {
-			rows, err := expr.KernelMix(fact, n, pl)
+			rows, err := expr.KernelMixPool(ctx, pool, fact, n, pl)
 			if err != nil {
 				return err
 			}
@@ -221,7 +227,7 @@ func run(exp, out string, quick bool) error {
 		if quick {
 			samples = 50
 		}
-		rows, err := expr.Distribution(samples, 120, pl, 2017)
+		rows, err := expr.DistributionPool(ctx, pool, samples, 120, pl, 2017)
 		if err != nil {
 			return err
 		}
@@ -236,7 +242,7 @@ func run(exp, out string, quick bool) error {
 			iters = 800
 		}
 		start := time.Now()
-		rows, err := expr.Adversary(iters, 2017)
+		rows, err := expr.AdversaryPool(ctx, pool, iters, 2017)
 		if err != nil {
 			return err
 		}
@@ -268,7 +274,7 @@ func run(exp, out string, quick bool) error {
 		}
 		var all []expr.RobustnessRow
 		for _, fact := range workloads.Factorizations() {
-			rows, err := expr.Robustness(fact, n, []float64{0, 0.1, 0.2, 0.4}, seeds, pl)
+			rows, err := expr.RobustnessPool(ctx, pool, fact, n, []float64{0, 0.1, 0.2, 0.4}, seeds, pl)
 			if err != nil {
 				return err
 			}
@@ -282,5 +288,8 @@ func run(exp, out string, quick bool) error {
 	if !ran {
 		return fmt.Errorf("unknown experiment %q", exp)
 	}
+	st := pool.Stats()
+	logger.Info("experiments done", "workers", st.Width, "cells", st.Cells,
+		"cellBusySeconds", st.BusySeconds)
 	return nil
 }

@@ -10,7 +10,7 @@ import (
 func TestRunSingleExperiments(t *testing.T) {
 	dir := t.TempDir()
 	for _, exp := range []string{"table1", "table2", "shape"} {
-		if err := run(exp, dir, true); err != nil {
+		if err := run(exp, dir, true, 1); err != nil {
 			t.Errorf("%s: %v", exp, err)
 		}
 		if _, err := os.Stat(filepath.Join(dir, exp+".csv")); err != nil {
@@ -21,7 +21,7 @@ func TestRunSingleExperiments(t *testing.T) {
 
 func TestRunQuickFigures(t *testing.T) {
 	dir := t.TempDir()
-	if err := run("fig6", dir, true); err != nil {
+	if err := run("fig6", dir, true, 4); err != nil {
 		t.Fatal(err)
 	}
 	raw, err := os.ReadFile(filepath.Join(dir, "fig6.csv"))
@@ -34,7 +34,7 @@ func TestRunQuickFigures(t *testing.T) {
 }
 
 func TestRunUnknownExperiment(t *testing.T) {
-	if err := run("nope", t.TempDir(), true); err == nil {
+	if err := run("nope", t.TempDir(), true, 1); err == nil {
 		t.Error("unknown experiment accepted")
 	}
 }

@@ -18,7 +18,7 @@
 // Flags:
 //
 //	-catalog          list the analyzers and exit
-//	-enable a,b,...   run only the named analyzers (default: all nine)
+//	-enable a,b,...   run only the named analyzers (default: all ten)
 //	-json             emit one JSON object per finding, one per line
 //	-dir path -rel p  lint a single directory as module-relative path p
 //	                  (used by CI to assert the golden flag fixtures fail)

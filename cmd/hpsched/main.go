@@ -1,5 +1,5 @@
-// Command hpsched runs one scheduler on one workload and prints the
-// schedule metrics (and optionally an ASCII Gantt chart).
+// Command hpsched runs one or more schedulers on one workload and prints
+// the schedule metrics (and optionally an ASCII Gantt chart).
 //
 // Usage examples:
 //
@@ -7,17 +7,21 @@
 //	hpsched -alg HEFT-avg -workload qr -n 12 -gantt
 //	hpsched -alg HeteroPrio -independent -workload lu -n 8
 //	hpsched -alg DualHP -independent -workload cholesky -n 8 -csv
+//	hpsched -alg all -workload cholesky -n 8 -workers 4
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"math/rand"
 	"os"
+	"strings"
 	"time"
 
 	"repro/internal/bounds"
 	"repro/internal/dag"
+	"repro/internal/engine"
 	"repro/internal/expr"
 	"repro/internal/obs"
 	"repro/internal/platform"
@@ -32,7 +36,7 @@ var logger = obs.NewLogger(nil, false)
 
 func main() {
 	var (
-		alg         = flag.String("alg", "HeteroPrio-min", "algorithm: DAG mode accepts "+fmt.Sprint(expr.DAGAlgorithms())+"; independent mode accepts "+fmt.Sprint(expr.IndepAlgorithms()))
+		alg         = flag.String("alg", "HeteroPrio-min", "algorithm, comma-separated list, or \"all\": DAG mode accepts "+fmt.Sprint(expr.DAGAlgorithms())+"; independent mode accepts "+fmt.Sprint(expr.IndepAlgorithms()))
 		workload    = flag.String("workload", "cholesky", "workload: cholesky, qr, lu, wavefront, chains or uniform")
 		n           = flag.Int("n", 8, "workload size parameter (tiles, grid side, chain count, task count)")
 		cpus        = flag.Int("cpus", 20, "number of CPU workers")
@@ -42,6 +46,7 @@ func main() {
 		csv         = flag.Bool("csv", false, "print the schedule as CSV")
 		chromeOut   = flag.String("chrome", "", "write a Chrome trace-event JSON file (open in chrome://tracing or ui.perfetto.dev)")
 		svgOut      = flag.String("svg", "", "write an SVG Gantt chart to this file")
+		workers     = flag.Int("workers", 0, "parallel workers for multi-algorithm runs (0 = GOMAXPROCS)")
 		verbose     = flag.Bool("v", false, "structured debug logging to stderr; HP_LOG overrides")
 	)
 	flag.Parse()
@@ -50,77 +55,71 @@ func main() {
 		logger = obs.NewLogger(os.Stderr, *verbose)
 	}
 
-	if err := run(*alg, *workload, *n, *cpus, *gpus, *independent, *gantt, *csv, *chromeOut, *svgOut); err != nil {
+	if err := run(*alg, *workload, *n, *cpus, *gpus, *independent, *gantt, *csv, *chromeOut, *svgOut, *workers); err != nil {
 		fmt.Fprintln(os.Stderr, "hpsched:", err)
 		os.Exit(1)
 	}
 }
 
-func run(alg, workload string, n, cpus, gpus int, independent, gantt, csv bool, chromeOut, svgOut string) error {
+// parseAlgs expands the -alg flag: a single name, a comma-separated list,
+// or "all" (every algorithm of the current mode).
+func parseAlgs(spec string, independent bool) []string {
+	if spec == "all" {
+		if independent {
+			return expr.IndepAlgorithms()
+		}
+		return expr.DAGAlgorithms()
+	}
+	var algs []string
+	for _, a := range strings.Split(spec, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			algs = append(algs, a)
+		}
+	}
+	return algs
+}
+
+func run(algSpec, workload string, n, cpus, gpus int, independent, gantt, csv bool, chromeOut, svgOut string, workers int) error {
+	algs := parseAlgs(algSpec, independent)
+	if len(algs) == 0 {
+		return fmt.Errorf("no algorithm given")
+	}
+	if len(algs) == 1 {
+		return runOne(algs[0], workload, n, cpus, gpus, independent, gantt, csv, chromeOut, svgOut)
+	}
+	if gantt || csv || chromeOut != "" || svgOut != "" {
+		return fmt.Errorf("-gantt/-csv/-chrome/-svg need a single -alg, got %d algorithms", len(algs))
+	}
+	// Fan the algorithms out on a pool; Map returns the reports in flag
+	// order, so the output is identical for any -workers value.
+	pool := engine.NewPool(workers, nil)
+	reports, err := engine.Map(context.Background(), pool, engine.Job{Cells: len(algs)},
+		func(_ context.Context, c engine.Cell) (string, error) {
+			return report(algs[c.Index], workload, n, cpus, gpus, independent)
+		})
+	if err != nil {
+		return err
+	}
+	for i, r := range reports {
+		if i > 0 {
+			fmt.Println()
+		}
+		fmt.Print(r)
+	}
+	return nil
+}
+
+func runOne(alg, workload string, n, cpus, gpus int, independent, gantt, csv bool, chromeOut, svgOut string) error {
 	pl := platform.Platform{CPUs: cpus, GPUs: gpus}
 	if err := pl.Validate(); err != nil {
 		return err
 	}
 
-	logger.Debug("building workload", "workload", workload, "n", n, "independent", independent)
-	start := time.Now()
-	var (
-		s     *sim.Schedule
-		in    platform.Instance
-		lower float64
-	)
-	if independent {
-		g, err := buildWorkload(workload, n)
-		if err != nil {
-			return err
-		}
-		in = g.Tasks().Clone()
-		s, err = expr.RunIndependent(alg, in, pl)
-		if err != nil {
-			return err
-		}
-		if err := s.Validate(in, nil); err != nil {
-			return fmt.Errorf("schedule validation failed: %w", err)
-		}
-		lower, err = bounds.Lower(in, pl)
-		if err != nil {
-			return err
-		}
-	} else {
-		g, err := buildWorkload(workload, n)
-		if err != nil {
-			return err
-		}
-		in = g.Tasks()
-		s, err = expr.RunDAG(alg, g, pl)
-		if err != nil {
-			return err
-		}
-		if err := s.Validate(in, g); err != nil {
-			return fmt.Errorf("schedule validation failed: %w", err)
-		}
-		lower, err = bounds.DAGLowerRefined(g, pl)
-		if err != nil {
-			return err
-		}
+	s, in, lower, err := compute(alg, workload, n, pl, independent)
+	if err != nil {
+		return err
 	}
-
-	sum := obs.Summarize(s, in, lower)
-	logger.Info("run complete",
-		"workload", workload, "alg", alg, "n", n, "independent", independent,
-		"tasks", sum.Tasks, "makespan_ms", sum.Makespan, "ratio", sum.Ratio,
-		"spoliations", sum.Spoliations, "wasted_ms", sum.WastedWork,
-		"elapsed_ms", float64(time.Since(start).Microseconds())/1000)
-
-	fmt.Printf("workload:   %s N=%d (%d tasks), %s\n", workload, n, len(in), pl)
-	fmt.Printf("algorithm:  %s (independent=%v)\n", alg, independent)
-	fmt.Printf("makespan:   %.4g ms\n", s.Makespan())
-	fmt.Printf("lowerbound: %.4g ms (ratio %.4f)\n", lower, s.Makespan()/lower)
-	fmt.Printf("spoliated:  %d runs\n", s.SpoliationCount())
-	for _, k := range []platform.Kind{platform.CPU, platform.GPU} {
-		fmt.Printf("%s: busy %.4g ms, idle %.4g ms, equivalent accel %.4g\n",
-			k, s.BusyTime(k), s.IdleTime(k), s.EquivalentAccel(in, k))
-	}
+	fmt.Print(summaryText(alg, workload, n, pl, independent, s, in, lower))
 	if gantt {
 		fmt.Println()
 		fmt.Print(s.Gantt(100))
@@ -150,6 +149,90 @@ func run(alg, workload string, n, cpus, gpus int, independent, gantt, csv bool, 
 		fmt.Printf("svg gantt written to %s\n", svgOut)
 	}
 	return nil
+}
+
+// compute builds the workload, schedules it with alg, validates the
+// result, and derives the lower bound.
+func compute(alg, workload string, n int, pl platform.Platform, independent bool) (*sim.Schedule, platform.Instance, float64, error) {
+	logger.Debug("building workload", "workload", workload, "n", n, "independent", independent)
+	start := time.Now()
+	var (
+		s     *sim.Schedule
+		in    platform.Instance
+		lower float64
+	)
+	if independent {
+		g, err := buildWorkload(workload, n)
+		if err != nil {
+			return nil, nil, 0, err
+		}
+		in = g.Tasks().Clone()
+		s, err = expr.RunIndependent(alg, in, pl)
+		if err != nil {
+			return nil, nil, 0, err
+		}
+		if err := s.Validate(in, nil); err != nil {
+			return nil, nil, 0, fmt.Errorf("schedule validation failed: %w", err)
+		}
+		lower, err = bounds.Lower(in, pl)
+		if err != nil {
+			return nil, nil, 0, err
+		}
+	} else {
+		g, err := buildWorkload(workload, n)
+		if err != nil {
+			return nil, nil, 0, err
+		}
+		in = g.Tasks()
+		s, err = expr.RunDAG(alg, g, pl)
+		if err != nil {
+			return nil, nil, 0, err
+		}
+		if err := s.Validate(in, g); err != nil {
+			return nil, nil, 0, fmt.Errorf("schedule validation failed: %w", err)
+		}
+		lower, err = bounds.DAGLowerRefined(g, pl)
+		if err != nil {
+			return nil, nil, 0, err
+		}
+	}
+
+	sum := obs.Summarize(s, in, lower)
+	logger.Info("run complete",
+		"workload", workload, "alg", alg, "n", n, "independent", independent,
+		"tasks", sum.Tasks, "makespan_ms", sum.Makespan, "ratio", sum.Ratio,
+		"spoliations", sum.Spoliations, "wasted_ms", sum.WastedWork,
+		"elapsed_ms", float64(time.Since(start).Microseconds())/1000)
+	return s, in, lower, nil
+}
+
+// summaryText renders the metric block printed for every run.
+func summaryText(alg, workload string, n int, pl platform.Platform, independent bool, s *sim.Schedule, in platform.Instance, lower float64) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "workload:   %s N=%d (%d tasks), %s\n", workload, n, len(in), pl)
+	fmt.Fprintf(&b, "algorithm:  %s (independent=%v)\n", alg, independent)
+	fmt.Fprintf(&b, "makespan:   %.4g ms\n", s.Makespan())
+	fmt.Fprintf(&b, "lowerbound: %.4g ms (ratio %.4f)\n", lower, s.Makespan()/lower)
+	fmt.Fprintf(&b, "spoliated:  %d runs\n", s.SpoliationCount())
+	for _, k := range []platform.Kind{platform.CPU, platform.GPU} {
+		fmt.Fprintf(&b, "%s: busy %.4g ms, idle %.4g ms, equivalent accel %.4g\n",
+			k, s.BusyTime(k), s.IdleTime(k), s.EquivalentAccel(in, k))
+	}
+	return b.String()
+}
+
+// report is the multi-algorithm cell body: one full compute plus the
+// rendered summary, returned as a string so the reduction stays ordered.
+func report(alg, workload string, n, cpus, gpus int, independent bool) (string, error) {
+	pl := platform.Platform{CPUs: cpus, GPUs: gpus}
+	if err := pl.Validate(); err != nil {
+		return "", err
+	}
+	s, in, lower, err := compute(alg, workload, n, pl, independent)
+	if err != nil {
+		return "", err
+	}
+	return summaryText(alg, workload, n, pl, independent, s, in, lower), nil
 }
 
 // buildWorkload constructs the requested task graph. Independent mode

@@ -9,7 +9,7 @@ import (
 
 func TestRunDAGMode(t *testing.T) {
 	for _, alg := range []string{"HeteroPrio-min", "HEFT-avg", "DualHP-fifo"} {
-		if err := run(alg, "cholesky", 4, 4, 2, false, true, false, "", ""); err != nil {
+		if err := run(alg, "cholesky", 4, 4, 2, false, true, false, "", "", 1); err != nil {
 			t.Errorf("%s: %v", alg, err)
 		}
 	}
@@ -17,7 +17,7 @@ func TestRunDAGMode(t *testing.T) {
 
 func TestRunIndependentMode(t *testing.T) {
 	for _, alg := range []string{"HeteroPrio", "DualHP", "HEFT"} {
-		if err := run(alg, "lu", 4, 4, 2, true, false, true, "", ""); err != nil {
+		if err := run(alg, "lu", 4, 4, 2, true, false, true, "", "", 1); err != nil {
 			t.Errorf("%s: %v", alg, err)
 		}
 	}
@@ -25,29 +25,62 @@ func TestRunIndependentMode(t *testing.T) {
 
 func TestRunExtraWorkloads(t *testing.T) {
 	for _, wl := range []string{"wavefront", "chains", "uniform"} {
-		if err := run("HeteroPrio-min", wl, 5, 4, 2, false, false, false, "", ""); err != nil {
+		if err := run("HeteroPrio-min", wl, 5, 4, 2, false, false, false, "", "", 1); err != nil {
 			t.Errorf("%s: %v", wl, err)
 		}
 	}
-	if err := run("HeteroPrio", "uniform", 12, 4, 2, true, false, false, "", ""); err != nil {
+	if err := run("HeteroPrio", "uniform", 12, 4, 2, true, false, false, "", "", 1); err != nil {
 		t.Errorf("independent uniform: %v", err)
 	}
 	for _, wl := range []string{"wavefront", "chains", "uniform"} {
-		if err := run("HeteroPrio-min", wl, 0, 4, 2, false, false, false, "", ""); err == nil {
+		if err := run("HeteroPrio-min", wl, 0, 4, 2, false, false, false, "", "", 1); err == nil {
 			t.Errorf("%s: size 0 accepted", wl)
 		}
 	}
 }
 
 func TestRunErrors(t *testing.T) {
-	if err := run("nope", "cholesky", 4, 4, 2, false, false, false, "", ""); err == nil {
+	if err := run("nope", "cholesky", 4, 4, 2, false, false, false, "", "", 1); err == nil {
 		t.Error("unknown algorithm accepted")
 	}
-	if err := run("HeteroPrio-min", "nope", 4, 4, 2, false, false, false, "", ""); err == nil {
+	if err := run("HeteroPrio-min", "nope", 4, 4, 2, false, false, false, "", "", 1); err == nil {
 		t.Error("unknown workload accepted")
 	}
-	if err := run("HeteroPrio-min", "cholesky", 4, -1, 0, false, false, false, "", ""); err == nil {
+	if err := run("HeteroPrio-min", "cholesky", 4, -1, 0, false, false, false, "", "", 1); err == nil {
 		t.Error("invalid platform accepted")
+	}
+}
+
+func TestRunMultiAlg(t *testing.T) {
+	if err := run("HeteroPrio-min,HEFT-avg", "cholesky", 4, 4, 2, false, false, false, "", "", 2); err != nil {
+		t.Errorf("comma list: %v", err)
+	}
+	if err := run("all", "cholesky", 4, 4, 2, false, false, false, "", "", 4); err != nil {
+		t.Errorf("all DAG algorithms: %v", err)
+	}
+	if err := run("all", "lu", 4, 4, 2, true, false, false, "", "", 4); err != nil {
+		t.Errorf("all independent algorithms: %v", err)
+	}
+	if err := run("HeteroPrio-min,HEFT-avg", "cholesky", 4, 4, 2, false, true, false, "", "", 2); err == nil {
+		t.Error("gantt accepted with multiple algorithms")
+	}
+	if err := run("HeteroPrio-min,nope", "cholesky", 4, 4, 2, false, false, false, "", "", 2); err == nil {
+		t.Error("unknown algorithm accepted in list")
+	}
+	if err := run(" , ", "cholesky", 4, 4, 2, false, false, false, "", "", 1); err == nil {
+		t.Error("empty algorithm list accepted")
+	}
+}
+
+func TestParseAlgs(t *testing.T) {
+	if got := parseAlgs("a, b,,c", false); len(got) != 3 || got[0] != "a" || got[1] != "b" || got[2] != "c" {
+		t.Errorf("parseAlgs list = %v", got)
+	}
+	if got := parseAlgs("all", false); len(got) == 0 {
+		t.Error("parseAlgs all (DAG) empty")
+	}
+	if got := parseAlgs("all", true); len(got) == 0 {
+		t.Error("parseAlgs all (independent) empty")
 	}
 }
 
@@ -55,7 +88,7 @@ func TestRunTraceOutputs(t *testing.T) {
 	dir := t.TempDir()
 	chrome := filepath.Join(dir, "trace.json")
 	svg := filepath.Join(dir, "gantt.svg")
-	if err := run("HeteroPrio-min", "qr", 4, 4, 2, false, false, false, chrome, svg); err != nil {
+	if err := run("HeteroPrio-min", "qr", 4, 4, 2, false, false, false, chrome, svg, 1); err != nil {
 		t.Fatal(err)
 	}
 	cj, err := os.ReadFile(chrome)

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"html/template"
@@ -16,6 +17,7 @@ import (
 
 	"repro/internal/bounds"
 	"repro/internal/dag"
+	"repro/internal/engine"
 	"repro/internal/expr"
 	"repro/internal/obs"
 	"repro/internal/platform"
@@ -34,6 +36,7 @@ type server struct {
 	log  *slog.Logger
 
 	reg         *obs.Registry
+	pool        *engine.Pool
 	sched       *obs.SchedulerMetrics
 	runs        *obs.RunLog
 	runMakespan *obs.Histogram
@@ -50,9 +53,12 @@ func newServer(logger *slog.Logger) *server {
 	}
 	reg := obs.NewRegistry()
 	s := &server{
-		mux:   http.NewServeMux(),
-		log:   logger,
-		reg:   reg,
+		mux: http.NewServeMux(),
+		log: logger,
+		reg: reg,
+		// One pool shared by every request; its gauges and counters land in
+		// the same registry, so /metrics exposes worker occupancy.
+		pool:  engine.NewPool(0, reg),
 		sched: obs.NewSchedulerMetrics(reg),
 		runs:  obs.NewRunLog(128),
 		runMakespan: reg.Histogram("hp_run_makespan",
@@ -315,21 +321,27 @@ func (s *server) runSchedule(form scheduleForm) (*scheduleResult, error) {
 	return &scheduleResult{RunSummary: sum, SVG: template.HTML(trace.SVG(sched, 1100))}, nil
 }
 
+// runCompare fans every DAG algorithm out on the shared pool. MaxParallel
+// caps one request at half the pool, so a single /compare cannot starve
+// concurrent requests; Map's ordered reduction keeps the table rows in
+// DAGAlgorithms order regardless of completion order.
 func (s *server) runCompare(form scheduleForm) ([]obs.RunSummary, error) {
 	if form.N < 1 || form.N > 16 {
 		return nil, fmt.Errorf("compare limits n to [1, 16], got %d", form.N)
 	}
-	var rows []obs.RunSummary
-	for _, alg := range expr.DAGAlgorithms() {
-		f := form
-		f.Alg = alg
-		_, _, sum, err := s.executeRun(f, nil)
-		if err != nil {
-			return nil, err
-		}
-		rows = append(rows, sum)
+	algs := expr.DAGAlgorithms()
+	perRequest := (s.pool.Width() + 1) / 2
+	if perRequest < 1 {
+		perRequest = 1
 	}
-	return rows, nil
+	return engine.Map(context.Background(), s.pool,
+		engine.Job{Cells: len(algs), MaxParallel: perRequest},
+		func(_ context.Context, c engine.Cell) (obs.RunSummary, error) {
+			f := form
+			f.Alg = algs[c.Index]
+			_, _, sum, err := s.executeRun(f, nil)
+			return sum, err
+		})
 }
 
 // render executes the page template into a buffer first, so template

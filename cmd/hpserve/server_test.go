@@ -152,6 +152,8 @@ func TestMetricsEndpoint(t *testing.T) {
 		"hp_http_requests_total{handler=\"schedule\"} 1",
 		"hp_http_requests_total{handler=\"compare\"} 0",
 		"hp_http_request_duration_seconds_bucket{handler=\"schedule\",le=",
+		"hp_pool_workers",
+		"hp_pool_cells_total",
 	} {
 		if !strings.Contains(body, want) {
 			t.Errorf("/metrics missing %q", want)

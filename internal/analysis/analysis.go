@@ -13,6 +13,9 @@
 //   - maporder: no scheduling-relevant slice built from a map iteration
 //     without a subsequent sort;
 //   - sleepsync: no time.Sleep-based synchronization in tests;
+//   - goroutinecheck: goroutines in the experiment engine and the sweep
+//     drivers carry a visible join and never share a rand.Rand across
+//     the spawn boundary;
 //
 // plus four flow-sensitive analyzers built on the package's CFG +
 // forward-dataflow engine (cfg.go, dataflow.go):
@@ -97,9 +100,9 @@ func (d Diagnostic) String() string {
 	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
 }
 
-// All returns the full analyzer suite in stable order: the five
-// syntactic analyzers from PR 2, then the four flow-sensitive analyzers
-// built on the CFG/dataflow engine (cfg.go, dataflow.go).
+// All returns the full analyzer suite in stable order: the six
+// syntactic analyzers, then the four flow-sensitive analyzers built on
+// the CFG/dataflow engine (cfg.go, dataflow.go).
 func All() []*Analyzer {
 	return []*Analyzer{
 		SimDeterminism,
@@ -107,6 +110,7 @@ func All() []*Analyzer {
 		ObsGuard,
 		MapOrder,
 		SleepSync,
+		GoroutineCheck,
 		UnitFlow,
 		LockCheck,
 		Purity,

@@ -17,7 +17,7 @@ import (
 var ErrFlow = &Analyzer{
 	Name:      "errflow",
 	Doc:       "no dropped or shadowed errors along any path",
-	Packages:  []string{"cmd/experiments", "cmd/hplint", "cmd/hpsched", "cmd/hpserve", "internal/runtime"},
+	Packages:  []string{"cmd/benchgate", "cmd/experiments", "cmd/hplint", "cmd/hpsched", "cmd/hpserve", "internal/runtime"},
 	SkipTests: true,
 	Run:       runErrFlow,
 }

@@ -1,0 +1,134 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// GoroutineCheck enforces the two structural rules the parallel
+// experiment engine's determinism rests on, in the packages that spawn
+// goroutines around scheduler code:
+//
+//  1. every go statement must carry a visible join: its func literal
+//     body must signal completion through a sync.WaitGroup.Done call, a
+//     channel send, or a channel close. A goroutine with no join is
+//     either a leak or a data race waiting for a missing happens-before
+//     edge. Spawning a named function is flagged too — the join (if any)
+//     is hidden from the reader and from this check.
+//  2. no *math/rand.Rand value may cross a goroutine boundary, neither
+//     captured by the literal nor passed as an argument. rand.Rand is not
+//     safe for concurrent use, and sharing one makes the draw sequence
+//     depend on interleaving; goroutines must derive their own generator
+//     from a seed (engine.Cell.Rand is the sanctioned form).
+var GoroutineCheck = &Analyzer{
+	Name:     "goroutinecheck",
+	Doc:      "goroutines must have a visible join and must not share rand.Rand values",
+	Packages: []string{"internal/engine", "internal/expr"},
+	Run:      runGoroutineCheck,
+}
+
+func runGoroutineCheck(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			checkGoStmt(pass, g)
+			return true
+		})
+	}
+}
+
+func checkGoStmt(pass *Pass, g *ast.GoStmt) {
+	// Rule 2, argument form: a rand.Rand handed to the new goroutine via
+	// the call's argument list.
+	for _, arg := range g.Call.Args {
+		if tv, ok := pass.Info.Types[arg]; ok && isRandRand(tv.Type) {
+			pass.Reportf(arg.Pos(), "*rand.Rand passed across a goroutine boundary; derive a per-goroutine generator from a seed instead")
+		}
+	}
+
+	lit, ok := g.Call.Fun.(*ast.FuncLit)
+	if !ok {
+		pass.Reportf(g.Pos(), "go statement spawns a named function; its join is invisible here — inline a func literal that signals completion via WaitGroup.Done, a channel send, or close")
+		return
+	}
+
+	// Rule 1: the literal body must contain a join signal.
+	if !hasJoinSignal(pass, lit) {
+		pass.Reportf(g.Pos(), "goroutine has no visible join; signal completion via WaitGroup.Done, a channel send, or close")
+	}
+
+	// Rule 2, capture form: an identifier of type rand.Rand used inside
+	// the literal but declared outside it. One report per object keeps a
+	// generator used several times from flooding the output.
+	seen := make(map[types.Object]bool)
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := pass.Info.Uses[id]
+		if obj == nil || seen[obj] || !isRandRand(obj.Type()) {
+			return true
+		}
+		if obj.Pos() >= lit.Pos() && obj.Pos() <= lit.End() {
+			return true // the goroutine's own generator
+		}
+		seen[obj] = true
+		pass.Reportf(id.Pos(), "*rand.Rand %q crosses a goroutine boundary; derive a per-goroutine generator from a seed instead", id.Name)
+		return true
+	})
+}
+
+// hasJoinSignal reports whether the literal's body contains a call to
+// sync.WaitGroup.Done (usually deferred), a channel send, or a close
+// call — the three completion signals a joiner can wait on.
+func hasJoinSignal(pass *Pass, lit *ast.FuncLit) bool {
+	found := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			found = true
+		case *ast.CallExpr:
+			switch fun := n.Fun.(type) {
+			case *ast.Ident:
+				if b, ok := pass.Info.Uses[fun].(*types.Builtin); ok && b.Name() == "close" {
+					found = true
+				}
+			case *ast.SelectorExpr:
+				if fn, ok := pass.Info.Uses[fun.Sel].(*types.Func); ok &&
+					fn.Name() == "Done" && fn.Pkg() != nil && fn.Pkg().Path() == "sync" {
+					found = true
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// isRandRand reports whether t is math/rand.Rand or math/rand/v2.Rand,
+// possibly behind a pointer.
+func isRandRand(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Name() != "Rand" || obj.Pkg() == nil {
+		return false
+	}
+	path := obj.Pkg().Path()
+	return path == "math/rand" || path == "math/rand/v2"
+}

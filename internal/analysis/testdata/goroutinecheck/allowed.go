@@ -1,0 +1,8 @@
+package fixture
+
+func detachedServerLoop() {
+	//hplint:allow goroutinecheck serve loop runs for the process lifetime, joined by process exit
+	go work3()
+}
+
+func work3() {}

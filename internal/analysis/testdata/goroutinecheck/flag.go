@@ -1,0 +1,40 @@
+package fixture
+
+import (
+	"math/rand"
+	"sync"
+)
+
+func fireAndForget() {
+	go func() { // want "no visible join"
+		work2()
+	}()
+}
+
+func namedFunction() {
+	go work2() // want "named function"
+}
+
+func capturedGenerator() {
+	rng := rand.New(rand.NewSource(1))
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_ = rng.Int63() // want "crosses a goroutine boundary"
+	}()
+	wg.Wait()
+}
+
+func generatorArgument() {
+	rng := rand.New(rand.NewSource(2))
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func(r *rand.Rand) {
+		defer wg.Done()
+		_ = r.Int63()
+	}(rng) // want "passed across a goroutine boundary"
+	wg.Wait()
+}
+
+func work2() {}

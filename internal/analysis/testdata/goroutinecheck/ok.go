@@ -1,0 +1,50 @@
+package fixture
+
+import (
+	"math/rand"
+	"sync"
+)
+
+// The three sanctioned join signals, and the sanctioned RNG pattern:
+// every goroutine derives its own generator from a plain seed.
+
+func joinedByWaitGroup() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		work()
+	}()
+	wg.Wait()
+}
+
+func joinedByChannelSend() {
+	done := make(chan struct{})
+	go func() {
+		work()
+		done <- struct{}{}
+	}()
+	<-done
+}
+
+func joinedByClose() {
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		work()
+	}()
+	<-done
+}
+
+func perGoroutineGenerator(seed int64) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		rng := rand.New(rand.NewSource(seed))
+		_ = rng.Int63()
+	}()
+	wg.Wait()
+}
+
+func work() {}

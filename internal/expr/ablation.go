@@ -1,9 +1,12 @@
 package expr
 
 import (
+	"context"
+
 	"repro/internal/bounds"
 	"repro/internal/core"
 	"repro/internal/dag"
+	"repro/internal/engine"
 	"repro/internal/platform"
 	"repro/internal/stats"
 	"repro/internal/workloads"
@@ -28,43 +31,48 @@ type AblationRow struct {
 // Ablation quantifies the contribution of spoliation and priorities to
 // HeteroPrio's DAG performance (the design choices DESIGN.md calls out).
 func Ablation(Ns []int, pl platform.Platform) ([]AblationRow, error) {
-	var rows []AblationRow
-	for _, fact := range workloads.Factorizations() {
-		for _, N := range Ns {
-			g, err := workloads.Build(fact, N)
-			if err != nil {
-				return nil, err
-			}
-			lb, err := bounds.DAGLower(g, pl)
-			if err != nil {
-				return nil, err
-			}
-			if _, err := g.AssignBottomLevelPriorities(dag.WeightMin, pl); err != nil {
-				return nil, err
-			}
-			full, err := core.ScheduleDAG(g, pl, core.Options{UsePriorities: true})
-			if err != nil {
-				return nil, err
-			}
-			noSpol, err := core.ScheduleDAG(g, pl, core.Options{UsePriorities: true, DisableSpoliation: true})
-			if err != nil {
-				return nil, err
-			}
-			noPrio, err := core.ScheduleDAG(g, pl, core.Options{})
-			if err != nil {
-				return nil, err
-			}
-			rows = append(rows, AblationRow{
-				Kernel:       fact,
-				N:            N,
-				Full:         full.Makespan() / lb,
-				NoSpoliation: noSpol.Makespan() / lb,
-				NoPriorities: noPrio.Makespan() / lb,
-				Spoliations:  full.Spoliations,
-			})
+	return AblationPool(context.Background(), engine.Default(), Ns, pl)
+}
+
+// AblationPool is Ablation fanned out on p: one cell per (kernel, tile
+// count) pair, running the three scheduler variants back to back on its
+// own graph.
+func AblationPool(ctx context.Context, p *engine.Pool, Ns []int, pl platform.Platform) ([]AblationRow, error) {
+	cells := factorizationCells(Ns)
+	return engine.Map(ctx, p, engine.Job{Cells: len(cells)}, func(_ context.Context, c engine.Cell) (AblationRow, error) {
+		fact, N := cells[c.Index].fact, cells[c.Index].n
+		g, err := workloads.Build(fact, N)
+		if err != nil {
+			return AblationRow{}, err
 		}
-	}
-	return rows, nil
+		lb, err := bounds.DAGLower(g, pl)
+		if err != nil {
+			return AblationRow{}, err
+		}
+		if _, err := g.AssignBottomLevelPriorities(dag.WeightMin, pl); err != nil {
+			return AblationRow{}, err
+		}
+		full, err := core.ScheduleDAG(g, pl, core.Options{UsePriorities: true})
+		if err != nil {
+			return AblationRow{}, err
+		}
+		noSpol, err := core.ScheduleDAG(g, pl, core.Options{UsePriorities: true, DisableSpoliation: true})
+		if err != nil {
+			return AblationRow{}, err
+		}
+		noPrio, err := core.ScheduleDAG(g, pl, core.Options{})
+		if err != nil {
+			return AblationRow{}, err
+		}
+		return AblationRow{
+			Kernel:       fact,
+			N:            N,
+			Full:         full.Makespan() / lb,
+			NoSpoliation: noSpol.Makespan() / lb,
+			NoPriorities: noPrio.Makespan() / lb,
+			Spoliations:  full.Spoliations,
+		}, nil
+	})
 }
 
 // AblationTable renders the ablation rows.

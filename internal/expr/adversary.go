@@ -1,9 +1,11 @@
 package expr
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/adversary"
+	"repro/internal/engine"
 	"repro/internal/platform"
 	"repro/internal/stats"
 	"repro/internal/workloads"
@@ -26,9 +28,16 @@ type AdversaryRow struct {
 // rediscovers golden-ratio-like instances on (1,1) without being told
 // about phi.
 func Adversary(iters int, seed int64) ([]AdversaryRow, error) {
+	return AdversaryPool(context.Background(), engine.Default(), iters, seed)
+}
+
+// AdversaryPool is Adversary fanned out on p: one cell per platform
+// shape. Each hill climb is already seeded per shape, so parallel cells
+// rediscover exactly the sequential run's instances.
+func AdversaryPool(ctx context.Context, p *engine.Pool, iters int, seed int64) ([]AdversaryRow, error) {
 	shapes := []struct{ m, n int }{{1, 1}, {3, 1}, {2, 2}}
-	var rows []AdversaryRow
-	for _, sh := range shapes {
+	return engine.Map(ctx, p, engine.Job{Cells: len(shapes)}, func(_ context.Context, c engine.Cell) (AdversaryRow, error) {
+		sh := shapes[c.Index]
 		pl := platform.NewPlatform(sh.m, sh.n)
 		res, err := adversary.Search(adversary.Config{
 			Platform: pl,
@@ -37,17 +46,16 @@ func Adversary(iters int, seed int64) ([]AdversaryRow, error) {
 			Seed:     seed,
 		})
 		if err != nil {
-			return nil, err
+			return AdversaryRow{}, err
 		}
-		rows = append(rows, AdversaryRow{
+		return AdversaryRow{
 			CPUs: sh.m, GPUs: sh.n,
 			Bound:      provenBound(pl),
 			WorstFound: res.Ratio,
 			Tasks:      len(res.Instance),
 			Evals:      res.Evals,
-		})
-	}
-	return rows, nil
+		}, nil
+	})
 }
 
 // AdversaryTable renders the rows.

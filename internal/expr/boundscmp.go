@@ -1,9 +1,12 @@
 package expr
 
 import (
+	"context"
+
 	"repro/internal/bounds"
 	"repro/internal/core"
 	"repro/internal/dag"
+	"repro/internal/engine"
 	"repro/internal/platform"
 	"repro/internal/stats"
 	"repro/internal/workloads"
@@ -24,44 +27,49 @@ type BoundsCmpRow struct {
 // BoundsCmp computes the rows for every factorization at the given tile
 // counts.
 func BoundsCmp(Ns []int, pl platform.Platform) ([]BoundsCmpRow, error) {
-	var rows []BoundsCmpRow
-	for _, fact := range workloads.Factorizations() {
-		for _, N := range Ns {
-			g, err := workloads.Build(fact, N)
-			if err != nil {
-				return nil, err
-			}
-			area, err := bounds.AreaBound(g.Tasks(), pl)
-			if err != nil {
-				return nil, err
-			}
-			cp, err := g.CriticalPath(dag.WeightMin, pl)
-			if err != nil {
-				return nil, err
-			}
-			base, err := bounds.DAGLower(g, pl)
-			if err != nil {
-				return nil, err
-			}
-			refined, err := bounds.DAGLowerRefined(g, pl)
-			if err != nil {
-				return nil, err
-			}
-			if _, err := g.AssignBottomLevelPriorities(dag.WeightMin, pl); err != nil {
-				return nil, err
-			}
-			res, err := core.ScheduleDAG(g, pl, core.Options{UsePriorities: true})
-			if err != nil {
-				return nil, err
-			}
-			rows = append(rows, BoundsCmpRow{
-				Kernel: fact, N: N,
-				Area: area, CP: cp, Base: base, Refined: refined,
-				HP: res.Makespan(),
-			})
+	return BoundsCmpPool(context.Background(), engine.Default(), Ns, pl)
+}
+
+// BoundsCmpPool is BoundsCmp fanned out on p: one cell per (kernel, tile
+// count) pair. The refined sweep is the most expensive bound and gains
+// the most from the fan-out.
+func BoundsCmpPool(ctx context.Context, p *engine.Pool, Ns []int, pl platform.Platform) ([]BoundsCmpRow, error) {
+	cells := factorizationCells(Ns)
+	return engine.Map(ctx, p, engine.Job{Cells: len(cells)}, func(_ context.Context, c engine.Cell) (BoundsCmpRow, error) {
+		fact, N := cells[c.Index].fact, cells[c.Index].n
+		g, err := workloads.Build(fact, N)
+		if err != nil {
+			return BoundsCmpRow{}, err
 		}
-	}
-	return rows, nil
+		area, err := bounds.AreaBound(g.Tasks(), pl)
+		if err != nil {
+			return BoundsCmpRow{}, err
+		}
+		cp, err := g.CriticalPath(dag.WeightMin, pl)
+		if err != nil {
+			return BoundsCmpRow{}, err
+		}
+		base, err := bounds.DAGLower(g, pl)
+		if err != nil {
+			return BoundsCmpRow{}, err
+		}
+		refined, err := bounds.DAGLowerRefined(g, pl)
+		if err != nil {
+			return BoundsCmpRow{}, err
+		}
+		if _, err := g.AssignBottomLevelPriorities(dag.WeightMin, pl); err != nil {
+			return BoundsCmpRow{}, err
+		}
+		res, err := core.ScheduleDAG(g, pl, core.Options{UsePriorities: true})
+		if err != nil {
+			return BoundsCmpRow{}, err
+		}
+		return BoundsCmpRow{
+			Kernel: fact, N: N,
+			Area: area, CP: cp, Base: base, Refined: refined,
+			HP: res.Makespan(),
+		}, nil
+	})
 }
 
 // BoundsCmpTable renders the rows.

@@ -1,9 +1,10 @@
 package expr
 
 import (
-	"math/rand"
+	"context"
 
 	"repro/internal/bounds"
+	"repro/internal/engine"
 	"repro/internal/platform"
 	"repro/internal/sched"
 	"repro/internal/stats"
@@ -33,14 +34,22 @@ func DistributionAlgorithms() []string {
 // linear-algebra-like affinity mix) of `tasks` tasks on pl and summarizes
 // each algorithm's ratio to the combined lower bound.
 func Distribution(samples, tasks int, pl platform.Platform, seed int64) ([]DistributionRow, error) {
-	rng := rand.New(rand.NewSource(seed))
-	ratios := map[string][]float64{}
-	for s := 0; s < samples; s++ {
+	return DistributionPool(context.Background(), engine.Default(), samples, tasks, pl, seed)
+}
+
+// DistributionPool is Distribution fanned out on p: one cell per sample.
+// Each cell derives its own RNG from (seed, sample index) — the earlier
+// sequential version threaded one shared source through every sample,
+// which would have made the draws depend on execution order.
+func DistributionPool(ctx context.Context, p *engine.Pool, samples, tasks int, pl platform.Platform, seed int64) ([]DistributionRow, error) {
+	perSample, err := engine.Map(ctx, p, engine.Job{Cells: samples, Seed: seed}, func(_ context.Context, c engine.Cell) (map[string]float64, error) {
+		rng := c.Rand()
 		in := workloads.BimodalInstance(tasks, 0.6+0.3*rng.Float64(), rng)
 		lb, err := bounds.Lower(in, pl)
 		if err != nil {
 			return nil, err
 		}
+		out := map[string]float64{}
 		for _, alg := range DistributionAlgorithms() {
 			var ms float64
 			if alg == "MCT" {
@@ -56,7 +65,17 @@ func Distribution(samples, tasks int, pl platform.Platform, seed int64) ([]Distr
 				}
 				ms = s.Makespan()
 			}
-			ratios[alg] = append(ratios[alg], ms/lb)
+			out[alg] = ms / lb
+		}
+		return out, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	ratios := map[string][]float64{}
+	for _, sample := range perSample {
+		for _, alg := range DistributionAlgorithms() {
+			ratios[alg] = append(ratios[alg], sample[alg])
 		}
 	}
 	var rows []DistributionRow

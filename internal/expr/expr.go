@@ -13,7 +13,26 @@ import (
 	"repro/internal/platform"
 	"repro/internal/sched"
 	"repro/internal/sim"
+	"repro/internal/workloads"
 )
+
+// factCell is one (kernel family, tile count) cell of a sweep fan-out.
+type factCell struct {
+	fact workloads.Factorization
+	n    int
+}
+
+// factorizationCells flattens the kernel × tile-count grid in the order
+// the sequential loops used, so ordered reduction reproduces their rows.
+func factorizationCells(Ns []int) []factCell {
+	var cells []factCell
+	for _, fact := range workloads.Factorizations() {
+		for _, n := range Ns {
+			cells = append(cells, factCell{fact, n})
+		}
+	}
+	return cells
+}
 
 // PaperPlatform returns the evaluation platform of Section 6: 20 CPU cores
 // and 4 GPUs.

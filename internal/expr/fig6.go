@@ -1,7 +1,10 @@
 package expr
 
 import (
+	"context"
+
 	"repro/internal/bounds"
+	"repro/internal/engine"
 	"repro/internal/platform"
 	"repro/internal/stats"
 	"repro/internal/workloads"
@@ -23,38 +26,43 @@ type Fig6Row struct {
 // scheduled as independent tasks by HeteroPrio, DualHP and HEFT, and
 // compared against the area bound.
 func Fig6(Ns []int, pl platform.Platform) ([]Fig6Row, error) {
-	var rows []Fig6Row
-	for _, fact := range workloads.Factorizations() {
-		for _, N := range Ns {
-			in, err := workloads.IndependentTasks(fact, N)
-			if err != nil {
-				return nil, err
-			}
-			lb, err := bounds.AreaBound(in, pl)
-			if err != nil {
-				return nil, err
-			}
-			row := Fig6Row{
-				Kernel:    fact,
-				N:         N,
-				Tasks:     len(in),
-				AreaBound: lb,
-				Ratio:     map[string]float64{},
-			}
-			for _, alg := range IndepAlgorithms() {
-				s, err := RunIndependent(alg, in, pl)
-				if err != nil {
-					return nil, err
-				}
-				if err := s.Validate(in, nil); err != nil {
-					return nil, err
-				}
-				row.Ratio[alg] = s.Makespan() / lb
-			}
-			rows = append(rows, row)
+	return Fig6Pool(context.Background(), engine.Default(), Ns, pl)
+}
+
+// Fig6Pool is Fig6 fanned out on p: one cell per (kernel, tile count)
+// pair. Cells are pure functions of their pair, so rows come back in the
+// sequential loop's order whatever the pool width.
+func Fig6Pool(ctx context.Context, p *engine.Pool, Ns []int, pl platform.Platform) ([]Fig6Row, error) {
+	cells := factorizationCells(Ns)
+	return engine.Map(ctx, p, engine.Job{Cells: len(cells)}, func(_ context.Context, c engine.Cell) (Fig6Row, error) {
+		fact, N := cells[c.Index].fact, cells[c.Index].n
+		in, err := workloads.IndependentTasks(fact, N)
+		if err != nil {
+			return Fig6Row{}, err
 		}
-	}
-	return rows, nil
+		lb, err := bounds.AreaBound(in, pl)
+		if err != nil {
+			return Fig6Row{}, err
+		}
+		row := Fig6Row{
+			Kernel:    fact,
+			N:         N,
+			Tasks:     len(in),
+			AreaBound: lb,
+			Ratio:     map[string]float64{},
+		}
+		for _, alg := range IndepAlgorithms() {
+			s, err := RunIndependent(alg, in, pl)
+			if err != nil {
+				return Fig6Row{}, err
+			}
+			if err := s.Validate(in, nil); err != nil {
+				return Fig6Row{}, err
+			}
+			row.Ratio[alg] = s.Makespan() / lb
+		}
+		return row, nil
+	})
 }
 
 // Fig6Table renders the rows as a table with one column per algorithm.

@@ -1,7 +1,10 @@
 package expr
 
 import (
+	"context"
+
 	"repro/internal/bounds"
+	"repro/internal/engine"
 	"repro/internal/platform"
 	"repro/internal/stats"
 	"repro/internal/workloads"
@@ -30,60 +33,64 @@ type Fig7Row struct {
 // acceleration factors", "Normalized idle time"): the seven algorithms on
 // Cholesky/QR/LU task graphs.
 func Fig7(Ns []int, pl platform.Platform) ([]Fig7Row, error) {
-	var rows []Fig7Row
-	for _, fact := range workloads.Factorizations() {
-		for _, N := range Ns {
-			g, err := workloads.Build(fact, N)
-			if err != nil {
-				return nil, err
-			}
-			lb, err := bounds.DAGLower(g, pl)
-			if err != nil {
-				return nil, err
-			}
-			area, err := bounds.Area(g.Tasks(), pl)
-			if err != nil {
-				return nil, err
-			}
-			// Class usage in the lower-bound solution, the Figure 9
-			// normalizer.
-			usage := map[platform.Kind]float64{}
-			for _, t := range g.Tasks() {
-				x := area.CPUFraction[t.ID]
-				usage[platform.CPU] += x * t.CPUTime
-				usage[platform.GPU] += (1 - x) * t.GPUTime
-			}
-			row := Fig7Row{
-				Kernel:     fact,
-				N:          N,
-				Tasks:      g.Len(),
-				Lower:      lb,
-				Ratio:      map[string]float64{},
-				EquivAccel: map[string]map[platform.Kind]float64{},
-				NormIdle:   map[string]map[platform.Kind]float64{},
-			}
-			for _, alg := range DAGAlgorithms() {
-				s, err := RunDAG(alg, g, pl)
-				if err != nil {
-					return nil, err
-				}
-				if err := s.Validate(g.Tasks(), g); err != nil {
-					return nil, err
-				}
-				row.Ratio[alg] = s.Makespan() / lb
-				row.EquivAccel[alg] = map[platform.Kind]float64{
-					platform.CPU: s.EquivalentAccel(g.Tasks(), platform.CPU),
-					platform.GPU: s.EquivalentAccel(g.Tasks(), platform.GPU),
-				}
-				row.NormIdle[alg] = map[platform.Kind]float64{
-					platform.CPU: s.NormalizedIdleTime(platform.CPU, usage[platform.CPU]),
-					platform.GPU: s.NormalizedIdleTime(platform.GPU, usage[platform.GPU]),
-				}
-			}
-			rows = append(rows, row)
+	return Fig7Pool(context.Background(), engine.Default(), Ns, pl)
+}
+
+// Fig7Pool is Fig7 fanned out on p: one cell per (kernel, tile count)
+// pair, each building its own graph so cells share no mutable state.
+func Fig7Pool(ctx context.Context, p *engine.Pool, Ns []int, pl platform.Platform) ([]Fig7Row, error) {
+	cells := factorizationCells(Ns)
+	return engine.Map(ctx, p, engine.Job{Cells: len(cells)}, func(_ context.Context, c engine.Cell) (Fig7Row, error) {
+		fact, N := cells[c.Index].fact, cells[c.Index].n
+		g, err := workloads.Build(fact, N)
+		if err != nil {
+			return Fig7Row{}, err
 		}
-	}
-	return rows, nil
+		lb, err := bounds.DAGLower(g, pl)
+		if err != nil {
+			return Fig7Row{}, err
+		}
+		area, err := bounds.Area(g.Tasks(), pl)
+		if err != nil {
+			return Fig7Row{}, err
+		}
+		// Class usage in the lower-bound solution, the Figure 9
+		// normalizer.
+		usage := map[platform.Kind]float64{}
+		for _, t := range g.Tasks() {
+			x := area.CPUFraction[t.ID]
+			usage[platform.CPU] += x * t.CPUTime
+			usage[platform.GPU] += (1 - x) * t.GPUTime
+		}
+		row := Fig7Row{
+			Kernel:     fact,
+			N:          N,
+			Tasks:      g.Len(),
+			Lower:      lb,
+			Ratio:      map[string]float64{},
+			EquivAccel: map[string]map[platform.Kind]float64{},
+			NormIdle:   map[string]map[platform.Kind]float64{},
+		}
+		for _, alg := range DAGAlgorithms() {
+			s, err := RunDAG(alg, g, pl)
+			if err != nil {
+				return Fig7Row{}, err
+			}
+			if err := s.Validate(g.Tasks(), g); err != nil {
+				return Fig7Row{}, err
+			}
+			row.Ratio[alg] = s.Makespan() / lb
+			row.EquivAccel[alg] = map[platform.Kind]float64{
+				platform.CPU: s.EquivalentAccel(g.Tasks(), platform.CPU),
+				platform.GPU: s.EquivalentAccel(g.Tasks(), platform.GPU),
+			}
+			row.NormIdle[alg] = map[platform.Kind]float64{
+				platform.CPU: s.NormalizedIdleTime(platform.CPU, usage[platform.CPU]),
+				platform.GPU: s.NormalizedIdleTime(platform.GPU, usage[platform.GPU]),
+			}
+		}
+		return row, nil
+	})
 }
 
 // Fig7Table renders the makespan ratios (Figure 7).

@@ -1,9 +1,11 @@
 package expr
 
 import (
+	"context"
 	"sort"
 	"strings"
 
+	"repro/internal/engine"
 	"repro/internal/platform"
 	"repro/internal/stats"
 	"repro/internal/workloads"
@@ -25,15 +27,22 @@ type KernelMixRow struct {
 
 // KernelMix computes the rows for every Figure 7 algorithm.
 func KernelMix(fact workloads.Factorization, N int, pl platform.Platform) ([]KernelMixRow, error) {
-	var rows []KernelMixRow
-	for _, alg := range DAGAlgorithms() {
+	return KernelMixPool(context.Background(), engine.Default(), fact, N, pl)
+}
+
+// KernelMixPool is KernelMix fanned out on p: one cell per algorithm,
+// each scheduling its own freshly built graph.
+func KernelMixPool(ctx context.Context, p *engine.Pool, fact workloads.Factorization, N int, pl platform.Platform) ([]KernelMixRow, error) {
+	algs := DAGAlgorithms()
+	return engine.Map(ctx, p, engine.Job{Cells: len(algs)}, func(_ context.Context, c engine.Cell) (KernelMixRow, error) {
+		alg := algs[c.Index]
 		g, err := workloads.Build(fact, N)
 		if err != nil {
-			return nil, err
+			return KernelMixRow{}, err
 		}
 		s, err := RunDAG(alg, g, pl)
 		if err != nil {
-			return nil, err
+			return KernelMixRow{}, err
 		}
 		total := map[string]int{}
 		gpu := map[string]int{}
@@ -49,9 +58,8 @@ func KernelMix(fact workloads.Factorization, N int, pl platform.Platform) ([]Ker
 		for name, c := range total {
 			share[name] = float64(gpu[name]) / float64(c)
 		}
-		rows = append(rows, KernelMixRow{Kernel: fact, N: N, Algorithm: alg, GPUShare: share})
-	}
-	return rows, nil
+		return KernelMixRow{Kernel: fact, N: N, Algorithm: alg, GPUShare: share}, nil
+	})
 }
 
 // kernelBase strips the "(i,j,k)" suffix of generated task names.

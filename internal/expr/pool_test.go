@@ -1,0 +1,56 @@
+package expr
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/workloads"
+)
+
+// TestPoolDriversMatchSequential runs every pooled sweep driver at width
+// 1 and width 8 and requires identical rows: the fan-out must be
+// invisible in the output (the CI determinism job asserts the same at the
+// cmd/experiments level, byte-for-byte on the CSV files).
+func TestPoolDriversMatchSequential(t *testing.T) {
+	ctx := context.Background()
+	seq := engine.NewPool(1, nil)
+	par := engine.NewPool(8, nil)
+	pl := PaperPlatform()
+	Ns := []int{4, 8}
+
+	check := func(name string, run func(p *engine.Pool) (any, error)) {
+		t.Helper()
+		want, err := run(seq)
+		if err != nil {
+			t.Fatalf("%s sequential: %v", name, err)
+		}
+		got, err := run(par)
+		if err != nil {
+			t.Fatalf("%s parallel: %v", name, err)
+		}
+		// Compare formatted output rather than reflect.DeepEqual: some rows
+		// legitimately contain NaN (unused resource classes), and NaN is not
+		// DeepEqual to itself. fmt prints maps in sorted key order, so this
+		// is still an exact structural comparison.
+		if ws, gs := fmt.Sprintf("%+v", want), fmt.Sprintf("%+v", got); ws != gs {
+			t.Errorf("%s: parallel rows differ from sequential rows\nseq: %s\npar: %s", name, ws, gs)
+		}
+	}
+
+	check("fig6", func(p *engine.Pool) (any, error) { return Fig6Pool(ctx, p, Ns, pl) })
+	check("fig7", func(p *engine.Pool) (any, error) { return Fig7Pool(ctx, p, Ns, pl) })
+	check("ablation", func(p *engine.Pool) (any, error) { return AblationPool(ctx, p, []int{4}, pl) })
+	check("boundscmp", func(p *engine.Pool) (any, error) { return BoundsCmpPool(ctx, p, []int{4}, pl) })
+	check("kernelmix", func(p *engine.Pool) (any, error) {
+		return KernelMixPool(ctx, p, workloads.FactCholesky, 8, pl)
+	})
+	check("distribution", func(p *engine.Pool) (any, error) {
+		return DistributionPool(ctx, p, 24, 60, pl, 2017)
+	})
+	check("robustness", func(p *engine.Pool) (any, error) {
+		return RobustnessPool(ctx, p, workloads.FactCholesky, 8, []float64{0, 0.2}, 3, pl)
+	})
+	check("adversary", func(p *engine.Pool) (any, error) { return AdversaryPool(ctx, p, 60, 7) })
+}

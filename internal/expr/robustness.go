@@ -1,6 +1,7 @@
 package expr
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -8,6 +9,7 @@ import (
 	"repro/internal/bounds"
 	"repro/internal/core"
 	"repro/internal/dag"
+	"repro/internal/engine"
 	"repro/internal/platform"
 	"repro/internal/sched"
 	"repro/internal/sim"
@@ -39,32 +41,62 @@ func RobustnessAlgorithms() []string {
 // nominal times multiplied by log-normal noise exp(sigma*N(0,1)), unknown
 // to the schedulers.
 func Robustness(fact workloads.Factorization, N int, sigmas []float64, seeds int, pl platform.Platform) ([]RobustnessRow, error) {
-	var rows []RobustnessRow
+	return RobustnessPool(context.Background(), engine.Default(), fact, N, sigmas, seeds, pl)
+}
+
+// RobustnessPool is Robustness fanned out on p: one cell per (sigma,
+// seed) pair. The jitter RNG was already derived per cell (from the seed
+// index), so parallel cells draw exactly the sequential run's noise; the
+// per-sigma means are then reduced in seed order, keeping the float
+// addition order — and hence the output bytes — of the sequential loop.
+func RobustnessPool(ctx context.Context, p *engine.Pool, fact workloads.Factorization, N int, sigmas []float64, seeds int, pl platform.Platform) ([]RobustnessRow, error) {
+	type cell struct {
+		sigma float64
+		seed  int
+	}
+	var cells []cell
 	for _, sigma := range sigmas {
+		for seed := 0; seed < seeds; seed++ {
+			cells = append(cells, cell{sigma, seed})
+		}
+	}
+	ratios, err := engine.Map(ctx, p, engine.Job{Cells: len(cells)}, func(_ context.Context, c engine.Cell) (map[string]float64, error) {
+		sigma, seed := cells[c.Index].sigma, cells[c.Index].seed
+		g, err := workloads.Build(fact, N)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := g.AssignBottomLevelPriorities(dag.WeightMin, pl); err != nil {
+			return nil, err
+		}
+		actual, actualFn := jitteredDurations(g, sigma, rand.New(rand.NewSource(int64(seed)+7)))
+		lb, err := actualLowerBound(g, pl, actual)
+		if err != nil {
+			return nil, err
+		}
+		out := map[string]float64{}
+		for _, alg := range RobustnessAlgorithms() {
+			s, err := runRobust(alg, g, pl, actualFn)
+			if err != nil {
+				return nil, err
+			}
+			if err := s.ValidateTimed(g.Tasks(), g, actualFn); err != nil {
+				return nil, err
+			}
+			out[alg] = s.Makespan() / lb
+		}
+		return out, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var rows []RobustnessRow
+	for si, sigma := range sigmas {
 		row := RobustnessRow{Kernel: fact, N: N, Sigma: sigma, Seeds: seeds, Ratio: map[string]float64{}}
 		sums := map[string]float64{}
 		for seed := 0; seed < seeds; seed++ {
-			g, err := workloads.Build(fact, N)
-			if err != nil {
-				return nil, err
-			}
-			if _, err := g.AssignBottomLevelPriorities(dag.WeightMin, pl); err != nil {
-				return nil, err
-			}
-			actual, actualFn := jitteredDurations(g, sigma, rand.New(rand.NewSource(int64(seed)+7)))
-			lb, err := actualLowerBound(g, pl, actual)
-			if err != nil {
-				return nil, err
-			}
 			for _, alg := range RobustnessAlgorithms() {
-				s, err := runRobust(alg, g, pl, actualFn)
-				if err != nil {
-					return nil, err
-				}
-				if err := s.ValidateTimed(g.Tasks(), g, actualFn); err != nil {
-					return nil, err
-				}
-				sums[alg] += s.Makespan() / lb
+				sums[alg] += ratios[si*seeds+seed][alg]
 			}
 		}
 		for alg, sum := range sums {
