@@ -28,12 +28,24 @@ import (
 func main() {
 	addr := flag.String("addr", "127.0.0.1:8080", "listen address")
 	verbose := flag.Bool("v", false, "verbose (debug) logging; HP_LOG overrides")
+	def := defaultServeConfig()
+	cacheEntries := flag.Int("cache-entries", def.cacheEntries,
+		"max entries in the schedule result cache (0 keeps a single entry)")
+	queueDepth := flag.Int("queue-depth", def.queueDepth,
+		"max requests waiting for an execution slot before shedding with 429")
+	requestTimeout := flag.Duration("request-timeout", def.requestTimeout,
+		"per-request deadline; expired requests are rejected with 503")
 	flag.Parse()
 	logger := obs.NewLogger(os.Stderr, *verbose)
 
+	cfg := serveConfig{
+		cacheEntries:   *cacheEntries,
+		queueDepth:     *queueDepth,
+		requestTimeout: *requestTimeout,
+	}
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           newServer(logger),
+		Handler:           newServer(logger, cfg),
 		ReadHeaderTimeout: 5 * time.Second,
 	}
 

@@ -1,0 +1,204 @@
+package main
+
+import (
+	"context"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/expr"
+	"repro/internal/serve"
+)
+
+// metricValue scrapes /metrics and returns the value of an unlabelled
+// series, so the tests observe the server exactly as Prometheus would.
+func metricValue(t *testing.T, srv http.Handler, name string) float64 {
+	t.Helper()
+	code, body := get(t, srv, "/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics status %d", code)
+	}
+	for _, line := range strings.Split(body, "\n") {
+		if rest, ok := strings.CutPrefix(line, name+" "); ok {
+			v, err := strconv.ParseFloat(strings.TrimSpace(rest), 64)
+			if err != nil {
+				t.Fatalf("metric %s: %v", name, err)
+			}
+			return v
+		}
+	}
+	t.Fatalf("metric %s not in /metrics", name)
+	return 0
+}
+
+// TestScheduleCacheByteIdentical: a repeated /schedule request is served
+// from the cache — the hit counter moves, the pool does not, and the JSON
+// body is byte-for-byte the first response (including run ID and
+// timestamp, which would differ on a recompute).
+func TestScheduleCacheByteIdentical(t *testing.T) {
+	srv := newServer(nil, defaultServeConfig())
+	q := url.Values{
+		"workload": {"cholesky"}, "n": {"6"}, "cpus": {"4"}, "gpus": {"2"},
+		"alg": {"HeteroPrio-min"}, "format": {"json"},
+	}
+	code, first := get(t, srv, "/schedule?"+q.Encode())
+	if code != http.StatusOK {
+		t.Fatalf("first request: status %d, body %s", code, first)
+	}
+	if !strings.Contains(first, "run-000001") {
+		t.Fatalf("first body missing run ID: %s", first)
+	}
+	cells := metricValue(t, srv, "hp_pool_cells_total")
+
+	code, second := get(t, srv, "/schedule?"+q.Encode())
+	if code != http.StatusOK {
+		t.Fatalf("second request: status %d", code)
+	}
+	if second != first {
+		t.Errorf("cache hit not byte-identical:\nfirst:  %s\nsecond: %s", first, second)
+	}
+	if hits := metricValue(t, srv, serve.MetricCacheHits); hits != 1 {
+		t.Errorf("hp_cache_hits_total = %v, want 1", hits)
+	}
+	if misses := metricValue(t, srv, serve.MetricCacheMisses); misses != 1 {
+		t.Errorf("hp_cache_misses_total = %v, want 1", misses)
+	}
+	if after := metricValue(t, srv, "hp_pool_cells_total"); after != cells {
+		t.Errorf("cache hit ran the pool: cells %v -> %v", cells, after)
+	}
+
+	// The HTML rendering of the same request is also a hit (same key), and
+	// a different algorithm is a fresh miss.
+	q.Del("format")
+	if code, _ := get(t, srv, "/schedule?"+q.Encode()); code != http.StatusOK {
+		t.Fatalf("html request: status %d", code)
+	}
+	q.Set("alg", "HEFT-avg")
+	if code, _ := get(t, srv, "/schedule?"+q.Encode()); code != http.StatusOK {
+		t.Fatalf("other alg: status %d", code)
+	}
+	if hits, misses := metricValue(t, srv, serve.MetricCacheHits), metricValue(t, srv, serve.MetricCacheMisses); hits != 2 || misses != 2 {
+		t.Errorf("after html+other-alg: hits=%v misses=%v, want 2/2", hits, misses)
+	}
+}
+
+// TestCompareCoalesce fires identical concurrent /compare requests. No
+// matter how the goroutines interleave — coalesced onto the in-flight
+// computation or served from the populated cache — the workload must be
+// simulated exactly once: one miss, K-1 hits, one pool cell per
+// algorithm, and every body identical.
+func TestCompareCoalesce(t *testing.T) {
+	srv := newServer(nil, defaultServeConfig())
+	q := url.Values{
+		"workload": {"cholesky"}, "n": {"5"}, "cpus": {"4"}, "gpus": {"2"},
+		"format": {"json"},
+	}
+	const requests = 6
+	codes := make([]int, requests)
+	bodies := make([]string, requests)
+	var wg sync.WaitGroup
+	for i := 0; i < requests; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			codes[i], bodies[i] = get(t, srv, "/compare?"+q.Encode())
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < requests; i++ {
+		if codes[i] != http.StatusOK {
+			t.Fatalf("request %d: status %d, body %s", i, codes[i], bodies[i])
+		}
+		if bodies[i] != bodies[0] {
+			t.Errorf("request %d body differs from request 0", i)
+		}
+	}
+	if !strings.Contains(bodies[0], "\"rows\"") {
+		t.Fatalf("compare JSON missing rows: %s", bodies[0])
+	}
+	if misses := metricValue(t, srv, serve.MetricCacheMisses); misses != 1 {
+		t.Errorf("hp_cache_misses_total = %v, want 1", misses)
+	}
+	if hits := metricValue(t, srv, serve.MetricCacheHits); hits != requests-1 {
+		t.Errorf("hp_cache_hits_total = %v, want %d", hits, requests-1)
+	}
+	if cells := metricValue(t, srv, "hp_pool_cells_total"); cells != float64(len(expr.DAGAlgorithms())) {
+		t.Errorf("hp_pool_cells_total = %v, want %d (one per algorithm)", cells, len(expr.DAGAlgorithms()))
+	}
+}
+
+// TestQueueFullSheds: with one execution slot taken and no queue, an
+// uncached request is shed with 429 and counted; once the slot frees, the
+// same request is admitted.
+func TestQueueFullSheds(t *testing.T) {
+	srv := newServer(nil, serveConfig{maxConcurrent: 1, queueDepth: 0, requestTimeout: 10 * time.Second})
+	release, err := srv.admit.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := url.Values{
+		"workload": {"cholesky"}, "n": {"4"}, "cpus": {"2"}, "gpus": {"1"},
+		"alg": {"HeteroPrio-min"}, "format": {"json"},
+	}
+	code, body := get(t, srv, "/schedule?"+q.Encode())
+	if code != http.StatusTooManyRequests {
+		t.Fatalf("status %d, want 429; body %s", code, body)
+	}
+	if !strings.Contains(body, "error") {
+		t.Errorf("429 body not a JSON error: %s", body)
+	}
+	if shed := metricValue(t, srv, serve.MetricServeShed); shed != 1 {
+		t.Errorf("hp_serve_shed_total = %v, want 1", shed)
+	}
+	release()
+	if code, _ := get(t, srv, "/schedule?"+q.Encode()); code != http.StatusOK {
+		t.Errorf("after release: status %d, want 200", code)
+	}
+}
+
+// TestDeadlineExpiresQueued: a request that spends its whole deadline
+// waiting in the admission queue comes back 503 without ever simulating,
+// and the deadline counter records it.
+func TestDeadlineExpiresQueued(t *testing.T) {
+	srv := newServer(nil, serveConfig{maxConcurrent: 1, queueDepth: 1, requestTimeout: 30 * time.Millisecond})
+	release, err := srv.admit.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer release()
+	q := url.Values{
+		"workload": {"cholesky"}, "n": {"4"}, "cpus": {"2"}, "gpus": {"1"},
+		"alg": {"HeteroPrio-min"}, "format": {"json"},
+	}
+	code, body := get(t, srv, "/schedule?"+q.Encode())
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("status %d, want 503; body %s", code, body)
+	}
+	if deadlines := metricValue(t, srv, serve.MetricServeDeadlineExceeded); deadlines != 1 {
+		t.Errorf("hp_serve_deadline_exceeded_total = %v, want 1", deadlines)
+	}
+	if cells := metricValue(t, srv, "hp_pool_cells_total"); cells != 0 {
+		t.Errorf("expired request reached the pool: %v cells", cells)
+	}
+}
+
+// TestMetricsServeSeries: the cache and admission families are exposed on
+// /metrics from the start, so dashboards see zeros instead of gaps.
+func TestMetricsServeSeries(t *testing.T) {
+	srv := newServer(nil, defaultServeConfig())
+	_, body := get(t, srv, "/metrics")
+	for _, want := range []string{
+		serve.MetricCacheHits, serve.MetricCacheMisses,
+		serve.MetricCacheEvictions, serve.MetricCacheEntries,
+		serve.MetricServeQueued, serve.MetricServeShed,
+		serve.MetricServeDeadlineExceeded,
+	} {
+		if !strings.Contains(body, want+" ") {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+}

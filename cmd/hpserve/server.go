@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"html/template"
 	"io"
@@ -12,6 +13,7 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"strconv"
+	"strings"
 	"sync/atomic"
 	"time"
 
@@ -21,10 +23,36 @@ import (
 	"repro/internal/expr"
 	"repro/internal/obs"
 	"repro/internal/platform"
+	"repro/internal/serve"
 	"repro/internal/sim"
 	"repro/internal/trace"
 	"repro/internal/workloads"
 )
+
+// serveSeed is the fixed seed of the serving path's workload generators
+// (only "uniform" draws randomness). It is part of every cache key, so a
+// future per-request seed parameter starts cache-correct by construction.
+const serveSeed = 1
+
+// serveConfig sizes the serving front end: the result cache, the
+// admission valve, and the per-request deadline.
+type serveConfig struct {
+	// cacheEntries bounds the LRU result cache (entries, not bytes).
+	cacheEntries int
+	// queueDepth bounds how many requests may wait for an execution slot;
+	// arrivals beyond it are shed with 429.
+	queueDepth int
+	// maxConcurrent bounds simultaneously executing requests; <= 0 means
+	// the simulation pool's width.
+	maxConcurrent int
+	// requestTimeout is the per-request deadline; a request that cannot
+	// finish in time is rejected with 503.
+	requestTimeout time.Duration
+}
+
+func defaultServeConfig() serveConfig {
+	return serveConfig{cacheEntries: 256, queueDepth: 64, requestTimeout: 10 * time.Second}
+}
 
 // server carries the parsed templates and the observability state: a
 // metrics registry scraped at /metrics, the live scheduler observer
@@ -45,11 +73,22 @@ type server struct {
 	httpReqs    *obs.CounterVec
 	httpDur     *obs.HistogramVec
 	runSeq      atomic.Uint64
+
+	// Serving front end: exact result caches (schedule pages and compare
+	// tables cache separately but share the hp_cache_* metric families),
+	// the admission valve, and the per-request deadline.
+	schedCache   *serve.Cache[*scheduleResult]
+	compareCache *serve.Cache[[]obs.RunSummary]
+	admit        *serve.Admission
+	timeout      time.Duration
 }
 
-func newServer(logger *slog.Logger) *server {
+func newServer(logger *slog.Logger, cfg serveConfig) *server {
 	if logger == nil {
 		logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+	if cfg.requestTimeout <= 0 {
+		cfg.requestTimeout = defaultServeConfig().requestTimeout
 	}
 	reg := obs.NewRegistry()
 	s := &server{
@@ -58,9 +97,10 @@ func newServer(logger *slog.Logger) *server {
 		reg: reg,
 		// One pool shared by every request; its gauges and counters land in
 		// the same registry, so /metrics exposes worker occupancy.
-		pool:  engine.NewPool(0, reg),
-		sched: obs.NewSchedulerMetrics(reg),
-		runs:  obs.NewRunLog(128),
+		pool:    engine.NewPool(0, reg),
+		sched:   obs.NewSchedulerMetrics(reg),
+		runs:    obs.NewRunLog(128),
+		timeout: cfg.requestTimeout,
 		runMakespan: reg.Histogram("hp_run_makespan",
 			"Makespans of completed runs in simulated milliseconds.", obs.ExpBuckets(1, 2, 20)),
 		runRatio: reg.Histogram("hp_run_ratio",
@@ -74,6 +114,13 @@ func newServer(logger *slog.Logger) *server {
 			"HTTP request latency in seconds, by handler.",
 			"handler", []float64{0.001, 0.005, 0.02, 0.1, 0.5, 2}),
 	}
+	s.schedCache = serve.NewCache[*scheduleResult](cfg.cacheEntries, reg)
+	s.compareCache = serve.NewCache[[]obs.RunSummary](cfg.cacheEntries, reg)
+	maxConcurrent := cfg.maxConcurrent
+	if maxConcurrent <= 0 {
+		maxConcurrent = s.pool.Width()
+	}
+	s.admit = serve.NewAdmission(maxConcurrent, cfg.queueDepth, reg)
 	s.page = template.Must(template.New("page").Parse(pageHTML))
 	s.handle("index", "/", s.handleIndex)
 	s.handle("schedule", "/schedule", s.handleSchedule)
@@ -164,32 +211,75 @@ func (s *server) handleIndex(w http.ResponseWriter, r *http.Request) {
 	s.render(w, s.viewModel(defaultForm()), http.StatusOK)
 }
 
+// wantJSON reports whether the request asked for a JSON body instead of
+// the HTML page (format=json). The JSON bodies are marshalled from the
+// cached values, so a cache hit is byte-identical to the miss that
+// populated it.
+func wantJSON(r *http.Request) bool { return r.FormValue("format") == "json" }
+
 func (s *server) handleSchedule(w http.ResponseWriter, r *http.Request) {
+	ctx, cancel := context.WithTimeout(r.Context(), s.timeout)
+	defer cancel()
 	form := parseForm(r)
-	vm := s.viewModel(form)
-	res, err := s.runSchedule(form)
+	res, err := s.runSchedule(ctx, form)
 	if err != nil {
-		vm.Error = err.Error()
-		s.render(w, vm, errStatus(err))
+		s.fail(w, r, form, err)
 		return
 	}
+	if wantJSON(r) {
+		s.writeJSON(w, res.RunSummary)
+		return
+	}
+	vm := s.viewModel(form)
 	vm.Result = res
 	s.render(w, vm, http.StatusOK)
 }
 
 // handleCompare runs every DAG algorithm on the same workload and renders
-// a comparison table.
+// a comparison table (or, with format=json, the rows as JSON).
 func (s *server) handleCompare(w http.ResponseWriter, r *http.Request) {
+	ctx, cancel := context.WithTimeout(r.Context(), s.timeout)
+	defer cancel()
 	form := parseForm(r)
-	vm := s.viewModel(form)
-	rows, err := s.runCompare(form)
+	rows, err := s.runCompare(ctx, form)
 	if err != nil {
-		vm.Error = err.Error()
-		s.render(w, vm, errStatus(err))
+		s.fail(w, r, form, err)
 		return
 	}
+	if wantJSON(r) {
+		s.writeJSON(w, struct {
+			Rows []obs.RunSummary `json:"rows"`
+		}{Rows: rows})
+		return
+	}
+	vm := s.viewModel(form)
 	vm.Compare = rows
 	s.render(w, vm, http.StatusOK)
+}
+
+// fail writes an error response in the format the request asked for,
+// mapping the error to its HTTP status.
+func (s *server) fail(w http.ResponseWriter, r *http.Request, form scheduleForm, err error) {
+	status := s.errStatus(err)
+	if wantJSON(r) {
+		jsonError(w, err, status)
+		return
+	}
+	vm := s.viewModel(form)
+	vm.Error = err.Error()
+	s.render(w, vm, status)
+}
+
+// writeJSON marshals v indented (matching /runs) and writes it as the
+// whole response body.
+func (s *server) writeJSON(w http.ResponseWriter, v any) {
+	body, err := json.MarshalIndent(v, "", " ")
+	if err != nil {
+		jsonError(w, err, http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_, _ = w.Write(body)
 }
 
 // handleRuns serves the recent run summaries as JSON, newest first.
@@ -211,11 +301,21 @@ func (s *server) handleRuns(w http.ResponseWriter, _ *http.Request) {
 // the captured events (falling back to the post-hoc trace for schedulers
 // outside the HeteroPrio event loop, which emit no events).
 func (s *server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	ctx, cancel := context.WithTimeout(r.Context(), s.timeout)
+	defer cancel()
 	form := parseForm(r)
-	tl := obs.NewTimeline()
-	sched, g, _, err := s.executeRun(form, tl)
+	// Traces attach a live Timeline, so they are never cached, but they
+	// still count against the admission valve like any other simulation.
+	release, err := s.admit.Acquire(ctx)
 	if err != nil {
-		jsonError(w, err, errStatus(err))
+		jsonError(w, err, s.errStatus(err))
+		return
+	}
+	defer release()
+	tl := obs.NewTimeline()
+	sched, g, _, err := s.executeRun(ctx, form, tl)
+	if err != nil {
+		jsonError(w, err, s.errStatus(err))
 		return
 	}
 	names := make(map[int]string, g.Len())
@@ -243,27 +343,79 @@ type internalError struct{ err error }
 func (e internalError) Error() string { return e.err.Error() }
 func (e internalError) Unwrap() error { return e.err }
 
-func errStatus(err error) int {
-	if _, ok := err.(internalError); ok {
-		return http.StatusInternalServerError
+// errStatus maps a run error to its HTTP status: 429 for shed requests,
+// 503 for expired deadlines (counted via the admission metrics — this is
+// the one place that sees deadlines from both the queue wait and the
+// coalesced-computation wait), 500 for server faults, 400 for bad input.
+func (s *server) errStatus(err error) int {
+	switch {
+	case errors.Is(err, serve.ErrQueueFull):
+		return http.StatusTooManyRequests
+	case errors.Is(err, context.DeadlineExceeded):
+		s.admit.MarkDeadline()
+		return http.StatusServiceUnavailable
+	case errors.Is(err, context.Canceled):
+		// The client went away; 503 is what a proxy retry wants to see.
+		return http.StatusServiceUnavailable
+	default:
+		if _, ok := err.(internalError); ok {
+			return http.StatusInternalServerError
+		}
+		return http.StatusBadRequest
 	}
-	return http.StatusBadRequest
+}
+
+// validateServeForm bounds the request sizes so a stray request cannot
+// wedge the server, and returns the validated platform.
+func validateServeForm(form scheduleForm) (platform.Platform, error) {
+	if form.N < 1 || form.N > 24 {
+		return platform.Platform{}, fmt.Errorf("n must be in [1, 24], got %d", form.N)
+	}
+	if form.CPUs < 0 || form.CPUs > 64 || form.GPUs < 0 || form.GPUs > 16 {
+		return platform.Platform{}, fmt.Errorf("platform out of range: %d CPUs, %d GPUs", form.CPUs, form.GPUs)
+	}
+	pl := platform.Platform{CPUs: form.CPUs, GPUs: form.GPUs}
+	if err := pl.Validate(); err != nil {
+		return platform.Platform{}, err
+	}
+	return pl, nil
+}
+
+// requestKey validates the form, generates its workload, and returns the
+// canonical cache key of the request under the given algorithm label.
+// The instance content — not the form text — is what gets hashed, so the
+// key survives cosmetic request differences and changes meaning the
+// moment a generator produces different durations; the workload name and
+// size ride along as parameters because they determine task identities
+// (names, IDs) in the rendered output. Generation is cheap next to
+// simulation, so the extra build on a miss (executeRun rebuilds its own
+// graph) costs noise.
+func (s *server) requestKey(form scheduleForm, algLabel string) (serve.Key, error) {
+	pl, err := validateServeForm(form)
+	if err != nil {
+		return serve.Key{}, err
+	}
+	g, err := buildServeWorkload(form.Workload, form.N)
+	if err != nil {
+		return serve.Key{}, err
+	}
+	key := serve.KeyOf(g.Tasks(), pl, algLabel, serveSeed,
+		"workload="+form.Workload, "n="+strconv.Itoa(form.N))
+	return key, nil
 }
 
 // executeRun validates the form, builds the workload, runs the algorithm
 // with the server's live metrics observer (plus tl when non-nil), records
-// the run summary and returns the schedule. Sizes are clamped so a stray
-// request cannot wedge the server.
-func (s *server) executeRun(form scheduleForm, tl *obs.Timeline) (*sim.Schedule, *dag.Graph, obs.RunSummary, error) {
+// the run summary and returns the schedule. The context carries the
+// request deadline: a request that expired while queued or coalesced
+// never reaches the simulator.
+func (s *server) executeRun(ctx context.Context, form scheduleForm, tl *obs.Timeline) (*sim.Schedule, *dag.Graph, obs.RunSummary, error) {
 	var zero obs.RunSummary
-	if form.N < 1 || form.N > 24 {
-		return nil, nil, zero, fmt.Errorf("n must be in [1, 24], got %d", form.N)
+	if err := ctx.Err(); err != nil {
+		return nil, nil, zero, err
 	}
-	if form.CPUs < 0 || form.CPUs > 64 || form.GPUs < 0 || form.GPUs > 16 {
-		return nil, nil, zero, fmt.Errorf("platform out of range: %d CPUs, %d GPUs", form.CPUs, form.GPUs)
-	}
-	pl := platform.Platform{CPUs: form.CPUs, GPUs: form.GPUs}
-	if err := pl.Validate(); err != nil {
+	pl, err := validateServeForm(form)
+	if err != nil {
 		return nil, nil, zero, err
 	}
 	g, err := buildServeWorkload(form.Workload, form.N)
@@ -313,35 +465,68 @@ func (s *server) recordRun(sum obs.RunSummary) {
 		"elapsed_ms", sum.Elapsed)
 }
 
-func (s *server) runSchedule(form scheduleForm) (*scheduleResult, error) {
-	sched, _, sum, err := s.executeRun(form, nil)
+// runSchedule serves one schedule request through the front end: cache
+// lookup (with coalescing) first, then admission, then the simulation as
+// a single pool cell. Cache hits touch neither the admission valve nor
+// the pool, so a repeated request is pure memory traffic.
+func (s *server) runSchedule(ctx context.Context, form scheduleForm) (*scheduleResult, error) {
+	key, err := s.requestKey(form, "schedule:"+form.Alg)
 	if err != nil {
 		return nil, err
 	}
-	return &scheduleResult{RunSummary: sum, SVG: template.HTML(trace.SVG(sched, 1100))}, nil
+	res, _, err := s.schedCache.Do(ctx, key, func() (*scheduleResult, error) {
+		release, err := s.admit.Acquire(ctx)
+		if err != nil {
+			return nil, err
+		}
+		defer release()
+		return engine.One(ctx, s.pool, func(ctx context.Context) (*scheduleResult, error) {
+			sched, _, sum, err := s.executeRun(ctx, form, nil)
+			if err != nil {
+				return nil, err
+			}
+			return &scheduleResult{RunSummary: sum, SVG: template.HTML(trace.SVG(sched, 1100))}, nil
+		})
+	})
+	return res, err
 }
 
-// runCompare fans every DAG algorithm out on the shared pool. MaxParallel
-// caps one request at half the pool, so a single /compare cannot starve
-// concurrent requests; Map's ordered reduction keeps the table rows in
-// DAGAlgorithms order regardless of completion order.
-func (s *server) runCompare(form scheduleForm) ([]obs.RunSummary, error) {
+// runCompare fans every DAG algorithm out on the shared pool, behind the
+// same cache/admission front end as runSchedule. The key ignores
+// form.Alg (every algorithm runs) but pins the algorithm list, so adding
+// an algorithm invalidates old rows. MaxParallel caps one request at
+// half the pool, so a single /compare cannot starve concurrent requests;
+// Map's ordered reduction keeps the table rows in DAGAlgorithms order
+// regardless of completion order.
+func (s *server) runCompare(ctx context.Context, form scheduleForm) ([]obs.RunSummary, error) {
 	if form.N < 1 || form.N > 16 {
 		return nil, fmt.Errorf("compare limits n to [1, 16], got %d", form.N)
 	}
 	algs := expr.DAGAlgorithms()
-	perRequest := (s.pool.Width() + 1) / 2
-	if perRequest < 1 {
-		perRequest = 1
+	key, err := s.requestKey(form, "compare:"+strings.Join(algs, ","))
+	if err != nil {
+		return nil, err
 	}
-	return engine.Map(context.Background(), s.pool,
-		engine.Job{Cells: len(algs), MaxParallel: perRequest},
-		func(_ context.Context, c engine.Cell) (obs.RunSummary, error) {
-			f := form
-			f.Alg = algs[c.Index]
-			_, _, sum, err := s.executeRun(f, nil)
-			return sum, err
-		})
+	rows, _, err := s.compareCache.Do(ctx, key, func() ([]obs.RunSummary, error) {
+		release, err := s.admit.Acquire(ctx)
+		if err != nil {
+			return nil, err
+		}
+		defer release()
+		perRequest := (s.pool.Width() + 1) / 2
+		if perRequest < 1 {
+			perRequest = 1
+		}
+		return engine.Map(ctx, s.pool,
+			engine.Job{Cells: len(algs), MaxParallel: perRequest},
+			func(ctx context.Context, c engine.Cell) (obs.RunSummary, error) {
+				f := form
+				f.Alg = algs[c.Index]
+				_, _, sum, err := s.executeRun(ctx, f, nil)
+				return sum, err
+			})
+	})
+	return rows, err
 }
 
 // render executes the page template into a buffer first, so template

@@ -25,7 +25,7 @@ func get(t *testing.T, srv http.Handler, path string) (int, string) {
 }
 
 func TestIndexPage(t *testing.T) {
-	srv := newServer(nil)
+	srv := newServer(nil, defaultServeConfig())
 	code, body := get(t, srv, "/")
 	if code != http.StatusOK {
 		t.Fatalf("status %d", code)
@@ -38,14 +38,14 @@ func TestIndexPage(t *testing.T) {
 }
 
 func TestNotFound(t *testing.T) {
-	srv := newServer(nil)
+	srv := newServer(nil, defaultServeConfig())
 	if code, _ := get(t, srv, "/nope"); code != http.StatusNotFound {
 		t.Errorf("status %d, want 404", code)
 	}
 }
 
 func TestScheduleEndpoint(t *testing.T) {
-	srv := newServer(nil)
+	srv := newServer(nil, defaultServeConfig())
 	q := url.Values{
 		"workload": {"cholesky"}, "n": {"6"}, "cpus": {"4"}, "gpus": {"2"},
 		"alg": {"HeteroPrio-min"},
@@ -62,7 +62,7 @@ func TestScheduleEndpoint(t *testing.T) {
 }
 
 func TestScheduleEndpointAllWorkloads(t *testing.T) {
-	srv := newServer(nil)
+	srv := newServer(nil, defaultServeConfig())
 	for _, wl := range []string{"qr", "lu", "wavefront", "chains", "uniform"} {
 		q := url.Values{"workload": {wl}, "n": {"4"}, "cpus": {"4"}, "gpus": {"1"}, "alg": {"HEFT-avg"}}
 		code, body := get(t, srv, "/schedule?"+q.Encode())
@@ -75,7 +75,7 @@ func TestScheduleEndpointAllWorkloads(t *testing.T) {
 // Input errors must come back as 400 with the message surfaced in the
 // page, not as a 200 that only looks like an error.
 func TestScheduleEndpointErrors(t *testing.T) {
-	srv := newServer(nil)
+	srv := newServer(nil, defaultServeConfig())
 	cases := []url.Values{
 		{"workload": {"nope"}, "n": {"4"}, "cpus": {"2"}, "gpus": {"1"}, "alg": {"HeteroPrio-min"}},
 		{"workload": {"cholesky"}, "n": {"999"}, "cpus": {"2"}, "gpus": {"1"}, "alg": {"HeteroPrio-min"}},
@@ -94,7 +94,7 @@ func TestScheduleEndpointErrors(t *testing.T) {
 }
 
 func TestCompareEndpoint(t *testing.T) {
-	srv := newServer(nil)
+	srv := newServer(nil, defaultServeConfig())
 	q := url.Values{"workload": {"cholesky"}, "n": {"5"}, "cpus": {"4"}, "gpus": {"2"}}
 	code, body := get(t, srv, "/compare?"+q.Encode())
 	if code != http.StatusOK {
@@ -108,7 +108,7 @@ func TestCompareEndpoint(t *testing.T) {
 }
 
 func TestCompareEndpointLimits(t *testing.T) {
-	srv := newServer(nil)
+	srv := newServer(nil, defaultServeConfig())
 	q := url.Values{"workload": {"cholesky"}, "n": {"99"}, "cpus": {"4"}, "gpus": {"2"}}
 	code, body := get(t, srv, "/compare?"+q.Encode())
 	if code != http.StatusBadRequest {
@@ -123,7 +123,7 @@ func TestCompareEndpointLimits(t *testing.T) {
 // scheduler series after a run, and the HTTP series for every handler
 // even before it has been hit.
 func TestMetricsEndpoint(t *testing.T) {
-	srv := newServer(nil)
+	srv := newServer(nil, defaultServeConfig())
 	q := url.Values{
 		"workload": {"cholesky"}, "n": {"6"}, "cpus": {"4"}, "gpus": {"2"},
 		"alg": {"HeteroPrio-min"},
@@ -164,7 +164,7 @@ func TestMetricsEndpoint(t *testing.T) {
 // TestRunsEndpoint checks the JSON run ring: newest first, with the
 // summary fields populated.
 func TestRunsEndpoint(t *testing.T) {
-	srv := newServer(nil)
+	srv := newServer(nil, defaultServeConfig())
 	for _, alg := range []string{"HeteroPrio-min", "HEFT-avg"} {
 		q := url.Values{"workload": {"cholesky"}, "n": {"5"}, "cpus": {"4"}, "gpus": {"2"}, "alg": {alg}}
 		if code, _ := get(t, srv, "/schedule?"+q.Encode()); code != http.StatusOK {
@@ -203,7 +203,7 @@ func TestRunsEndpoint(t *testing.T) {
 // observed scheduler (HeteroPrio) and a comparison scheduler that falls
 // back to the post-hoc trace.
 func TestTraceEndpoint(t *testing.T) {
-	srv := newServer(nil)
+	srv := newServer(nil, defaultServeConfig())
 	for _, alg := range []string{"HeteroPrio-min", "HEFT-avg"} {
 		q := url.Values{"workload": {"cholesky"}, "n": {"5"}, "cpus": {"4"}, "gpus": {"2"}, "alg": {alg}}
 		code, body := get(t, srv, "/trace?"+q.Encode())
@@ -231,7 +231,7 @@ func TestTraceEndpoint(t *testing.T) {
 
 // TestPprofEndpoints checks the profiling handlers are mounted.
 func TestPprofEndpoints(t *testing.T) {
-	srv := newServer(nil)
+	srv := newServer(nil, defaultServeConfig())
 	if code, body := get(t, srv, "/debug/pprof/"); code != http.StatusOK || !strings.Contains(body, "profile") {
 		t.Errorf("pprof index: status %d", code)
 	}

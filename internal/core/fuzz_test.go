@@ -7,6 +7,7 @@ import (
 	"repro/internal/bounds"
 	"repro/internal/platform"
 	"repro/internal/sim"
+	"repro/internal/workloads"
 )
 
 // checkSpoliationProfit re-derives Algorithm 1's spoliation rule directly
@@ -59,6 +60,27 @@ func decodeInstance(data []byte) (platform.Instance, platform.Platform, bool) {
 	return in, platform.NewPlatform(m, n), true
 }
 
+// encodeInstance is decodeInstance's quantizing inverse: platform shapes
+// clamp to the decoder's 6 CPUs + 4 GPUs, durations and acceleration
+// factors snap to the byte grid, and tasks beyond the decoder's cap of 40
+// are dropped. It exists to seed the fuzz corpus with structured
+// instances, so lossiness is fine — the structure survives.
+func encodeInstance(in platform.Instance, pl platform.Platform) []byte {
+	clampByte := func(v float64) byte {
+		return byte(math.Max(0, math.Min(255, math.Round(v))))
+	}
+	data := []byte{
+		clampByte(math.Min(float64(pl.CPUs), 6) - 1),
+		clampByte(math.Min(float64(pl.GPUs), 4) - 1),
+	}
+	for _, t := range in {
+		data = append(data,
+			clampByte((t.CPUTime-0.1)*8),
+			clampByte((math.Log(t.CPUTime/t.GPUTime)+2)/6*255))
+	}
+	return data
+}
+
 // FuzzHeteroPrioInvariants checks, for arbitrary instances, that
 // HeteroPrio produces a structurally valid schedule, that spoliation only
 // improves on the no-spoliation schedule, and that the Lemma 4/5
@@ -67,6 +89,21 @@ func FuzzHeteroPrioInvariants(f *testing.F) {
 	f.Add([]byte{2, 1, 100, 200, 50, 10, 30, 128})
 	f.Add([]byte{1, 1, 255, 255, 1, 1})
 	f.Add([]byte{5, 3, 10, 20, 30, 40, 50, 60, 70, 80, 90, 100})
+	// The Section 5 worst-case families, quantized onto the decoder grid.
+	// The tight members need larger platforms than the decoder can express
+	// (Theorem 14 wants n^2 CPUs + n GPUs), so these are clamped
+	// approximations — what they plant in the corpus is the adversarial
+	// *structure*: phi-ratio task pairs and filler swarms that force
+	// spoliation decisions near the profitability boundary.
+	for _, family := range []func() (platform.Instance, platform.Platform){
+		workloads.Theorem8Instance,
+		func() (platform.Instance, platform.Platform) { return workloads.Theorem11Instance(2, 4) },
+		func() (platform.Instance, platform.Platform) { return workloads.Theorem11Instance(5, 2) },
+		func() (platform.Instance, platform.Platform) { return workloads.Theorem14Instance(1, 2) },
+	} {
+		in, pl := family()
+		f.Add(encodeInstance(in, pl))
+	}
 	f.Fuzz(func(t *testing.T, data []byte) {
 		in, pl, ok := decodeInstance(data)
 		if !ok {

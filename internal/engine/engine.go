@@ -255,6 +255,22 @@ func Map[T any](ctx context.Context, p *Pool, job Job, fn func(ctx context.Conte
 	return results, nil
 }
 
+// One submits a single function to the pool as a one-cell job: it waits
+// for a pool slot (honoring ctx while waiting), runs fn with panic
+// capture, and maintains the pool metrics. It is the context-aware submit
+// path hpserve uses for single-schedule requests, so every simulation —
+// fan-out or not — shows up in hp_pool_cells_total and respects the
+// pool's global concurrency bound.
+func One[T any](ctx context.Context, p *Pool, fn func(ctx context.Context) (T, error)) (T, error) {
+	res, err := Map(ctx, p, Job{Cells: 1},
+		func(ctx context.Context, _ Cell) (T, error) { return fn(ctx) })
+	if err != nil {
+		var zero T
+		return zero, err
+	}
+	return res[0], nil
+}
+
 // runCell takes a pool slot, executes one cell with panic capture, and
 // maintains the pool metrics. The queue-depth gauge counts the cell until
 // it starts (or is abandoned to cancellation).

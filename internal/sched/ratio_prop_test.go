@@ -1,0 +1,214 @@
+package sched
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/bounds"
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/platform"
+	"repro/internal/workloads"
+)
+
+// -ratio.paperscale grows the property instances to the paper's
+// experimental sizes (thousands of tasks); the nightly job passes it, the
+// default run keeps the suite fast.
+var paperScale = flag.Bool("ratio.paperscale", false,
+	"run the Table-2 ratio properties at paper-scale instance sizes (n up to 2000)")
+
+// ratioTolerance absorbs float64 rounding in makespan/bound arithmetic;
+// the theorems themselves are exact.
+const ratioTolerance = 1e-9
+
+// table2Ratio is the proven HeteroPrio approximation ratio for the
+// platform shape (Table 2 of the paper): phi on 1+1 (Theorem 7), 1+phi on
+// m+1 (Theorem 9), 2+sqrt(2) in general (Theorem 12).
+func table2Ratio(pl platform.Platform) float64 {
+	switch {
+	case pl.CPUs == 1 && pl.GPUs == 1:
+		return workloads.Phi
+	case pl.GPUs == 1:
+		return 1 + workloads.Phi
+	default:
+		return 2 + math.Sqrt2
+	}
+}
+
+// propInstance draws one random independent instance. The generator
+// rotates through the workload families (uniform spread, bimodal
+// kernel-like, log-normal acceleration) so the property is not an
+// artifact of one distribution; acceleration factors include rho < 1
+// (CPU-favoring tasks) in every family.
+func propInstance(caseIdx, maxTasks int, rng *rand.Rand) platform.Instance {
+	n := 1 + rng.Intn(maxTasks)
+	switch caseIdx % 3 {
+	case 0:
+		return workloads.UniformInstance(n, 0.1, 50, 0.2, 40, rng)
+	case 1:
+		return workloads.BimodalInstance(n, 0.2+0.6*rng.Float64(), rng)
+	default:
+		return workloads.LogNormalAccelInstance(n, rng.Float64()*2-0.5, 0.5+rng.Float64(), rng)
+	}
+}
+
+// TestTable2RatioProperties is the property-test form of Table 2, in two
+// layers per platform shape:
+//
+// Exact layer — on instances small enough for the branch-and-bound
+// solver, the makespan never exceeds the shape's proven ratio times the
+// exact optimum. This is the literal theorem statement.
+//
+// Area layer — on larger instances (where the optimum is out of reach)
+// the makespan never exceeds (2+sqrt(2)) times bounds.Lower. Only the
+// general ratio is valid here: the proofs of the shape-specific ratios
+// compare against the optimum, which the fractional area bound can
+// under-estimate. Concretely, seed DeriveSeed(20170529, 618) on 20 CPUs +
+// 1 GPU yields 13 GPU-hungry tasks where HeteroPrio IS optimal at
+// makespan 22.50 yet makespan/bounds.Lower = 2.98 > 1+phi — asserting
+// shape ratios against the lower bound would reject a correct scheduler.
+func TestTable2RatioProperties(t *testing.T) {
+	const seedBase = 20170529 // paper's IPDPS year+month+day, fixed forever
+	trials, maxTasks := 200, 60
+	if *paperScale {
+		maxTasks = 2000
+	}
+	shapes := []struct{ m, n int }{
+		{1, 1},
+		{2, 1}, {6, 1}, {20, 1},
+		{3, 2}, {4, 3}, {8, 4},
+	}
+	for si, shape := range shapes {
+		shape := shape
+		pl := platform.NewPlatform(shape.m, shape.n)
+		ratio := table2Ratio(pl)
+		t.Run(fmt.Sprintf("%dCPU+%dGPU", shape.m, shape.n), func(t *testing.T) {
+			t.Parallel()
+			worstOpt, worstLower := 0.0, 0.0
+			for trial := 0; trial < trials; trial++ {
+				// One independent stream per (shape, trial): cases stay
+				// reproducible in isolation (-run with -v pins the failure).
+				rng := rand.New(rand.NewSource(engine.DeriveSeed(seedBase, si*trials+trial)))
+				exact := trial%2 == 0
+				limit := maxTasks
+				if exact {
+					limit = MaxExactTasks
+				}
+				in := propInstance(trial, limit, rng)
+				res, err := core.ScheduleIndependent(in, pl, core.Options{})
+				if err != nil {
+					t.Fatalf("trial %d: %v", trial, err)
+				}
+				if err := res.Schedule.Validate(in, nil); err != nil {
+					t.Fatalf("trial %d: invalid schedule: %v", trial, err)
+				}
+				if exact {
+					opt, err := OptimalIndependent(in, pl)
+					if err != nil {
+						t.Fatalf("trial %d: %v", trial, err)
+					}
+					got := res.Makespan() / opt
+					if got > worstOpt {
+						worstOpt = got
+					}
+					if res.Makespan() > ratio*opt*(1+ratioTolerance) {
+						t.Fatalf("trial %d (%d tasks): makespan %v > %v x optimum %v (ratio %v)",
+							trial, len(in), res.Makespan(), ratio, opt, got)
+					}
+				} else {
+					lower, err := bounds.Lower(in, pl)
+					if err != nil {
+						t.Fatalf("trial %d: %v", trial, err)
+					}
+					got := res.Makespan() / lower
+					if got > worstLower {
+						worstLower = got
+					}
+					if res.Makespan() > (2+math.Sqrt2)*lower*(1+ratioTolerance) {
+						t.Fatalf("trial %d (%d tasks): makespan %v > (2+sqrt2) x lower bound %v (ratio %v)",
+							trial, len(in), res.Makespan(), lower, got)
+					}
+				}
+			}
+			t.Logf("worst makespan/optimum = %.4f (proven %.4f); worst makespan/lower = %.4f (proven %.4f)",
+				worstOpt, ratio, worstLower, 2+math.Sqrt2)
+		})
+	}
+}
+
+// TestSection5WorstCaseRatios pins the Section 5 adversarial families to
+// their closed-form makespans: these instances are the proof that Table 2
+// is tight, so the scheduler drifting off them (e.g. a spoliation-rule
+// change) silently weakens the reproduction even while every upper bound
+// still holds.
+func TestSection5WorstCaseRatios(t *testing.T) {
+	t.Run("Theorem8", func(t *testing.T) {
+		// 1 CPU + 1 GPU: two tasks reach exactly phi against optimum 1.
+		in, pl := workloads.Theorem8Instance()
+		res, err := core.ScheduleIndependent(in, pl, core.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		opt, err := OptimalIndependent(in, pl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(opt-1) > ratioTolerance {
+			t.Fatalf("optimum %v, want 1", opt)
+		}
+		ratio := res.Makespan() / opt
+		if math.Abs(ratio-workloads.Phi) > ratioTolerance {
+			t.Errorf("achieved ratio %v, want phi = %v", ratio, workloads.Phi)
+		}
+		if ratio > table2Ratio(pl)*(1+ratioTolerance) {
+			t.Errorf("ratio %v exceeds the proven bound %v", ratio, table2Ratio(pl))
+		}
+	})
+	t.Run("Theorem11", func(t *testing.T) {
+		// m CPUs + 1 GPU: makespan x + phi against optimum 1, approaching
+		// 1 + phi as m grows.
+		for _, m := range []int{2, 5, 10, 40} {
+			in, pl := workloads.Theorem11Instance(m, 4)
+			res, err := core.ScheduleIndependent(in, pl, core.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := workloads.Theorem11ExpectedMakespan(m)
+			if math.Abs(res.Makespan()-want) > ratioTolerance {
+				t.Errorf("m=%d: achieved ratio %v, want %v", m, res.Makespan(), want)
+			}
+			if res.Makespan() > table2Ratio(pl)*(1+ratioTolerance) {
+				t.Errorf("m=%d: ratio %v exceeds the proven bound %v", m, res.Makespan(), table2Ratio(pl))
+			}
+		}
+	})
+	t.Run("Theorem14", func(t *testing.T) {
+		// (m, n) general case: the family approaches 2 + 2/sqrt(3), below
+		// the proven 2 + sqrt(2). The filler tasks quantize the x-long
+		// phases (granularity x/K with K=2), so the achieved makespan
+		// matches the closed form to ~1e-7, not 1e-9; the bound checks
+		// below are still strict.
+		for _, k := range []int{1, 2, 3} {
+			in, pl := workloads.Theorem14Instance(k, 2)
+			res, err := core.ScheduleIndependent(in, pl, core.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			opt := workloads.Theorem14OptimalMakespan(k)
+			ratio := res.Makespan() / opt
+			want := workloads.Theorem14ExpectedMakespan(k) / opt
+			if math.Abs(ratio-want) > 1e-6 {
+				t.Errorf("k=%d: achieved ratio %v, want %v", k, ratio, want)
+			}
+			if ratio > 2+2/math.Sqrt(3)+ratioTolerance {
+				t.Errorf("k=%d: ratio %v exceeds the family limit 2+2/sqrt(3)", k, ratio)
+			}
+			if ratio > table2Ratio(pl)*(1+ratioTolerance) {
+				t.Errorf("k=%d: ratio %v exceeds the proven bound %v", k, ratio, table2Ratio(pl))
+			}
+		}
+	})
+}

@@ -1,0 +1,121 @@
+package serve_test
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/serve"
+)
+
+func TestAdmissionFastPath(t *testing.T) {
+	a := serve.NewAdmission(2, 0, nil)
+	r1, err := a.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := a.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1()
+	r2()
+	// Released slots are reusable.
+	r3, err := a.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r3()
+}
+
+func TestAdmissionQueueFullSheds(t *testing.T) {
+	reg := obs.NewRegistry()
+	a := serve.NewAdmission(1, 0, reg)
+	release, err := a.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Acquire(context.Background()); !errors.Is(err, serve.ErrQueueFull) {
+		t.Fatalf("got %v, want ErrQueueFull", err)
+	}
+	if shed := reg.Counter(serve.MetricServeShed, "").Value(); shed != 1 {
+		t.Fatalf("shed counter %v, want 1", shed)
+	}
+	release()
+	// With the slot free again the next request is admitted.
+	r2, err := a.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2()
+}
+
+func TestAdmissionContextEndsWhileQueued(t *testing.T) {
+	reg := obs.NewRegistry()
+	a := serve.NewAdmission(1, 1, reg)
+	release, err := a.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The slot is busy and the queue has room: an already-ended context
+	// is noticed while waiting and the queue token is returned.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := a.Acquire(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+	if q := reg.Gauge(serve.MetricServeQueued, "").Value(); q != 0 {
+		t.Fatalf("queued gauge %v after rejection, want 0", q)
+	}
+	// The queue slot freed by the rejection is usable again.
+	if _, err := a.Acquire(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("second queued acquire: got %v, want context.Canceled", err)
+	}
+	release()
+}
+
+// TestAdmissionQueuedThenAdmitted parks one request in the queue and
+// checks it gets the slot as soon as the holder releases it.
+func TestAdmissionQueuedThenAdmitted(t *testing.T) {
+	reg := obs.NewRegistry()
+	a := serve.NewAdmission(1, 1, reg)
+	release, err := a.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	admitted := make(chan func(), 1)
+	go func() {
+		r, err := a.Acquire(context.Background())
+		if err != nil {
+			t.Error(err)
+		}
+		admitted <- r
+	}()
+	// Wait (yielding, not sleeping) until the request is parked in the
+	// queue, so the release below is what admits it.
+	queued := reg.Gauge(serve.MetricServeQueued, "")
+	for queued.Value() != 1 {
+		runtime.Gosched()
+	}
+	release()
+	r2 := <-admitted
+	if queued.Value() != 0 {
+		t.Fatalf("queued gauge %v after admission, want 0", queued.Value())
+	}
+	r2()
+}
+
+func TestAdmissionMarkDeadline(t *testing.T) {
+	reg := obs.NewRegistry()
+	a := serve.NewAdmission(1, 1, reg)
+	a.MarkDeadline()
+	a.MarkDeadline()
+	if v := reg.Counter(serve.MetricServeDeadlineExceeded, "").Value(); v != 2 {
+		t.Fatalf("deadline counter %v, want 2", v)
+	}
+	if a.Concurrent() != 1 || a.QueueDepth() != 1 {
+		t.Fatalf("shape (%d, %d), want (1, 1)", a.Concurrent(), a.QueueDepth())
+	}
+}

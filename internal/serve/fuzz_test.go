@@ -1,0 +1,77 @@
+package serve_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/platform"
+	"repro/internal/serve"
+)
+
+// decodeKeyInstance mirrors internal/core's fuzz decoder: two bytes per
+// task (CPU time, acceleration-factor bucket).
+func decodeKeyInstance(data []byte) platform.Instance {
+	var in platform.Instance
+	for i := 0; i+1 < len(data) && len(in) < 40; i += 2 {
+		p := 0.1 + float64(data[i])/8
+		accel := math.Exp((float64(data[i+1])/255)*6 - 2)
+		in = append(in, platform.Task{ID: len(in), CPUTime: p, GPUTime: p / accel})
+	}
+	return in
+}
+
+// FuzzCacheKey asserts hash equality ⇔ canonical-instance equality over
+// arbitrary instances: a permuted task order never changes the key, any
+// perturbed duration always does, and two independently decoded
+// instances agree on their keys exactly when they agree canonically.
+func FuzzCacheKey(f *testing.F) {
+	f.Add([]byte{10, 200, 10, 200, 50, 128})
+	f.Add([]byte{1, 1, 1, 1, 1, 1, 1, 1})
+	f.Add([]byte{255, 0, 0, 255, 37, 99, 201, 17, 5, 5})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 6 {
+			t.Skip()
+		}
+		pl := platform.NewPlatform(1+int(data[0])%8, 1+int(data[1])%4)
+		half := 2 + (len(data)-2)/2
+		a := decodeKeyInstance(data[2:half])
+		b := decodeKeyInstance(data[half:])
+		if len(a) == 0 {
+			t.Skip()
+		}
+		ka := serve.KeyOf(a, pl, "alg", 1)
+
+		// Permutation invariance: shuffle with a seed derived from the data.
+		rng := rand.New(rand.NewSource(int64(len(data))*1009 + int64(data[2])))
+		perm := a.Clone()
+		rng.Shuffle(len(perm), func(i, j int) { perm[i], perm[j] = perm[j], perm[i] })
+		if !serve.CanonicalEqual(a, perm) {
+			t.Fatal("permutation changed the canonical form")
+		}
+		if serve.KeyOf(perm, pl, "alg", 1) != ka {
+			t.Fatalf("permuted task order changed the key\ninstance: %v", a)
+		}
+
+		// Duration sensitivity: a one-ulp perturbation of any task breaks
+		// canonical equality and the key with it.
+		victim := int(data[2]) % len(a)
+		mod := a.Clone()
+		mod[victim].GPUTime = math.Nextafter(mod[victim].GPUTime, math.Inf(1))
+		if serve.CanonicalEqual(a, mod) {
+			t.Fatalf("task %d: perturbed instance still canonically equal", victim)
+		}
+		if serve.KeyOf(mod, pl, "alg", 1) == ka {
+			t.Fatalf("task %d: perturbed duration kept the key", victim)
+		}
+
+		// Hash equality ⇔ canonical equality between two independently
+		// decoded instances (SHA-256 collisions are out of scope).
+		if len(b) > 0 {
+			kb := serve.KeyOf(b, pl, "alg", 1)
+			if eq := serve.CanonicalEqual(a, b); eq != (ka == kb) {
+				t.Fatalf("canonical equality %v but key equality %v\na: %v\nb: %v", eq, ka == kb, a, b)
+			}
+		}
+	})
+}

@@ -1,0 +1,128 @@
+package serve_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/platform"
+	"repro/internal/serve"
+)
+
+func testInstance(n int, rng *rand.Rand) platform.Instance {
+	in := make(platform.Instance, 0, n)
+	for i := 0; i < n; i++ {
+		p := 0.5 + rng.Float64()*20
+		a := math.Exp(rng.Float64()*4 - 2)
+		in = append(in, platform.Task{ID: i, CPUTime: p, GPUTime: p / a, Priority: float64(rng.Intn(4))})
+	}
+	return in
+}
+
+func shuffled(in platform.Instance, rng *rand.Rand) platform.Instance {
+	out := in.Clone()
+	rng.Shuffle(len(out), func(i, j int) { out[i], out[j] = out[j], out[i] })
+	return out
+}
+
+func TestKeyPermutationInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	pl := platform.NewPlatform(4, 2)
+	for trial := 0; trial < 50; trial++ {
+		in := testInstance(1+rng.Intn(30), rng)
+		k1 := serve.KeyOf(in, pl, "HeteroPrio-min", 1, "workload=uniform")
+		k2 := serve.KeyOf(shuffled(in, rng), pl, "HeteroPrio-min", 1, "workload=uniform")
+		if k1 != k2 {
+			t.Fatalf("trial %d: permuted instance changed the key", trial)
+		}
+	}
+}
+
+func TestKeyDurationSensitivity(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	pl := platform.NewPlatform(4, 2)
+	in := testInstance(12, rng)
+	base := serve.KeyOf(in, pl, "alg", 1)
+	for i := range in {
+		for _, perturb := range []func(*platform.Task){
+			func(t *platform.Task) { t.CPUTime = math.Nextafter(t.CPUTime, math.Inf(1)) },
+			func(t *platform.Task) { t.GPUTime = math.Nextafter(t.GPUTime, 0) },
+			func(t *platform.Task) { t.Priority++ },
+		} {
+			mod := in.Clone()
+			perturb(&mod[i])
+			if serve.KeyOf(mod, pl, "alg", 1) == base {
+				t.Fatalf("task %d: one-ulp perturbation did not change the key", i)
+			}
+		}
+	}
+}
+
+// TestKeyIgnoresIdentity: IDs and names label output rows but never move
+// a task in the schedule of a generated workload, so they stay out of the
+// hash — the workload parameters that determine them are keyed instead.
+func TestKeyIgnoresIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	pl := platform.NewPlatform(2, 1)
+	in := testInstance(6, rng)
+	mod := in.Clone()
+	for i := range mod {
+		mod[i].ID += 100
+		mod[i].Name = "renamed"
+	}
+	if serve.KeyOf(in, pl, "alg", 1) != serve.KeyOf(mod, pl, "alg", 1) {
+		t.Fatal("renumbering/renaming tasks changed the key")
+	}
+}
+
+func TestKeyRequestFieldSensitivity(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	in := testInstance(8, rng)
+	pl := platform.NewPlatform(4, 2)
+	base := serve.KeyOf(in, pl, "alg", 1, "workload=uniform", "n=8")
+	variants := []serve.Key{
+		serve.KeyOf(in, platform.NewPlatform(5, 2), "alg", 1, "workload=uniform", "n=8"),
+		serve.KeyOf(in, platform.NewPlatform(4, 3), "alg", 1, "workload=uniform", "n=8"),
+		serve.KeyOf(in, pl, "other-alg", 1, "workload=uniform", "n=8"),
+		serve.KeyOf(in, pl, "alg", 2, "workload=uniform", "n=8"),
+		serve.KeyOf(in, pl, "alg", 1, "workload=chains", "n=8"),
+		serve.KeyOf(in, pl, "alg", 1, "workload=uniform"),
+		serve.KeyOf(in[:7], pl, "alg", 1, "workload=uniform", "n=8"),
+	}
+	for i, k := range variants {
+		if k == base {
+			t.Errorf("variant %d: request field change did not change the key", i)
+		}
+	}
+}
+
+// TestKeyNoLengthConfusion guards the length-prefixed encoding: moving a
+// boundary between adjacent variable-length fields must not collide.
+func TestKeyNoLengthConfusion(t *testing.T) {
+	in := platform.Instance{{ID: 0, CPUTime: 1, GPUTime: 2}}
+	pl := platform.NewPlatform(1, 1)
+	a := serve.KeyOf(in, pl, "ab", 1, "c")
+	b := serve.KeyOf(in, pl, "a", 1, "bc")
+	if a == b {
+		t.Fatal("alg/param boundary shift collided")
+	}
+	if serve.KeyOf(in, pl, "a", 1, "b", "c") == serve.KeyOf(in, pl, "a", 1, "bc") {
+		t.Fatal("param split collided")
+	}
+}
+
+func TestCanonicalEqual(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	in := testInstance(10, rng)
+	if !serve.CanonicalEqual(in, shuffled(in, rng)) {
+		t.Fatal("permutation broke canonical equality")
+	}
+	mod := in.Clone()
+	mod[3].GPUTime *= 1.0000001
+	if serve.CanonicalEqual(in, mod) {
+		t.Fatal("perturbed duration still canonically equal")
+	}
+	if serve.CanonicalEqual(in, in[:9]) {
+		t.Fatal("different lengths canonically equal")
+	}
+}
