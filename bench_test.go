@@ -285,3 +285,37 @@ func BenchmarkScheduleIndependent(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkHDRRecord measures the request-latency histogram's hot path:
+// one Record per request, lock-free and allocation-free. The benchgate
+// pins allocs/op at zero — any boxing or lazy bucket growth sneaking
+// into Record shows up as a gate failure, not a latency mystery.
+func BenchmarkHDRRecord(b *testing.B) {
+	h := obs.NewHDR()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Record(int64(i%1000000 + 1))
+	}
+}
+
+// BenchmarkSpanStartEnd measures a StartChild/End pair in the steady
+// state of a long-lived trace: the span comes from the tracer's pool and
+// goes back on End, and past the per-trace retention cap nothing is
+// appended, so the cycle must be allocation-free (gate-pinned at zero).
+func BenchmarkSpanStartEnd(b *testing.B) {
+	tr := obs.NewTracer(1)
+	root := tr.StartTrace("bench")
+	// Warm past the retention cap so the retained-spans append growth is
+	// outside the measured loop.
+	for i := 0; i < 5000; i++ {
+		root.StartChild("phase").End()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sp := root.StartChild("phase")
+		sp.AnnotateInt("iter", int64(i))
+		sp.End()
+	}
+}

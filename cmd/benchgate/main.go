@@ -26,7 +26,7 @@ import (
 
 // gatedBenchmarks is the -bench regexp for the gate: the scheduler fast
 // paths, the area bound, the DAG path, and the pool scaling bench.
-const gatedBenchmarks = "^(BenchmarkScheduleIndependent|BenchmarkScheduleIndependentScaling|BenchmarkAreaBound|BenchmarkScheduleDAGCholesky)$"
+const gatedBenchmarks = "^(BenchmarkScheduleIndependent|BenchmarkScheduleIndependentScaling|BenchmarkAreaBound|BenchmarkScheduleDAGCholesky|BenchmarkHDRRecord|BenchmarkSpanStartEnd)$"
 
 func main() {
 	var (

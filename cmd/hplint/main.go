@@ -2,10 +2,11 @@
 // (internal/analysis) over every package in the module and exits non-zero
 // on any diagnostic. It is the machine check behind the invariants the
 // paper's guarantees rest on: deterministic scheduling code, float
-// comparison hygiene, the zero-alloc observer contract, ordered map
-// iteration, sleep-free tests, and — flow-sensitively — unit-consistent
-// arithmetic, mutex discipline, scheduler input purity, and error
-// handling along every path.
+// comparison hygiene, the zero-alloc observer and span guard contract,
+// ordered map iteration, sleep-free tests, and — flow-sensitively —
+// unit-consistent arithmetic, mutex discipline, scheduler input purity,
+// error handling along every path, and span End() coverage on every
+// path.
 //
 // Usage:
 //
@@ -18,7 +19,7 @@
 // Flags:
 //
 //	-catalog          list the analyzers and exit
-//	-enable a,b,...   run only the named analyzers (default: all ten)
+//	-enable a,b,...   run only the named analyzers (default: all eleven)
 //	-json             emit one JSON object per finding, one per line
 //	-dir path -rel p  lint a single directory as module-relative path p
 //	                  (used by CI to assert the golden flag fixtures fail)

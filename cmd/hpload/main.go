@@ -1,0 +1,79 @@
+// Command hpload drives an hpserve instance with a deterministic,
+// seeded open-loop workload and prints an SLO report: latency quantiles
+// from an HDR histogram, hit/shed rates, and a per-phase breakdown
+// resolved from sampled request traces.
+//
+// The request plan (arrival times, endpoints, parameters) is a pure
+// function of -seed/-n/-rate/-mix; the -concurrency cap only gates
+// dispatch, so the plan section of the report is reproducible across
+// machines and concurrency levels while the latency section reflects
+// the target's actual behaviour.
+//
+//	hpload -url http://127.0.0.1:8080 -n 200 -rate 50 -seed 42 -json report.json
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/load"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "hpload:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	url := flag.String("url", "http://127.0.0.1:8080", "base URL of the hpserve instance")
+	n := flag.Int("n", 200, "number of requests in the plan")
+	rate := flag.Float64("rate", 50, "mean arrival rate in requests per second (Poisson)")
+	concurrency := flag.Int("concurrency", 8, "max in-flight requests (gates dispatch only)")
+	seed := flag.Int64("seed", 1, "plan seed; same seed, same plan at any concurrency")
+	mixFlag := flag.String("mix", "", "request mix as kind=weight[,kind=weight] (default schedule=9,compare=1)")
+	timeout := flag.Duration("timeout", 30*time.Second, "per-request client timeout")
+	traceSample := flag.Int("trace-sample", 8, "resolve every Nth OK request's trace for the phase breakdown; 0 disables")
+	jsonPath := flag.String("json", "", "also write the report as JSON to this file")
+	flag.Parse()
+
+	mix, err := load.ParseMix(*mixFlag)
+	if err != nil {
+		return err
+	}
+	cfg := load.Config{
+		BaseURL:     *url,
+		Plan:        load.PlanConfig{Requests: *n, Rate: *rate, Seed: *seed, Mix: mix},
+		Concurrency: *concurrency,
+		Timeout:     *timeout,
+		TraceSample: *traceSample,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	rep, err := load.Run(ctx, cfg)
+	if err != nil {
+		return err
+	}
+	if err := rep.WriteText(os.Stdout); err != nil {
+		return err
+	}
+	if *jsonPath != "" {
+		f, err := os.Create(*jsonPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := rep.WriteJSON(f); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,94 @@
+package main
+
+import (
+	"context"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/load"
+)
+
+// TestLoadHarnessAgainstServer closes the loop between cmd/hpload's
+// harness and a real hpserve instance over HTTP: the open-loop plan
+// replays cleanly, every request is accounted for in a status class,
+// sampled traces resolve at /trace/{id}, and the per-phase breakdown
+// covers the serving pipeline.
+func TestLoadHarnessAgainstServer(t *testing.T) {
+	ts := httptest.NewServer(newServer(nil, defaultServeConfig()))
+	defer ts.Close()
+
+	rep, err := load.Run(context.Background(), load.Config{
+		BaseURL:     ts.URL,
+		Plan:        load.PlanConfig{Requests: 40, Rate: 400, Seed: 42},
+		Concurrency: 8,
+		TraceSample: 1, // resolve every OK request's trace
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	total := rep.Status.OK + rep.Status.Shed + rep.Status.Deadline + rep.Status.Errors
+	if total != 40 {
+		t.Fatalf("status classes sum to %d, want 40: %+v", total, rep.Status)
+	}
+	if rep.Status.Errors != 0 {
+		t.Fatalf("transport/server errors against live server: %+v", rep.Status)
+	}
+	if rep.Status.OK == 0 {
+		t.Fatalf("no request succeeded: %+v", rep.Status)
+	}
+	if rep.Latency.P50 <= 0 || rep.Latency.P999 < rep.Latency.P50 {
+		t.Fatalf("latency stats %+v", rep.Latency)
+	}
+	if rep.HitRate < 0 || rep.HitRate > 1 {
+		t.Fatalf("hit rate %g out of range", rep.HitRate)
+	}
+	if rep.SampledTraces == 0 {
+		t.Fatal("no traces sampled from the live server")
+	}
+	phases := map[string]load.PhaseStat{}
+	for _, p := range rep.Phases {
+		phases[p.Phase] = p
+	}
+	// Admission, cache, and render run on every request; compute runs on
+	// every cache miss, and the plan always contains misses.
+	for _, want := range []string{"admission", "cache", "compute", "render"} {
+		st, ok := phases[want]
+		if !ok {
+			t.Errorf("phase %q missing from breakdown: %+v", want, rep.Phases)
+			continue
+		}
+		if st.Count == 0 || st.P99 < st.P50 {
+			t.Errorf("phase %q stats implausible: %+v", want, st)
+		}
+	}
+	// The compute phase must dominate render for this CPU-bound service —
+	// a sanity check that phase attribution is not shuffled.
+	if phases["compute"].P99 < phases["render"].P50 {
+		t.Errorf("compute (%+v) not dominating render (%+v)", phases["compute"], phases["render"])
+	}
+}
+
+// TestLoadPlanStableAgainstServer re-runs the same seed at different
+// concurrency against the live server and checks the plan fingerprint
+// is byte-stable — the property the CI smoke job asserts end to end.
+func TestLoadPlanStableAgainstServer(t *testing.T) {
+	ts := httptest.NewServer(newServer(nil, defaultServeConfig()))
+	defer ts.Close()
+
+	var prev string
+	for _, conc := range []int{2, 8} {
+		rep, err := load.Run(context.Background(), load.Config{
+			BaseURL:     ts.URL,
+			Plan:        load.PlanConfig{Requests: 20, Rate: 500, Seed: 7},
+			Concurrency: conc,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if prev != "" && rep.Plan.Hash != prev {
+			t.Fatalf("plan hash changed with concurrency: %s vs %s", prev, rep.Plan.Hash)
+		}
+		prev = rep.Plan.Hash
+	}
+}

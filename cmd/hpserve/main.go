@@ -3,10 +3,12 @@
 // the SVG Gantt chart, the metrics and the comparison against the lower
 // bound in the browser.
 //
-// Observability endpoints: Prometheus metrics at /metrics, recent run
-// summaries as JSON at /runs, live Perfetto traces at /trace, and the
-// standard pprof handlers under /debug/pprof/. Structured logs go to
-// stderr; -v (or HP_LOG=debug) enables per-request debug lines.
+// Observability endpoints: Prometheus metrics at /metrics (HDR latency
+// buckets carry exemplar trace IDs), recent run summaries as JSON at
+// /runs, live Perfetto traces at /trace, recent request traces at
+// /traces (slowest-first) with per-request span trees at /trace/{id},
+// and the standard pprof handlers under /debug/pprof/. Structured logs
+// go to stderr; -v (or HP_LOG=debug) enables per-request debug lines.
 //
 //	hpserve -addr :8080 -v
 package main
@@ -35,6 +37,8 @@ func main() {
 		"max requests waiting for an execution slot before shedding with 429")
 	requestTimeout := flag.Duration("request-timeout", def.requestTimeout,
 		"per-request deadline; expired requests are rejected with 503")
+	traceEntries := flag.Int("trace-entries", def.traceEntries,
+		"finished request traces retained for /traces and /trace/{id}")
 	flag.Parse()
 	logger := obs.NewLogger(os.Stderr, *verbose)
 
@@ -42,6 +46,7 @@ func main() {
 		cacheEntries:   *cacheEntries,
 		queueDepth:     *queueDepth,
 		requestTimeout: *requestTimeout,
+		traceEntries:   *traceEntries,
 	}
 	srv := &http.Server{
 		Addr:              *addr,

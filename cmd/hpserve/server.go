@@ -12,6 +12,7 @@ import (
 	"math/rand"
 	"net/http"
 	"net/http/pprof"
+	"sort"
 	"strconv"
 	"strings"
 	"sync/atomic"
@@ -48,10 +49,16 @@ type serveConfig struct {
 	// requestTimeout is the per-request deadline; a request that cannot
 	// finish in time is rejected with 503.
 	requestTimeout time.Duration
+	// traceEntries bounds the ring of finished request traces served at
+	// /traces and /trace/{id}.
+	traceEntries int
 }
 
 func defaultServeConfig() serveConfig {
-	return serveConfig{cacheEntries: 256, queueDepth: 64, requestTimeout: 10 * time.Second}
+	return serveConfig{
+		cacheEntries: 256, queueDepth: 64,
+		requestTimeout: 10 * time.Second, traceEntries: 256,
+	}
 }
 
 // server carries the parsed templates and the observability state: a
@@ -73,6 +80,16 @@ type server struct {
 	httpReqs    *obs.CounterVec
 	httpDur     *obs.HistogramVec
 	runSeq      atomic.Uint64
+
+	// Request tracing: every request through a traced handler gets a root
+	// span; finished traces land in the tracer's ring (/traces,
+	// /trace/{id}) and feed the HDR latency families, whose tail-bucket
+	// exemplars carry the trace IDs of the slow requests that landed there.
+	tracer      *obs.Tracer
+	latReq      *obs.HDRVec
+	latPhase    *obs.HDRVec
+	tracesTotal *obs.Counter
+	traceDrops  *obs.Counter
 
 	// Serving front end: exact result caches (schedule pages and compare
 	// tables cache separately but share the hp_cache_* metric families),
@@ -113,7 +130,23 @@ func newServer(logger *slog.Logger, cfg serveConfig) *server {
 		httpDur: reg.HistogramVec("hp_http_request_duration_seconds",
 			"HTTP request latency in seconds, by handler.",
 			"handler", []float64{0.001, 0.005, 0.02, 0.1, 0.5, 2}),
+		latReq: reg.HDRVec("hp_latency_request_us",
+			"End-to-end request latency in microseconds (HDR, ~3% relative error), by handler; bucket exemplars carry trace IDs.",
+			"handler"),
+		latPhase: reg.HDRVec("hp_latency_phase_us",
+			"Per-phase request latency in microseconds (admission, cache, coalesce, compute, cell, render), by phase; bucket exemplars carry trace IDs.",
+			"phase"),
+		tracesTotal: reg.Counter("hp_trace_finished_total",
+			"Request traces finished and retained in the trace ring."),
+		traceDrops: reg.Counter("hp_trace_dropped_spans_total",
+			"Spans discarded by the per-trace retention bound."),
 	}
+	traceEntries := cfg.traceEntries
+	if traceEntries <= 0 {
+		traceEntries = defaultServeConfig().traceEntries
+	}
+	s.tracer = obs.NewTracer(traceEntries)
+	s.tracer.OnFinish = s.recordTrace
 	s.schedCache = serve.NewCache[*scheduleResult](cfg.cacheEntries, reg)
 	s.compareCache = serve.NewCache[[]obs.RunSummary](cfg.cacheEntries, reg)
 	maxConcurrent := cfg.maxConcurrent
@@ -125,9 +158,13 @@ func newServer(logger *slog.Logger, cfg serveConfig) *server {
 	s.handle("index", "/", s.handleIndex)
 	s.handle("schedule", "/schedule", s.handleSchedule)
 	s.handle("compare", "/compare", s.handleCompare)
-	s.handle("runs", "/runs", s.handleRuns)
 	s.handle("trace", "/trace", s.handleTrace)
-	s.handle("metrics", "/metrics", s.reg.Handler().ServeHTTP)
+	// Introspection endpoints are instrumented but not traced: a /traces
+	// poll must not fill the trace ring with reads of the trace ring.
+	s.handlePlain("runs", "/runs", s.handleRuns)
+	s.handlePlain("tracetree", "/trace/{id}", s.handleTraceTree)
+	s.handlePlain("traces", "/traces", s.handleTraces)
+	s.handlePlain("metrics", "/metrics", s.reg.Handler().ServeHTTP)
 	s.mux.HandleFunc("/debug/pprof/", pprof.Index)
 	s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -136,10 +173,34 @@ func newServer(logger *slog.Logger, cfg serveConfig) *server {
 	return s
 }
 
-// handle registers a named, instrumented handler: request count and
-// latency per handler name, plus a debug log line per request.
+// handle registers a named, instrumented, traced handler: request count
+// and latency per handler name, a debug log line per request, and a root
+// span covering the whole request. The trace ID is returned in the
+// X-Trace-Id response header, and the handler sees the span via the
+// request context, so every layer below (admission, cache, pool cells,
+// compute) hangs its child spans off this root.
 func (s *server) handle(name, pattern string, h http.HandlerFunc) {
 	reqs := s.httpReqs.With(name) // pre-seed so the series scrapes at 0
+	dur := s.httpDur.With(name)
+	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		reqs.Inc()
+		sp := s.tracer.StartTrace(name)
+		sp.Annotate("path", r.URL.Path)
+		w.Header().Set("X-Trace-Id", obs.FormatID(sp.TraceID()))
+		h(w, r.WithContext(obs.ContextWithSpan(r.Context(), sp)))
+		sp.End()
+		elapsed := time.Since(start)
+		dur.Observe(elapsed.Seconds())
+		s.log.Debug("http request", "handler", name, "path", r.URL.Path, "elapsed", elapsed)
+	})
+}
+
+// handlePlain registers a named, instrumented handler without tracing —
+// for the introspection endpoints whose own requests would otherwise
+// pollute the trace ring they expose.
+func (s *server) handlePlain(name, pattern string, h http.HandlerFunc) {
+	reqs := s.httpReqs.With(name)
 	dur := s.httpDur.With(name)
 	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
@@ -149,6 +210,25 @@ func (s *server) handle(name, pattern string, h http.HandlerFunc) {
 		dur.Observe(elapsed.Seconds())
 		s.log.Debug("http request", "handler", name, "path", r.URL.Path, "elapsed", elapsed)
 	})
+}
+
+// recordTrace is the tracer's OnFinish hook: it feeds the HDR latency
+// families from the finished trace — the root duration into the request
+// family, every child span into the phase family — carrying the trace ID
+// as the bucket exemplar, so a tail-latency bucket on /metrics points at
+// a concrete /trace/{id} to explain it.
+func (s *server) recordTrace(td *obs.TraceData) {
+	s.tracesTotal.Inc()
+	if d := td.Dropped(); d > 0 {
+		s.traceDrops.Add(float64(d))
+	}
+	s.latReq.With(td.Name).RecordExemplar(int64(td.Duration()/time.Microsecond), td.ID)
+	for _, sd := range td.Spans() {
+		if sd.Parent == 0 {
+			continue // the root is the request family's sample
+		}
+		s.latPhase.With(sd.Name).RecordExemplar(int64(sd.Duration()/time.Microsecond), td.ID)
+	}
 }
 
 func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
@@ -208,7 +288,7 @@ func (s *server) handleIndex(w http.ResponseWriter, r *http.Request) {
 		http.NotFound(w, r)
 		return
 	}
-	s.render(w, s.viewModel(defaultForm()), http.StatusOK)
+	s.render(r, w, s.viewModel(defaultForm()), http.StatusOK)
 }
 
 // wantJSON reports whether the request asked for a JSON body instead of
@@ -227,12 +307,12 @@ func (s *server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if wantJSON(r) {
-		s.writeJSON(w, res.RunSummary)
+		s.writeJSONCtx(r.Context(), w, res.RunSummary)
 		return
 	}
 	vm := s.viewModel(form)
 	vm.Result = res
-	s.render(w, vm, http.StatusOK)
+	s.render(r, w, vm, http.StatusOK)
 }
 
 // handleCompare runs every DAG algorithm on the same workload and renders
@@ -247,14 +327,14 @@ func (s *server) handleCompare(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if wantJSON(r) {
-		s.writeJSON(w, struct {
+		s.writeJSONCtx(r.Context(), w, struct {
 			Rows []obs.RunSummary `json:"rows"`
 		}{Rows: rows})
 		return
 	}
 	vm := s.viewModel(form)
 	vm.Compare = rows
-	s.render(w, vm, http.StatusOK)
+	s.render(r, w, vm, http.StatusOK)
 }
 
 // fail writes an error response in the format the request asked for,
@@ -267,19 +347,35 @@ func (s *server) fail(w http.ResponseWriter, r *http.Request, form scheduleForm,
 	}
 	vm := s.viewModel(form)
 	vm.Error = err.Error()
-	s.render(w, vm, status)
+	s.render(r, w, vm, status)
 }
 
 // writeJSON marshals v indented (matching /runs) and writes it as the
-// whole response body.
+// whole response body. A traced request gets a "render" span covering
+// the marshal and the response write.
 func (s *server) writeJSON(w http.ResponseWriter, v any) {
+	s.writeJSONCtx(context.Background(), w, v)
+}
+
+func (s *server) writeJSONCtx(ctx context.Context, w http.ResponseWriter, v any) {
+	sp := obs.SpanFromContext(ctx)
+	var rsp *obs.Span
+	if sp != nil {
+		rsp = sp.StartChild("render")
+	}
 	body, err := json.MarshalIndent(v, "", " ")
 	if err != nil {
 		jsonError(w, err, http.StatusInternalServerError)
+		if rsp != nil {
+			rsp.End()
+		}
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
 	_, _ = w.Write(body)
+	if rsp != nil {
+		rsp.End()
+	}
 }
 
 // handleRuns serves the recent run summaries as JSON, newest first.
@@ -334,6 +430,58 @@ func (s *server) handleTrace(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", "application/json")
 	_, _ = w.Write(raw)
+}
+
+// handleTraceTree serves one retained request trace as its span tree
+// (JSON): phase start offsets, durations, self times, and annotations.
+func (s *server) handleTraceTree(w http.ResponseWriter, r *http.Request) {
+	id, ok := obs.ParseID(r.PathValue("id"))
+	if !ok {
+		jsonError(w, fmt.Errorf("malformed trace id %q", r.PathValue("id")), http.StatusBadRequest)
+		return
+	}
+	td := s.tracer.Trace(id)
+	if td == nil {
+		jsonError(w, fmt.Errorf("trace %s not found (evicted or never existed)", obs.FormatID(id)), http.StatusNotFound)
+		return
+	}
+	s.writeJSON(w, td.Tree())
+}
+
+// traceListEntry is one row of the /traces listing.
+type traceListEntry struct {
+	TraceID    string `json:"trace_id"`
+	Name       string `json:"name"`
+	DurationUS int64  `json:"duration_us"`
+	Spans      int    `json:"spans"`
+	Finished   bool   `json:"finished"`
+}
+
+// handleTraces lists the retained traces slowest-first (the tail-latency
+// investigation order), bounded by ?limit= (default 50).
+func (s *server) handleTraces(w http.ResponseWriter, r *http.Request) {
+	limit := atoiDefault(r.FormValue("limit"), 50)
+	if limit < 1 {
+		limit = 1
+	}
+	rec := s.tracer.Recent()
+	rows := make([]traceListEntry, 0, len(rec))
+	for _, td := range rec {
+		rows = append(rows, traceListEntry{
+			TraceID:    obs.FormatID(td.ID),
+			Name:       td.Name,
+			DurationUS: int64(td.Duration() / time.Microsecond),
+			Spans:      len(td.Spans()),
+			Finished:   td.Finished(),
+		})
+	}
+	sort.SliceStable(rows, func(i, j int) bool { return rows[i].DurationUS > rows[j].DurationUS })
+	if len(rows) > limit {
+		rows = rows[:limit]
+	}
+	s.writeJSON(w, struct {
+		Traces []traceListEntry `json:"traces"`
+	}{Traces: rows})
 }
 
 // internalError marks failures that are the server's fault (HTTP 500);
@@ -426,6 +574,20 @@ func (s *server) executeRun(ctx context.Context, form scheduleForm, tl *obs.Time
 	if tl != nil {
 		o = obs.Multi(s.sched, tl)
 	}
+	// The compute span covers simulation + validation + bound + summary,
+	// bridged to the scheduler's observer stream: its annotations carry
+	// the simulated task/spoliation/makespan quantities of this very run.
+	if sp := obs.SpanFromContext(ctx); sp != nil {
+		csp := sp.StartChild("compute")
+		csp.Annotate("alg", form.Alg)
+		csp.Annotate("workload", form.Workload)
+		so := obs.NewSpanObserver(csp)
+		o = obs.Multi(o, so)
+		defer func() {
+			so.Finish()
+			csp.End()
+		}()
+	}
 	start := time.Now()
 	sched, err := expr.RunDAGObserved(form.Alg, g, pl, o)
 	if err != nil {
@@ -474,7 +636,7 @@ func (s *server) runSchedule(ctx context.Context, form scheduleForm) (*scheduleR
 	if err != nil {
 		return nil, err
 	}
-	res, _, err := s.schedCache.Do(ctx, key, func() (*scheduleResult, error) {
+	res, _, err := s.schedCache.DoCtx(ctx, key, func(ctx context.Context) (*scheduleResult, error) {
 		release, err := s.admit.Acquire(ctx)
 		if err != nil {
 			return nil, err
@@ -507,7 +669,7 @@ func (s *server) runCompare(ctx context.Context, form scheduleForm) ([]obs.RunSu
 	if err != nil {
 		return nil, err
 	}
-	rows, _, err := s.compareCache.Do(ctx, key, func() ([]obs.RunSummary, error) {
+	rows, _, err := s.compareCache.DoCtx(ctx, key, func(ctx context.Context) ([]obs.RunSummary, error) {
 		release, err := s.admit.Acquire(ctx)
 		if err != nil {
 			return nil, err
@@ -530,17 +692,30 @@ func (s *server) runCompare(ctx context.Context, form scheduleForm) ([]obs.RunSu
 }
 
 // render executes the page template into a buffer first, so template
-// failures surface as a clean 500 instead of a half-written page.
-func (s *server) render(w http.ResponseWriter, vm viewModel, status int) {
+// failures surface as a clean 500 instead of a half-written page. A
+// traced request gets a "render" span covering template execution and
+// the response write.
+func (s *server) render(r *http.Request, w http.ResponseWriter, vm viewModel, status int) {
+	sp := obs.SpanFromContext(r.Context())
+	var rsp *obs.Span
+	if sp != nil {
+		rsp = sp.StartChild("render")
+	}
 	var buf bytes.Buffer
 	if err := s.page.Execute(&buf, vm); err != nil {
 		s.log.Error("template render failed", "err", err)
 		http.Error(w, err.Error(), http.StatusInternalServerError)
+		if rsp != nil {
+			rsp.End()
+		}
 		return
 	}
 	w.Header().Set("Content-Type", "text/html; charset=utf-8")
 	w.WriteHeader(status)
 	_, _ = buf.WriteTo(w)
+	if rsp != nil {
+		rsp.End()
+	}
 }
 
 // jsonError writes an error payload with the right status and type.

@@ -137,8 +137,10 @@ func TestMetricsEndpoint(t *testing.T) {
 	if rec.Code != http.StatusOK {
 		t.Fatalf("status %d", rec.Code)
 	}
-	if ct := rec.Header().Get("Content-Type"); !strings.Contains(ct, "text/plain") {
-		t.Errorf("content type %q", ct)
+	// The Prometheus text exposition type, exactly: scrapers key their
+	// parser off the version parameter.
+	if ct := rec.Header().Get("Content-Type"); ct != "text/plain; version=0.0.4; charset=utf-8" {
+		t.Errorf("content type %q, want the Prometheus text exposition type", ct)
 	}
 	body := rec.Body.String()
 	for _, want := range []string{
@@ -154,6 +156,9 @@ func TestMetricsEndpoint(t *testing.T) {
 		"hp_http_request_duration_seconds_bucket{handler=\"schedule\",le=",
 		"hp_pool_workers",
 		"hp_pool_cells_total",
+		"hp_latency_request_us_count{handler=\"schedule\"} 1",
+		"hp_latency_phase_us_bucket{phase=\"compute\",le=",
+		"hp_trace_finished_total 1",
 	} {
 		if !strings.Contains(body, want) {
 			t.Errorf("/metrics missing %q", want)

@@ -101,7 +101,7 @@ func (d Diagnostic) String() string {
 }
 
 // All returns the full analyzer suite in stable order: the six
-// syntactic analyzers, then the four flow-sensitive analyzers built on
+// syntactic analyzers, then the five flow-sensitive analyzers built on
 // the CFG/dataflow engine (cfg.go, dataflow.go).
 func All() []*Analyzer {
 	return []*Analyzer{
@@ -115,6 +115,7 @@ func All() []*Analyzer {
 		LockCheck,
 		Purity,
 		ErrFlow,
+		SpanEnd,
 	}
 }
 

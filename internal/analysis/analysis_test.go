@@ -63,6 +63,7 @@ func TestAnalyzerFixtures(t *testing.T) {
 		{"lockcheck", "internal/obs", LockCheck},
 		{"purity", "internal/sched", Purity},
 		{"errflow", "internal/runtime", ErrFlow},
+		{"spanend", "internal/serve", SpanEnd},
 	}
 	for _, c := range cases {
 		t.Run(c.dir, func(t *testing.T) {

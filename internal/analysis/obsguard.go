@@ -7,17 +7,26 @@ import (
 	"strings"
 )
 
-// ObsGuard enforces the zero-alloc observer contract in core's event
-// loops: every obs.Observer method call must sit inside an `if o != nil`
+// ObsGuard enforces the zero-alloc observability contract on the hot
+// paths: every obs.Observer method call must sit inside an `if o != nil`
 // guard on the same observer variable (so the nil fast path costs
 // nothing), and its arguments must be non-allocating — no function
 // literals, no composite literals, no fmt.Sprint-family calls. The
 // contract is what keeps BenchmarkScheduleIndependent /
 // TestObserverNopZeroAlloc at zero allocations per event.
+//
+// The same discipline applies to span emission (*obs.Span methods are
+// deliberately not nil-safe — a nil-receiver fast path would hide the
+// cost of forgotten guards): a call on a span variable that may be nil
+// (assigned from SpanFromContext, declared without a value, a
+// parameter) must sit inside an `if sp != nil` guard; variables whose
+// every assignment is a StartTrace/StartChild call are provably
+// non-nil and may be used bare. Span call arguments obey the same
+// non-allocating rule as observer arguments.
 var ObsGuard = &Analyzer{
 	Name:      "obsguard",
-	Doc:       "observer emission must be nil-guarded and pass only non-allocating arguments",
-	Packages:  []string{"internal/core"},
+	Doc:       "observer and span emission must be nil-guarded and pass only non-allocating arguments",
+	Packages:  []string{"internal/core", "internal/engine", "internal/serve", "cmd/hpserve"},
 	SkipTests: true,
 	Run:       runObsGuard,
 }
@@ -31,6 +40,27 @@ func isObserverType(t types.Type) bool {
 	obj := named.Obj()
 	return obj.Name() == "Observer" && obj.Pkg() != nil &&
 		strings.HasSuffix(obj.Pkg().Path(), "internal/obs")
+}
+
+// isSpanType reports whether t is *obs.Span.
+func isSpanType(t types.Type) bool {
+	ptr, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Span" && obj.Pkg() != nil &&
+		strings.HasSuffix(obj.Pkg().Path(), "internal/obs")
+}
+
+// isGuardableType reports whether obj is something obsguard tracks: an
+// obs.Observer interface value or a *obs.Span.
+func isGuardableType(t types.Type) bool {
+	return isObserverType(t) || isSpanType(t)
 }
 
 // guardRange is one `if o != nil { ... }` body protecting observer obj.
@@ -64,7 +94,7 @@ func nilCheckedObjects(info *types.Info, cond ast.Expr) []types.Object {
 			return nil
 		}
 		obj := info.Uses[id]
-		if obj == nil || !isObserverType(obj.Type()) {
+		if obj == nil || !isGuardableType(obj.Type()) {
 			return nil
 		}
 		return []types.Object{obj}
@@ -109,6 +139,64 @@ func allocatingExpr(info *types.Info, e ast.Expr) (desc string, pos token.Pos) {
 	return desc, pos
 }
 
+// isStartCall reports whether e is a call whose method name proves a
+// non-nil span result: StartTrace and StartChild never return nil.
+func isStartCall(e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	return sel.Sel.Name == "StartTrace" || sel.Sel.Name == "StartChild"
+}
+
+// startedSpans classifies the file's span-typed variables: an object is
+// "started" (provably non-nil) when it has at least one assignment and
+// every one of its assignments — including its declaration — is a
+// StartTrace/StartChild call. Everything else (SpanFromContext results,
+// `var` declarations, parameters, multi-value assignments) stays
+// maybe-nil and needs guards at every call.
+func startedSpans(info *types.Info, f *ast.File) map[types.Object]bool {
+	started := map[types.Object]bool{}
+	poisoned := map[types.Object]bool{}
+	record := func(id *ast.Ident, ok bool) {
+		obj := info.Defs[id]
+		if obj == nil {
+			obj = info.Uses[id]
+		}
+		if obj == nil || !isSpanType(obj.Type()) {
+			return
+		}
+		if ok && !poisoned[obj] {
+			started[obj] = true
+		} else {
+			poisoned[obj] = true
+			delete(started, obj)
+		}
+	}
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.AssignStmt:
+			for i, l := range x.Lhs {
+				id, isID := l.(*ast.Ident)
+				if !isID || id.Name == "_" {
+					continue
+				}
+				record(id, len(x.Lhs) == len(x.Rhs) && isStartCall(x.Rhs[i]))
+			}
+		case *ast.ValueSpec:
+			for i, name := range x.Names {
+				record(name, i < len(x.Values) && isStartCall(x.Values[i]))
+			}
+		}
+		return true
+	})
+	return started
+}
+
 func runObsGuard(pass *Pass) {
 	for _, f := range pass.Files {
 		var guards []guardRange
@@ -130,6 +218,7 @@ func runObsGuard(pass *Pass) {
 			}
 			return false
 		}
+		started := startedSpans(pass.Info, f)
 		ast.Inspect(f, func(n ast.Node) bool {
 			call, ok := n.(*ast.CallExpr)
 			if !ok {
@@ -144,11 +233,20 @@ func runObsGuard(pass *Pass) {
 				return true
 			}
 			obj := pass.Info.Uses[recv]
-			if obj == nil || !isObserverType(obj.Type()) {
+			if obj == nil {
 				return true
 			}
-			if !guarded(obj, call.Pos()) {
-				pass.Reportf(call.Pos(), "observer call %s.%s outside an `if %s != nil` guard defeats the nil fast path", recv.Name, sel.Sel.Name, recv.Name)
+			switch {
+			case isObserverType(obj.Type()):
+				if !guarded(obj, call.Pos()) {
+					pass.Reportf(call.Pos(), "observer call %s.%s outside an `if %s != nil` guard defeats the nil fast path", recv.Name, sel.Sel.Name, recv.Name)
+				}
+			case isSpanType(obj.Type()):
+				if !started[obj] && !guarded(obj, call.Pos()) {
+					pass.Reportf(call.Pos(), "span call %s.%s outside an `if %s != nil` guard panics on untraced requests (span methods are not nil-safe)", recv.Name, sel.Sel.Name, recv.Name)
+				}
+			default:
+				return true
 			}
 			for _, arg := range call.Args {
 				if desc, pos := allocatingExpr(pass.Info, arg); desc != "" {

@@ -1,0 +1,52 @@
+package fixture
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/obs"
+)
+
+// A SpanFromContext result may be nil (untraced request): calling
+// through it without a guard panics.
+func spanUnguarded(ctx context.Context) {
+	sp := obs.SpanFromContext(ctx)
+	sp.Annotate("outcome", "boom") // want "outside an `if sp != nil` guard"
+	sp.End()                       // want "outside an `if sp != nil` guard"
+}
+
+func spanGuarded(ctx context.Context) {
+	sp := obs.SpanFromContext(ctx)
+	if sp != nil {
+		sp.Annotate("outcome", "ok")
+		sp.End()
+	}
+}
+
+// StartTrace/StartChild never return nil, so spans assigned only from
+// them may be used bare.
+func spanStartedDirect(tr *obs.Tracer) {
+	sp := tr.StartTrace("request")
+	sp.Annotate("kind", "ok")
+	child := sp.StartChild("phase")
+	child.End()
+	sp.End()
+}
+
+// A `var` declaration poisons the variable (it held nil at some point),
+// so uses need guards even after a conditional start.
+func spanConditionalStart(ctx context.Context) {
+	parent := obs.SpanFromContext(ctx)
+	var sp *obs.Span
+	if parent != nil {
+		sp = parent.StartChild("phase")
+	}
+	sp.End() // want "outside an `if sp != nil` guard"
+}
+
+// Span arguments obey the observer rule: no per-event allocation.
+func spanAllocatingArgs(tr *obs.Tracer, n int) {
+	sp := tr.StartTrace("request")
+	sp.Annotate("detail", fmt.Sprint(n)) // want "allocating argument (fmt.Sprint call)"
+	sp.End()
+}

@@ -1,0 +1,10 @@
+package fixture
+
+import "repro/internal/obs"
+
+// A deliberate leak with a recorded justification.
+func leakWithReason(tr *obs.Tracer) {
+	//hplint:allow spanend fixture exercises the escape-comment path
+	sp := tr.StartTrace("request")
+	sp.Annotate("kind", "allowed")
+}

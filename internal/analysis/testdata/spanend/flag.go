@@ -1,0 +1,43 @@
+package fixture
+
+import (
+	"context"
+
+	"repro/internal/obs"
+)
+
+// A span started and simply abandoned: no End on any path.
+func startNoEnd(tr *obs.Tracer) {
+	sp := tr.StartTrace("request") // want "not ended on every path"
+	sp.Annotate("kind", "leak")
+}
+
+// End on one branch only: the else path falls off the function exit
+// with the span still open.
+func endOnOnePath(tr *obs.Tracer, hot bool) {
+	sp := tr.StartTrace("request") // want "not ended on every path"
+	if hot {
+		sp.Annotate("outcome", "hot")
+		sp.End()
+		return
+	}
+	sp.Annotate("outcome", "cold")
+}
+
+// An early error return that skips the End at the bottom.
+func endAfterEarlyReturn(ctx context.Context, tr *obs.Tracer, fail bool) error {
+	sp := tr.StartTrace("request") // want "not ended on every path"
+	if fail {
+		return context.Canceled
+	}
+	sp.End()
+	return nil
+}
+
+// A child span leaks even when the root is handled correctly.
+func childLeaks(tr *obs.Tracer) {
+	sp := tr.StartTrace("request")
+	defer sp.End()
+	csp := sp.StartChild("phase") // want "not ended on every path"
+	csp.Annotate("outcome", "open")
+}

@@ -1,0 +1,78 @@
+package fixture
+
+import (
+	"context"
+
+	"repro/internal/obs"
+)
+
+// Straight-line start and end.
+func plainEnd(tr *obs.Tracer) {
+	sp := tr.StartTrace("request")
+	sp.Annotate("kind", "ok")
+	sp.End()
+}
+
+// A defer discharges the obligation at the defer statement, whether it
+// calls End directly or from a closure.
+func deferredEnd(tr *obs.Tracer) {
+	sp := tr.StartTrace("request")
+	defer sp.End()
+	sp.Annotate("kind", "ok")
+}
+
+func deferredClosureEnd(tr *obs.Tracer) {
+	sp := tr.StartTrace("request")
+	defer func() { sp.End() }()
+	sp.Annotate("kind", "ok")
+}
+
+// The conditional-start pattern: the span begins inside an `if parent !=
+// nil` guard, and every later use sits behind `if sp != nil`. The false
+// branches of those guards are vacuous — the started span is non-nil —
+// so they do not count as End-less paths.
+func guardedPhases(ctx context.Context, hot bool) {
+	parent := obs.SpanFromContext(ctx)
+	var sp *obs.Span
+	if parent != nil {
+		sp = parent.StartChild("phase")
+	}
+	if hot {
+		if sp != nil {
+			sp.Annotate("outcome", "hot")
+			sp.End()
+		}
+		return
+	}
+	if sp != nil {
+		sp.Annotate("outcome", "cold")
+		sp.End()
+	}
+}
+
+// End on both arms of an explicit branch.
+func branchedEnd(tr *obs.Tracer, hot bool) {
+	sp := tr.StartTrace("request")
+	if hot {
+		sp.Annotate("outcome", "hot")
+		sp.End()
+	} else {
+		sp.Annotate("outcome", "cold")
+		sp.End()
+	}
+}
+
+// A returned span transfers the End obligation to the caller.
+func startAndHandOff(tr *obs.Tracer) *obs.Span {
+	sp := tr.StartTrace("request")
+	sp.Annotate("kind", "handoff")
+	return sp
+}
+
+// A span stored into a struct escapes the same way.
+type holder struct{ sp *obs.Span }
+
+func startAndStore(tr *obs.Tracer, h *holder) {
+	sp := tr.StartTrace("request")
+	h.sp = sp
+}

@@ -273,12 +273,27 @@ func One[T any](ctx context.Context, p *Pool, fn func(ctx context.Context) (T, e
 
 // runCell takes a pool slot, executes one cell with panic capture, and
 // maintains the pool metrics. The queue-depth gauge counts the cell until
-// it starts (or is abandoned to cancellation).
+// it starts (or is abandoned to cancellation). When ctx carries a trace
+// span, the cell gets a child span (covering slot wait + execution)
+// annotated with its index and derived seed.
 func runCell[T any](ctx context.Context, p *Pool, c Cell, out *T, fn func(ctx context.Context, c Cell) (T, error)) error {
+	sp := obs.SpanFromContext(ctx)
+	var csp *obs.Span
+	if sp != nil {
+		csp = sp.StartChild("cell")
+	}
+	if csp != nil {
+		csp.AnnotateInt("cell_index", int64(c.Index))
+		csp.AnnotateInt("cell_seed", c.Seed)
+	}
 	select {
 	case p.slots <- struct{}{}:
 	case <-ctx.Done():
 		p.queueDepth.Add(-1)
+		if csp != nil {
+			csp.Annotate("outcome", "cancelled")
+			csp.End()
+		}
 		return ctx.Err()
 	}
 	p.queueDepth.Add(-1)
@@ -289,6 +304,9 @@ func runCell[T any](ctx context.Context, p *Pool, c Cell, out *T, fn func(ctx co
 	p.busy.Add(-1)
 	p.cells.Inc()
 	<-p.slots
+	if csp != nil {
+		csp.End()
+	}
 	return err
 }
 

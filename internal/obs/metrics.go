@@ -262,6 +262,14 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 				writeHistogram(&b, f.name, m.label, v, m.kids[v])
 			}
 			m.mu.RUnlock()
+		case *HDRHistogram:
+			writeHDR(&b, f.name, "", "", m)
+		case *HDRVec:
+			m.mu.RLock()
+			for _, v := range sortedKeys(m.kids) {
+				writeHDR(&b, f.name, m.label, v, m.kids[v])
+			}
+			m.mu.RUnlock()
 		}
 	}
 	_, err := io.WriteString(w, b.String())
@@ -308,6 +316,34 @@ func writeHistogram(b *strings.Builder, name, label, value string, h *Histogram)
 		suffix = fmt.Sprintf(`{%s="%s"}`, label, escapeLabel(value))
 	}
 	fmt.Fprintf(b, "%s_sum%s %s\n", name, suffix, formatValue(h.Sum()))
+	fmt.Fprintf(b, "%s_count%s %d\n", name, suffix, h.Count())
+}
+
+// writeHDR emits an HDR histogram as cumulative _bucket series at the
+// occupied bucket boundaries (plus +Inf), then _sum and _count. Buckets
+// carrying an exemplar get an OpenMetrics-style exemplar suffix
+// (`# {trace_id="..."} value`), which is how a tail bucket links to the
+// trace of the request that landed in it.
+func writeHDR(b *strings.Builder, name, label, value string, h *HDRHistogram) {
+	labels := func(le string) string {
+		if label == "" {
+			return fmt.Sprintf(`{le="%s"}`, le)
+		}
+		return fmt.Sprintf(`{%s="%s",le="%s"}`, label, escapeLabel(value), le)
+	}
+	for _, bk := range h.NonEmptyBuckets() {
+		fmt.Fprintf(b, "%s_bucket%s %d", name, labels(strconv.FormatInt(bk.Hi, 10)), bk.Cum)
+		if bk.ExemplarID != 0 {
+			fmt.Fprintf(b, ` # {trace_id="%s"} %d`, FormatID(bk.ExemplarID), bk.ExemplarValue)
+		}
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(b, "%s_bucket%s %d\n", name, labels("+Inf"), h.Count())
+	suffix := ""
+	if label != "" {
+		suffix = fmt.Sprintf(`{%s="%s"}`, label, escapeLabel(value))
+	}
+	fmt.Fprintf(b, "%s_sum%s %d\n", name, suffix, h.Sum())
 	fmt.Fprintf(b, "%s_count%s %d\n", name, suffix, h.Count())
 }
 

@@ -26,6 +26,7 @@ import (
 	"repro/internal/clock"
 	"repro/internal/core"
 	"repro/internal/dag"
+	"repro/internal/obs"
 	"repro/internal/platform"
 	"repro/internal/sim"
 )
@@ -90,6 +91,13 @@ type Config struct {
 	// Nil means the wall clock; tests and replays inject a clock.Manual
 	// so live runs observe deterministic timestamps.
 	Clock clock.Clock
+	// Observer, if non-nil, receives the same scheduling events the
+	// simulator's loops emit (queue entries, dispatches, spoliations,
+	// completions), with times in measured milliseconds since the
+	// execution's epoch. All emission sites are nil-guarded, so a nil
+	// Observer costs nothing. Events fire from the coordinator goroutine
+	// in measured-time order.
+	Observer obs.Observer
 }
 
 // Report is the outcome of an execution.
@@ -183,6 +191,10 @@ func Run(g *Graph, cfg Config) (*Report, error) {
 	trace := &sim.Schedule{Platform: pl}
 	spoliations := 0
 
+	// ms converts a duration since the epoch into the observer time unit
+	// (measured milliseconds — the live counterpart of the simulated clock).
+	ms := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
 	dispatch := func(w, id int, spol bool) {
 		t := g.tasks[id]
 		if !prepared[id] {
@@ -195,12 +207,16 @@ func Run(g *Graph, cfg Config) (*Report, error) {
 		}
 		flag := &cancel.Flag{}
 		est := g.d.Task(id).Time(pl.KindOf(w))
+		now := clk.Since(epoch)
 		running[w] = &runInfo{
 			id: id, flag: flag,
-			estEnd: clk.Since(epoch) + time.Duration(est*float64(time.Second)),
+			estEnd: now + time.Duration(est*float64(time.Second)),
 			spol:   spol,
 		}
 		delete(idle, w)
+		if o := cfg.Observer; o != nil {
+			o.TaskStarted(ms(now), w, pl.KindOf(w), g.d.Task(id), ms(running[w].estEnd), spol)
+		}
 		jobs[w] <- job{id: id, t: t, flag: flag}
 	}
 
@@ -284,8 +300,14 @@ func Run(g *Graph, cfg Config) (*Report, error) {
 
 	for _, id := range rt.Drain() {
 		queue.Push(g.d.Task(id))
+		if o := cfg.Observer; o != nil {
+			o.TaskQueued(ms(clk.Since(epoch)), g.d.Task(id), queue.Len())
+		}
 	}
 	assign()
+	if o := cfg.Observer; o != nil {
+		o.QueueDepthSample(ms(clk.Since(epoch)), queue.Len())
+	}
 
 	for !rt.Done() {
 		if len(running) == 0 {
@@ -306,8 +328,14 @@ func Run(g *Graph, cfg Config) (*Report, error) {
 		}
 		if c.completed {
 			rt.Complete(c.id)
+			if o := cfg.Observer; o != nil {
+				o.TaskCompleted(ms(c.end), c.worker, kind, g.d.Task(c.id), ms(c.start))
+			}
 			for _, nid := range rt.Drain() {
 				queue.Push(g.d.Task(nid))
+				if o := cfg.Observer; o != nil {
+					o.TaskQueued(ms(c.end), g.d.Task(nid), queue.Len())
+				}
 			}
 			// A completion that won the race against its own spoliation
 			// frees the reserver.
@@ -326,6 +354,9 @@ func Run(g *Graph, cfg Config) (*Report, error) {
 			}
 			delete(reservedBy, c.worker)
 			idle[sw] = true
+			if o := cfg.Observer; o != nil {
+				o.TaskSpoliated(ms(c.end), c.worker, sw, g.d.Task(c.id), ms(c.end-c.start))
+			}
 			trace.Entries = append(trace.Entries, entry)
 			dispatch(sw, c.id, true)
 			assign()
@@ -333,6 +364,9 @@ func Run(g *Graph, cfg Config) (*Report, error) {
 		}
 		trace.Entries = append(trace.Entries, entry)
 		assign()
+		if o := cfg.Observer; o != nil {
+			o.QueueDepthSample(ms(clk.Since(epoch)), queue.Len())
+		}
 	}
 
 	return &Report{

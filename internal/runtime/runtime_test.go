@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/cancel"
 	"repro/internal/clock"
+	"repro/internal/obs"
 	"repro/internal/platform"
 	"repro/internal/tile"
 )
@@ -361,5 +362,37 @@ func TestCalibrateClock(t *testing.T) {
 		if d[0] != 0 || d[1] != 0 {
 			t.Fatalf("frozen clock measured nonzero QR estimate %v", d)
 		}
+	}
+}
+
+// TestRunObserver checks the live executor emits the same observer event
+// stream as the simulator loops: every task is queued, started, and
+// completed, spoliations surface as TaskSpoliated, and the per-event
+// counts reconcile with the returned Report.
+func TestRunObserver(t *testing.T) {
+	g := NewGraph()
+	g.Add(sleepTask("a", 200*time.Millisecond, 5*time.Millisecond))
+	g.Add(sleepTask("b", 200*time.Millisecond, 5*time.Millisecond))
+	so := obs.NewSchedulerMetrics(obs.NewRegistry())
+	tl := obs.NewTimeline()
+	rep, err := Run(g, Config{
+		CPUWorkers: 1, GPUWorkers: 1,
+		Observer: obs.Multi(so, tl),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := so.TasksCompleted.Value(); got != 2 {
+		t.Errorf("observer completions = %v, want 2", got)
+	}
+	if got := so.Spoliations.Value(); int(got) != rep.Spoliations {
+		t.Errorf("observer spoliations = %v, report says %d", got, rep.Spoliations)
+	}
+	if got := so.TasksQueued.Value(); got < 2 {
+		t.Errorf("observer queued = %v, want >= 2", got)
+	}
+	// The timeline bridge sees the same runs the trace records.
+	if tl.Len() == 0 {
+		t.Fatal("timeline observed no events")
 	}
 }

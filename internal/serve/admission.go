@@ -78,10 +78,24 @@ func (a *Admission) QueueDepth() int { return cap(a.queue) }
 // execution slot is held, ErrQueueFull if every slot is busy and the
 // queue is full, or ctx.Err() if ctx ends while queued. The caller must
 // call release exactly once when the request finishes.
+//
+// When ctx carries a trace span, Acquire records an "admission" child
+// span covering the wait, annotated with the outcome (fast_path, queued,
+// shed, deadline) — the span that answers "was this slow request stuck
+// behind the admission valve?".
 func (a *Admission) Acquire(ctx context.Context) (release func(), err error) {
+	sp := obs.SpanFromContext(ctx)
+	var asp *obs.Span
+	if sp != nil {
+		asp = sp.StartChild("admission")
+	}
 	// Fast path: a slot is free, skip the queue entirely.
 	select {
 	case a.slots <- struct{}{}:
+		if asp != nil {
+			asp.Annotate("outcome", "fast_path")
+			asp.End()
+		}
 		return a.release, nil
 	default:
 	}
@@ -89,6 +103,10 @@ func (a *Admission) Acquire(ctx context.Context) (release func(), err error) {
 	case a.queue <- struct{}{}:
 	default:
 		a.shed.Inc()
+		if asp != nil {
+			asp.Annotate("outcome", "shed")
+			asp.End()
+		}
 		return nil, ErrQueueFull
 	}
 	a.queued.Add(1)
@@ -99,9 +117,17 @@ func (a *Admission) Acquire(ctx context.Context) (release func(), err error) {
 	select {
 	case a.slots <- struct{}{}:
 		leave()
+		if asp != nil {
+			asp.Annotate("outcome", "queued")
+			asp.End()
+		}
 		return a.release, nil
 	case <-ctx.Done():
 		leave()
+		if asp != nil {
+			asp.Annotate("outcome", "deadline")
+			asp.End()
+		}
 		return nil, ctx.Err()
 	}
 }

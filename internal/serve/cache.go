@@ -144,12 +144,32 @@ func (c *Cache[V]) Get(k Key) (V, bool) {
 // is not cancelled: its result stays valid for the cache and any other
 // waiter). compute runs without the cache lock held.
 func (c *Cache[V]) Do(ctx context.Context, k Key, compute func() (V, error)) (V, Outcome, error) {
+	return c.DoCtx(ctx, k, func(context.Context) (V, error) { return compute() })
+}
+
+// DoCtx is Do with a context-aware compute callback. When ctx carries a
+// trace span, DoCtx records a "cache" child span annotated with the
+// outcome; a coalesced wait gets a nested "coalesce" span covering the
+// time blocked on the in-flight computation, and on a miss compute
+// receives a context carrying the cache span, so spans the computation
+// starts nest under it (this is what keeps a trace's phase durations
+// summing to the request latency instead of double counting).
+func (c *Cache[V]) DoCtx(ctx context.Context, k Key, compute func(context.Context) (V, error)) (V, Outcome, error) {
+	sp := obs.SpanFromContext(ctx)
+	var csp *obs.Span
+	if sp != nil {
+		csp = sp.StartChild("cache")
+	}
 	c.mu.Lock()
 	if el, ok := c.items[k]; ok {
 		c.ll.MoveToFront(el)
 		v := el.Value.(*centry[V]).val
 		c.hits.Inc()
 		c.mu.Unlock()
+		if csp != nil {
+			csp.Annotate("outcome", "hit")
+			csp.End()
+		}
 		return v, Hit, nil
 	}
 	if cl, ok := c.calls[k]; ok {
@@ -160,6 +180,12 @@ func (c *Cache[V]) Do(ctx context.Context, k Key, compute func() (V, error)) (V,
 			c.waiting--
 			c.mu.Unlock()
 		}()
+		if csp != nil {
+			csp.Annotate("outcome", "coalesced")
+			defer csp.End()
+			wsp := csp.StartChild("coalesce")
+			defer wsp.End()
+		}
 		var zero V
 		select {
 		case <-cl.done:
@@ -177,7 +203,13 @@ func (c *Cache[V]) Do(ctx context.Context, k Key, compute func() (V, error)) (V,
 	c.calls[k] = cl
 	c.mu.Unlock()
 
-	cl.val, cl.err = compute()
+	cctx := ctx
+	if csp != nil {
+		csp.Annotate("outcome", "miss")
+		defer csp.End()
+		cctx = obs.ContextWithSpan(ctx, csp)
+	}
+	cl.val, cl.err = compute(cctx)
 
 	c.mu.Lock()
 	delete(c.calls, k)

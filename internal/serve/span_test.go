@@ -1,0 +1,148 @@
+package serve
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// collectOutcomes flattens a finished trace's span names and their
+// outcome annotations.
+func collectOutcomes(td *obs.TraceData) map[string]string {
+	out := map[string]string{}
+	for _, sd := range td.Spans() {
+		key := sd.Name
+		out[key] = ""
+		for _, a := range sd.Annots[:sd.NAnn] {
+			if a.Key == "outcome" {
+				out[key] = a.Str
+			}
+		}
+	}
+	return out
+}
+
+func TestAdmissionSpanOutcomes(t *testing.T) {
+	tr := obs.NewTracer(8)
+	a := NewAdmission(1, 0, nil)
+
+	// Fast path.
+	root := tr.StartTrace("req")
+	ctx := obs.ContextWithSpan(context.Background(), root)
+	release, err := a.Acquire(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Shed: slot busy, queue size 0.
+	root2 := tr.StartTrace("req2")
+	ctx2 := obs.ContextWithSpan(context.Background(), root2)
+	if _, err := a.Acquire(ctx2); err != ErrQueueFull {
+		t.Fatalf("want shed, got %v", err)
+	}
+	root2.End()
+	release()
+	root.End()
+
+	got1 := collectOutcomes(tr.Recent()[1]) // req finished last? Recent is newest-first
+	got2 := collectOutcomes(tr.Recent()[0])
+	// root2 ended before root, so Recent()[0] is root's trace.
+	if got2["admission"] != "fast_path" {
+		t.Errorf("fast-path trace outcomes: %v", got2)
+	}
+	if got1["admission"] != "shed" {
+		t.Errorf("shed trace outcomes: %v", got1)
+	}
+}
+
+func TestAdmissionSpanUntracedContext(t *testing.T) {
+	a := NewAdmission(1, 1, nil)
+	release, err := a.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	release()
+}
+
+func TestCacheSpanOutcomes(t *testing.T) {
+	tr := obs.NewTracer(8)
+	c := NewCache[int](4, nil)
+	var k Key
+	k[0] = 0x51
+
+	do := func(name string) (int, Outcome) {
+		root := tr.StartTrace(name)
+		ctx := obs.ContextWithSpan(context.Background(), root)
+		v, out, err := c.DoCtx(ctx, k, func(ctx context.Context) (int, error) {
+			// The compute context must carry the cache span so nested
+			// work parents correctly.
+			if obs.SpanFromContext(ctx) == nil {
+				t.Error("compute context carries no span")
+			}
+			return 42, nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		root.End()
+		return v, out
+	}
+
+	if v, out := do("miss"); v != 42 || out != Miss {
+		t.Fatalf("first call: %d %v", v, out)
+	}
+	if v, out := do("hit"); v != 42 || out != Hit {
+		t.Fatalf("second call: %d %v", v, out)
+	}
+
+	rec := tr.Recent()
+	hitOutcomes := collectOutcomes(rec[0])
+	missOutcomes := collectOutcomes(rec[1])
+	if missOutcomes["cache"] != "miss" {
+		t.Errorf("miss trace: %v", missOutcomes)
+	}
+	if hitOutcomes["cache"] != "hit" {
+		t.Errorf("hit trace: %v", hitOutcomes)
+	}
+}
+
+func TestCacheSpanCoalesced(t *testing.T) {
+	tr := obs.NewTracer(8)
+	c := NewCache[int](4, nil)
+	var k Key
+	k[0] = 0x52
+	gate := make(chan struct{})
+	started := make(chan struct{})
+
+	go func() {
+		_, _, _ = c.Do(context.Background(), k, func() (int, error) {
+			close(started)
+			<-gate
+			return 7, nil
+		})
+	}()
+	<-started
+
+	root := tr.StartTrace("waiter")
+	ctx := obs.ContextWithSpan(context.Background(), root)
+	done := make(chan Outcome, 1)
+	go func() {
+		_, out, _ := c.DoCtx(ctx, k, func(context.Context) (int, error) { return 0, nil })
+		done <- out
+	}()
+	for c.Waiting() == 0 {
+	}
+	close(gate)
+	if out := <-done; out != Coalesced {
+		t.Fatalf("outcome %v, want coalesced", out)
+	}
+	root.End()
+
+	outcomes := collectOutcomes(tr.Recent()[0])
+	if outcomes["cache"] != "coalesced" {
+		t.Errorf("outcomes: %v", outcomes)
+	}
+	if _, ok := outcomes["coalesce"]; !ok {
+		t.Errorf("no coalesce wait span: %v", outcomes)
+	}
+}
