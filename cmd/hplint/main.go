@@ -19,8 +19,12 @@
 // Flags:
 //
 //	-catalog          list the analyzers and exit
-//	-enable a,b,...   run only the named analyzers (default: all eleven)
+//	-enable a,b,...   run only the named analyzers (default: all twelve)
 //	-json             emit one JSON object per finding, one per line
+//	-callgraph        dump the interprocedural call graph and exit
+//	-calibrate dir    diff allocflow's escape verdicts against the
+//	                  compiler's (go build -gcflags=-m) over the corpus in
+//	                  dir; exit non-zero below 95% agreement
 //	-dir path -rel p  lint a single directory as module-relative path p
 //	                  (used by CI to assert the golden flag fixtures fail)
 //
@@ -35,6 +39,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strings"
 
 	"repro/internal/analysis"
@@ -56,11 +61,26 @@ func main() {
 	enable := flag.String("enable", "", "comma-separated analyzer names to run (default: all)")
 	dir := flag.String("dir", "", "lint a single directory instead of the module")
 	rel := flag.String("rel", "", "module-relative path the -dir package is loaded under")
+	callgraph := flag.Bool("callgraph", false, "dump the interprocedural call graph and exit")
+	calibrate := flag.String("calibrate", "", "calibrate allocflow against go build -gcflags=-m over the corpus `dir`")
 	flag.Usage = func() {
-		fmt.Fprintf(flag.CommandLine.Output(), "usage: hplint [-catalog] [-json] [-enable a,b] [-dir path -rel relpath] [packages]\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: hplint [-catalog] [-callgraph] [-calibrate dir] [-json] [-enable a,b] [-dir path -rel relpath] [packages]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
+
+	if *calibrate != "" {
+		rep, err := analysis.CalibrateDir(*calibrate)
+		if err != nil {
+			fatal(err)
+		}
+		rep.Format(os.Stdout)
+		if rep.Agreement() < 0.95 {
+			fmt.Fprintf(os.Stderr, "hplint: calibration agreement %.1f%% below the 95%% floor\n", 100*rep.Agreement())
+			os.Exit(1)
+		}
+		return
+	}
 
 	suite := analysis.All()
 	if *catalog {
@@ -112,23 +132,44 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	enc := json.NewEncoder(os.Stdout)
-	count := 0
+	prog := analysis.BuildProgram(pkgs)
+	if *callgraph {
+		fmt.Print(prog.DumpGraph())
+		return
+	}
+	// Collect everything before printing: findings are globally sorted by
+	// (file, line, column, analyzer) so CI annotation diffs and golden
+	// comparisons are stable across load order.
+	var diags []analysis.Diagnostic
 	for _, pkg := range pkgs {
-		for _, d := range analysis.RunAnalyzers(suite, pkg) {
-			if *jsonOut {
-				f := finding{File: d.Pos.Filename, Line: d.Pos.Line, Col: d.Pos.Column, Analyzer: d.Analyzer, Message: d.Message}
-				if err := enc.Encode(f); err != nil {
-					fatal(err)
-				}
-			} else {
-				fmt.Println(d)
+		diags = append(diags, analysis.RunAnalyzersProgram(suite, pkg, prog)...)
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	enc := json.NewEncoder(os.Stdout)
+	for _, d := range diags {
+		if *jsonOut {
+			f := finding{File: d.Pos.Filename, Line: d.Pos.Line, Col: d.Pos.Column, Analyzer: d.Analyzer, Message: d.Message}
+			if err := enc.Encode(f); err != nil {
+				fatal(err)
 			}
-			count++
+		} else {
+			fmt.Println(d)
 		}
 	}
-	if count > 0 {
-		fmt.Fprintf(os.Stderr, "hplint: %d diagnostic(s)\n", count)
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "hplint: %d diagnostic(s)\n", len(diags))
 		os.Exit(1)
 	}
 }

@@ -75,6 +75,11 @@ type Pass struct {
 	Files []*ast.File
 	Types *types.Package
 	Info  *types.Info
+	// Prog is the whole-module call graph and summary store (callgraph.go),
+	// or nil when packages are analyzed in isolation. Interprocedural
+	// checks (allocflow, and the call-site halves of purity and errflow)
+	// run only when it is present.
+	Prog *Program
 
 	diags *[]Diagnostic
 }
@@ -116,6 +121,7 @@ func All() []*Analyzer {
 		Purity,
 		ErrFlow,
 		SpanEnd,
+		AllocFlow,
 	}
 }
 
@@ -185,9 +191,18 @@ func isTestFile(fset *token.FileSet, f *ast.File) bool {
 	return strings.HasSuffix(fset.Position(f.Pos()).Filename, "_test.go")
 }
 
-// RunAnalyzers runs every analyzer in suite over pkg and returns the
-// surviving (non-suppressed) diagnostics sorted by position.
+// RunAnalyzers runs every analyzer in suite over pkg in isolation (no
+// call graph: interprocedural checks stay quiet) and returns the
+// surviving diagnostics sorted by position.
 func RunAnalyzers(suite []*Analyzer, pkg *Package) []Diagnostic {
+	return RunAnalyzersProgram(suite, pkg, nil)
+}
+
+// RunAnalyzersProgram runs every analyzer in suite over pkg with the
+// whole-module call graph prog available to the interprocedural checks,
+// and returns the surviving (non-suppressed) diagnostics sorted by
+// position.
+func RunAnalyzersProgram(suite []*Analyzer, pkg *Package, prog *Program) []Diagnostic {
 	known := make(map[string]bool, len(suite))
 	for _, a := range suite {
 		known[a.Name] = true
@@ -228,6 +243,7 @@ func RunAnalyzers(suite []*Analyzer, pkg *Package) []Diagnostic {
 			Files:    files,
 			Types:    pkg.Types,
 			Info:     pkg.Info,
+			Prog:     prog,
 			diags:    &diags,
 		}
 		a.Run(pass)

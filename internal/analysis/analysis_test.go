@@ -64,6 +64,7 @@ func TestAnalyzerFixtures(t *testing.T) {
 		{"purity", "internal/sched", Purity},
 		{"errflow", "internal/runtime", ErrFlow},
 		{"spanend", "internal/serve", SpanEnd},
+		{"allocflow", "internal/core", AllocFlow},
 	}
 	for _, c := range cases {
 		t.Run(c.dir, func(t *testing.T) {
@@ -79,9 +80,10 @@ func TestAnalyzerFixtures(t *testing.T) {
 			if len(pkgs) == 0 {
 				t.Fatalf("no packages loaded from %s", dir)
 			}
+			prog := BuildProgram(pkgs)
 			var got []Diagnostic
 			for _, p := range pkgs {
-				got = append(got, RunAnalyzers([]*Analyzer{c.az}, p)...)
+				got = append(got, RunAnalyzersProgram([]*Analyzer{c.az}, p, prog)...)
 			}
 			wants := collectWants(t, dir)
 			for _, d := range got {

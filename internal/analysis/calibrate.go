@@ -1,0 +1,262 @@
+package analysis
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Calibration mode: the allocflow escape approximation is syntactic and
+// deliberately simple, so it is held against compiler ground truth. The
+// compiler's escape analysis verdicts (`go build -gcflags=-m`) over the
+// golden corpus in testdata/calibration/corpus are diffed line-by-line
+// against the analyzer's AllocEscape sites. Only the escape class is
+// compared: growth (append, map inserts), boxing, string building, and
+// known-allocating externals are allocation mechanisms the compiler's
+// escape diagnostics do not describe.
+//
+// The corpus is constructed so the two almost always agree; the one
+// documented divergence (a captured variable "moved to heap" at its
+// declaration while the analyzer bills the closure) keeps the metric
+// honest. CI and the calibration test require >=95% agreement.
+
+// CalibrationVerdict labels one corpus line in the calibration diff.
+type CalibrationVerdict int
+
+const (
+	// VerdictMatched: both the analyzer and the compiler report an
+	// allocation on the line, or both report none (a compiler "does not
+	// escape" line with no analyzer site).
+	VerdictMatched CalibrationVerdict = iota
+	// VerdictAnalyzerOnly: the analyzer reports an escape the compiler
+	// stack-allocates — a false positive of the approximation.
+	VerdictAnalyzerOnly
+	// VerdictCompilerOnly: the compiler heap-allocates where the analyzer
+	// is silent — a false negative of the approximation.
+	VerdictCompilerOnly
+)
+
+func (v CalibrationVerdict) String() string {
+	switch v {
+	case VerdictMatched:
+		return "matched"
+	case VerdictAnalyzerOnly:
+		return "analyzer-only"
+	case VerdictCompilerOnly:
+		return "compiler-only"
+	default:
+		return fmt.Sprintf("verdict(%d)", int(v))
+	}
+}
+
+// CalibrationLine is one line of the corpus where the analyzer or the
+// compiler (or both) had an escape verdict.
+type CalibrationLine struct {
+	File    string // base filename within the corpus
+	Line    int
+	Verdict CalibrationVerdict
+	// Analyzer and Compiler carry the respective messages ("" when the
+	// side was silent).
+	Analyzer string
+	Compiler string
+}
+
+// CalibrationReport is the full diff plus its agreement summary.
+type CalibrationReport struct {
+	Lines        []CalibrationLine
+	Matched      int
+	AnalyzerOnly int
+	CompilerOnly int
+}
+
+// Agreement returns the fraction of diffed lines where the analyzer and
+// the compiler agree, in [0, 1]. An empty report (no compiler output —
+// usually a build problem) counts as zero agreement rather than perfect.
+func (r *CalibrationReport) Agreement() float64 {
+	total := r.Matched + r.AnalyzerOnly + r.CompilerOnly
+	if total == 0 {
+		return 0
+	}
+	return float64(r.Matched) / float64(total)
+}
+
+// Format writes the human-readable diff table and summary.
+func (r *CalibrationReport) Format(w io.Writer) {
+	for _, l := range r.Lines {
+		detail := l.Compiler
+		if l.Verdict == VerdictAnalyzerOnly {
+			detail = l.Analyzer
+		}
+		fmt.Fprintf(w, "%-14s %s:%d: analyzer=%v compiler=%v (%s)\n",
+			l.Verdict, l.File, l.Line, l.Analyzer != "", l.Compiler != "", detail)
+	}
+	fmt.Fprintf(w, "calibration: %d matched, %d analyzer-only, %d compiler-only — agreement %.1f%%\n",
+		r.Matched, r.AnalyzerOnly, r.CompilerOnly, 100*r.Agreement())
+}
+
+// compilerEscapes is the parsed `-gcflags=-m` verdict set: per base
+// filename, per line, whether the compiler saw a heap allocation (true)
+// or an explicit stack placement (false), plus the message.
+type compilerEscape struct {
+	heap bool
+	msg  string
+}
+
+// ParseCompilerEscapes extracts the escape verdicts from `go build
+// -gcflags=-m` output: "escapes to heap" and "moved to heap" lines are
+// heap verdicts, "does not escape" lines are stack verdicts. Inlining
+// chatter and anything else is ignored. Keys are base filenames, so the
+// output may use any path prefix.
+func ParseCompilerEscapes(out string) map[string]map[int]compilerEscape {
+	verdicts := map[string]map[int]compilerEscape{}
+	sc := bufio.NewScanner(strings.NewReader(out))
+	for sc.Scan() {
+		line := sc.Text()
+		var heap bool
+		switch {
+		case strings.HasSuffix(line, " escapes to heap"), strings.Contains(line, "moved to heap: "):
+			heap = true
+		case strings.HasSuffix(line, " does not escape"):
+			heap = false
+		default:
+			continue
+		}
+		// path/file.go:LINE:COL: message
+		parts := strings.SplitN(line, ":", 4)
+		if len(parts) != 4 {
+			continue
+		}
+		ln, err := strconv.Atoi(parts[1])
+		if err != nil {
+			continue
+		}
+		file := filepath.Base(parts[0])
+		if verdicts[file] == nil {
+			verdicts[file] = map[int]compilerEscape{}
+		}
+		// A heap verdict on a line outweighs a stack verdict (several
+		// expressions can share a line).
+		if prev, ok := verdicts[file][ln]; ok && prev.heap {
+			continue
+		}
+		verdicts[file][ln] = compilerEscape{heap: heap, msg: strings.TrimSpace(parts[3])}
+	}
+	return verdicts
+}
+
+// Calibrate diffs the analyzer's AllocEscape sites for the program's
+// non-test nodes against parsed compiler verdicts. Only files the
+// compiler reported on are considered (the corpus package's own files).
+func Calibrate(prog *Program, compiler map[string]map[int]compilerEscape) *CalibrationReport {
+	type key struct {
+		file string
+		line int
+	}
+	analyzer := map[key]string{}
+	for _, n := range prog.Nodes {
+		if n.Pkg.TestOnly {
+			continue
+		}
+		for _, s := range prog.AllocSitesRaw(n) {
+			if s.Class != AllocEscape {
+				continue
+			}
+			pos := prog.Fset.Position(s.Pos)
+			analyzer[key{filepath.Base(pos.Filename), pos.Line}] = s.Desc
+		}
+	}
+
+	rep := &CalibrationReport{}
+	seen := map[key]bool{}
+	for file, lines := range compiler {
+		for ln, ce := range lines {
+			k := key{file, ln}
+			seen[k] = true
+			amsg := analyzer[k]
+			l := CalibrationLine{File: file, Line: ln, Analyzer: amsg, Compiler: ce.msg}
+			switch {
+			case ce.heap && amsg != "":
+				l.Verdict = VerdictMatched
+			case ce.heap:
+				l.Verdict = VerdictCompilerOnly
+			case amsg != "":
+				l.Verdict = VerdictAnalyzerOnly
+			default:
+				l.Verdict = VerdictMatched // both say stack
+				l.Compiler = ce.msg
+			}
+			rep.Lines = append(rep.Lines, l)
+		}
+	}
+	// Analyzer sites on lines the compiler said nothing about: the
+	// compiler emits a verdict for every heap candidate it sees, so a
+	// silent line with an analyzer site is an analyzer false positive —
+	// but only within files the compiler actually reported on.
+	for k, amsg := range analyzer {
+		if seen[k] || compiler[k.file] == nil {
+			continue
+		}
+		rep.Lines = append(rep.Lines, CalibrationLine{
+			File: k.file, Line: k.line, Verdict: VerdictAnalyzerOnly, Analyzer: amsg,
+		})
+	}
+	sort.Slice(rep.Lines, func(i, j int) bool {
+		a, b := rep.Lines[i], rep.Lines[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		return a.Line < b.Line
+	})
+	for _, l := range rep.Lines {
+		switch l.Verdict {
+		case VerdictMatched:
+			rep.Matched++
+		case VerdictAnalyzerOnly:
+			rep.AnalyzerOnly++
+		case VerdictCompilerOnly:
+			rep.CompilerOnly++
+		}
+	}
+	return rep
+}
+
+// CalibrateDir runs the full calibration pipeline over the corpus
+// package in dir: `go build -gcflags=-m` for compiler ground truth
+// (diagnostics are replayed from the build cache, so repeat runs stay
+// cheap), the loader + call-graph pipeline for the analyzer's view, and
+// a line diff of the two.
+func CalibrateDir(dir string) (*CalibrationReport, error) {
+	cmd := exec.Command("go", "build", "-gcflags=-m", ".")
+	cmd.Dir = dir
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		return nil, fmt.Errorf("analysis: go build -gcflags=-m in %s: %v\n%s", dir, err, out)
+	}
+	compiler := ParseCompilerEscapes(string(out))
+	if len(compiler) == 0 {
+		return nil, fmt.Errorf("analysis: no escape diagnostics from the compiler in %s (unexpected -m format?)", dir)
+	}
+
+	l, err := NewLoader(dir)
+	if err != nil {
+		return nil, err
+	}
+	rel, err := filepath.Rel(l.ModuleRoot, dir)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		rel = "calibration/corpus"
+	}
+	pkgs, err := l.LoadDir(dir, filepath.ToSlash(rel))
+	if err != nil {
+		return nil, err
+	}
+	if len(pkgs) == 0 {
+		return nil, fmt.Errorf("analysis: no packages in corpus %s", dir)
+	}
+	prog := BuildProgram(pkgs)
+	return Calibrate(prog, compiler), nil
+}

@@ -1,0 +1,59 @@
+package analysis
+
+import (
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+// TestCalibrationAgreement is the contract behind trusting allocflow on
+// the zero-alloc core: the analyzer's escape approximation must agree
+// with the compiler's escape analysis on at least 95% of the calibration
+// corpus lines. A drop below the floor means the approximation (or the
+// corpus) has drifted and allocflow's verdicts can no longer be taken at
+// face value.
+func TestCalibrationAgreement(t *testing.T) {
+	if _, err := exec.LookPath("go"); err != nil {
+		t.Skip("go toolchain not on PATH")
+	}
+	rep, err := CalibrateDir("testdata/calibration/corpus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	rep.Format(&b)
+	t.Log("\n" + b.String())
+	if got := rep.Agreement(); got < 0.95 {
+		t.Fatalf("calibration agreement %.1f%% below the 95%% floor\n%s", 100*got, b.String())
+	}
+	// The corpus carries exactly one documented divergence (the captured
+	// counter moved to heap at its declaration); more disagreement means
+	// the approximation drifted, zero means the corpus lost the case
+	// keeping the metric honest.
+	if rep.CompilerOnly != 1 || rep.AnalyzerOnly != 0 {
+		t.Errorf("corpus drift: want exactly 1 compiler-only and 0 analyzer-only lines, got %d and %d\n%s",
+			rep.CompilerOnly, rep.AnalyzerOnly, b.String())
+	}
+}
+
+func TestParseCompilerEscapes(t *testing.T) {
+	out := `# repro/internal/analysis/testdata/calibration/corpus
+./escape.go:25:33: &point{...} escapes to heap
+./escape.go:56:2: moved to heap: n
+./escape.go:3:6: can inline NewPoint
+./stack.go:10:7: &point{...} does not escape
+`
+	v := ParseCompilerEscapes(out)
+	if e := v["escape.go"][25]; !e.heap || !strings.Contains(e.msg, "escapes to heap") {
+		t.Errorf("escape.go:25 = %+v, want heap verdict", e)
+	}
+	if e := v["escape.go"][56]; !e.heap {
+		t.Errorf("escape.go:56 = %+v, want heap verdict (moved to heap)", e)
+	}
+	if e, ok := v["stack.go"][10]; !ok || e.heap {
+		t.Errorf("stack.go:10 = %+v, want stack verdict", e)
+	}
+	if _, ok := v["escape.go"][3]; ok {
+		t.Error("inline chatter leaked into the verdicts")
+	}
+}

@@ -1,0 +1,55 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestCallGraphFixture checks the builder discovers each edge kind over
+// the golden fixture: static calls, interface dispatch fanning out to
+// every in-module implementation (with the abstract method recorded as
+// the via point), method values, and closure creation.
+func TestCallGraphFixture(t *testing.T) {
+	l, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := l.LoadDir("testdata/callgraph", "internal/cgfixture")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog := BuildProgram(pkgs)
+	dump := prog.DumpGraph()
+	for _, want := range []string{
+		"fixture.static -> fixture.helper [static]",
+		"fixture.viaInterface -> fixture.Alpha.Do [interface via fixture.Doer.Do]",
+		"fixture.viaInterface -> fixture.Beta.Do [interface via fixture.Doer.Do]",
+		"fixture.methodValue -> fixture.Alpha.Do [methodvalue]",
+	} {
+		if !strings.Contains(dump, want) {
+			t.Errorf("call graph missing edge %q", want)
+		}
+	}
+	if !strings.Contains(dump, "fixture.closures -> fixture.closures$1 [closure]") {
+		t.Errorf("call graph missing closure edge; dump:\n%s", dump)
+	}
+}
+
+// TestDumpGraphDeterministic: two builds over the same fixture must
+// render identical graphs (map iteration must not leak into the dump).
+func TestDumpGraphDeterministic(t *testing.T) {
+	render := func() string {
+		l, err := NewLoader(".")
+		if err != nil {
+			t.Fatal(err)
+		}
+		pkgs, err := l.LoadDir("testdata/callgraph", "internal/cgfixture")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return BuildProgram(pkgs).DumpGraph()
+	}
+	if a, b := render(), render(); a != b {
+		t.Error("DumpGraph output differs between identical builds")
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
+	"path/filepath"
 )
 
 // ErrFlow flags errors that leak along control-flow paths in the
@@ -17,10 +18,14 @@ import (
 var ErrFlow = &Analyzer{
 	Name:      "errflow",
 	Doc:       "no dropped or shadowed errors along any path",
-	Packages:  []string{"cmd/benchgate", "cmd/experiments", "cmd/hplint", "cmd/hpsched", "cmd/hpserve", "internal/runtime"},
+	Packages:  errflowPackages,
 	SkipTests: true,
 	Run:       runErrFlow,
 }
+
+// errflowPackages are the packages errflow analyzes directly; calls from
+// them into helpers elsewhere go through the swallowed-error summaries.
+var errflowPackages = []string{"cmd/benchgate", "cmd/experiments", "cmd/hplint", "cmd/hpsched", "cmd/hpserve", "internal/runtime"}
 
 // isErrorType reports whether t is exactly the error interface.
 func isErrorType(t types.Type) bool {
@@ -161,14 +166,15 @@ func shadowsOuterError(obj types.Object) bool {
 	return ok && isErrorType(v.Type())
 }
 
-// ignoredErrorCall reports whether a statement-position call discarding
-// its error is acceptable: fmt printers and the never-fail writers.
-func (e *errflow) ignoredErrorCall(call *ast.CallExpr) bool {
+// ignoredErrorCallInfo reports whether a statement-position call
+// discarding its error is acceptable: fmt printers and the never-fail
+// writers. It is shared with the swallowed-error summaries (summary.go).
+func ignoredErrorCallInfo(info *types.Info, call *ast.CallExpr) bool {
 	sel, ok := call.Fun.(*ast.SelectorExpr)
 	if !ok {
 		return false
 	}
-	fn, ok := e.pass.Info.Uses[sel.Sel].(*types.Func)
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
 	if !ok {
 		return false
 	}
@@ -214,6 +220,49 @@ func (e *errflow) usedInsideFuncLit(body *ast.BlockStmt) map[types.Object]bool {
 	return out
 }
 
+// checkSwallowingCallee is the interprocedural half (one level deep,
+// available when a call graph was built): a call from an errflow-scoped
+// package into an in-module helper whose summary says it silently
+// discards an error inside its body is reported at the call site — the
+// caller cannot handle an error it never sees. Helpers in errflow-scoped
+// packages are exempt here because their bodies are already checked
+// directly.
+func (e *errflow) checkSwallowingCallee(n ast.Node) {
+	if e.pass.Prog == nil {
+		return
+	}
+	InspectShallow(n, func(m ast.Node) bool {
+		call, ok := m.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := calleeFunc(e.pass.Info, call)
+		if fn == nil {
+			return true
+		}
+		node := e.pass.Prog.NodeOf(fn)
+		if node == nil || errflowScoped(node.Pkg.RelPath) {
+			return true
+		}
+		if pos := e.pass.Prog.SwallowsError(node); pos != token.NoPos {
+			p := e.pass.Prog.Fset.Position(pos)
+			e.pass.Reportf(call.Pos(), "call to %s swallows an error inside its body (%s:%d); the error never reaches this caller — plumb it out or record the justification there", node.Name, filepath.Base(p.Filename), p.Line)
+		}
+		return true
+	})
+}
+
+// errflowScoped reports whether relPath is one of the packages errflow
+// already analyzes directly.
+func errflowScoped(relPath string) bool {
+	for _, p := range errflowPackages {
+		if p == relPath {
+			return true
+		}
+	}
+	return false
+}
+
 // namedResults collects the function's named result objects: assigning
 // them is a use in itself (the return reads them implicitly).
 func (e *errflow) namedResults(fb FuncBody) map[types.Object]bool {
@@ -239,10 +288,12 @@ func runErrFlow(pass *Pass) {
 		results := e.namedResults(fb)
 		for _, b := range g.Blocks {
 			for idx, n := range b.Nodes {
+				// (3) calls into helpers that swallow errors internally.
+				e.checkSwallowingCallee(n)
 				// (2) discarded error results in statement position.
 				if es, ok := n.(*ast.ExprStmt); ok {
 					if call, isCall := es.X.(*ast.CallExpr); isCall {
-						if tv, hasType := pass.Info.Types[call]; hasType && hasErrorResult(tv.Type) && !e.ignoredErrorCall(call) {
+						if tv, hasType := pass.Info.Types[call]; hasType && hasErrorResult(tv.Type) && !ignoredErrorCallInfo(pass.Info, call) {
 							pass.Reportf(call.Pos(), "call discards its error result; handle it or assign to _ explicitly")
 						}
 					}

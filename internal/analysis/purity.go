@@ -19,6 +19,12 @@ import (
 // `g.Tasks()` produce (or are treated as producing) fresh values — the
 // one known hole, Tasks() returning the backing slice, is documented in
 // DESIGN.md §8.
+//
+// With a call graph available (hplint v3), the check is one level
+// interprocedural: passing a tainted value to an in-module helper whose
+// mutation summary (summary.go) says it stores through or sorts that
+// parameter is reported at the call site, even when the helper lives in
+// a package purity does not scope.
 var Purity = &Analyzer{
 	Name:      "purity",
 	Doc:       "schedulers must not mutate Platform, task slices, or DAG inputs",
@@ -77,6 +83,10 @@ func protectedNamed(t types.Type) bool {
 	return false
 }
 
+// protectedCarrier is the taint-carrier predicate for the purity
+// analyzer proper: only values that can alias platform/dag state.
+func protectedCarrier(t types.Type) bool { return isProtectedType(t, 0) }
+
 // taintSet is the dataflow fact: objects that may alias scheduler input.
 type taintSet map[types.Object]bool
 
@@ -112,19 +122,29 @@ func equalTaint(a, b taintSet) bool {
 	return true
 }
 
-type purity struct {
-	pass *Pass
+// taintTracker is the reusable alias-taint machinery: the purity
+// analyzer instantiates it with the platform/dag carrier predicate, the
+// mutation summaries (summary.go) with a generic reference-like one.
+type taintTracker struct {
+	info *types.Info
+}
+
+func (p *taintTracker) objectOf(id *ast.Ident) types.Object {
+	if o := p.info.Uses[id]; o != nil {
+		return o
+	}
+	return p.info.Defs[id]
 }
 
 // taintedExpr reports whether e may alias tainted state: a tainted
 // identifier, or an index/slice/field/deref/address chain rooted at one.
 // Calls break the chain (their results are fresh by contract).
-func (p *purity) taintedExpr(ts taintSet, e ast.Expr) bool {
+func (p *taintTracker) taintedExpr(ts taintSet, e ast.Expr) bool {
 	switch e := e.(type) {
 	case *ast.Ident:
-		obj := p.pass.Info.Uses[e]
+		obj := p.info.Uses[e]
 		if obj == nil {
-			obj = p.pass.Info.Defs[e]
+			obj = p.info.Defs[e]
 		}
 		return obj != nil && ts[obj]
 	case *ast.ParenExpr:
@@ -135,7 +155,7 @@ func (p *purity) taintedExpr(ts taintSet, e ast.Expr) bool {
 		return p.taintedExpr(ts, e.X)
 	case *ast.SelectorExpr:
 		// Field of a tainted struct pointer; method values break the chain.
-		if _, isField := p.pass.Info.Uses[e.Sel].(*types.Var); isField {
+		if _, isField := p.info.Uses[e.Sel].(*types.Var); isField {
 			return p.taintedExpr(ts, e.X)
 		}
 		return false
@@ -149,8 +169,10 @@ func (p *purity) taintedExpr(ts taintSet, e ast.Expr) bool {
 	return false
 }
 
-// transferTaint propagates taint through a block's assignments.
-func (p *purity) transferTaint(b *Block, in taintSet) taintSet {
+// transferTaint propagates taint through a block's assignments. Only
+// destinations satisfying the carrier predicate can hold taint: `t :=
+// in[0]` copies a by-value element and owns the copy.
+func (p *taintTracker) transferTaint(b *Block, in taintSet, carrier func(types.Type) bool) taintSet {
 	ts := in
 	mutated := false
 	set := func(obj types.Object, tainted bool) {
@@ -191,22 +213,13 @@ func (p *purity) transferTaint(b *Block, in taintSet) taintSet {
 					continue
 				}
 				obj := p.objectOf(id)
-				// Only reference-like destinations can carry taint:
-				// `t := in[0]` copies a by-value Task and owns the copy.
-				tainted := p.taintedExpr(ts, as.Rhs[i]) && obj != nil && isProtectedType(obj.Type(), 0)
+				tainted := p.taintedExpr(ts, as.Rhs[i]) && obj != nil && carrier(obj.Type())
 				set(obj, tainted)
 			}
 			return true
 		})
 	}
 	return ts
-}
-
-func (p *purity) objectOf(id *ast.Ident) types.Object {
-	if o := p.pass.Info.Uses[id]; o != nil {
-		return o
-	}
-	return p.pass.Info.Defs[id]
 }
 
 // sortFuncs are the in-place sorters from the standard library.
@@ -238,9 +251,11 @@ func rootOf(e ast.Expr) *ast.Ident {
 	}
 }
 
-// reportBlock flags the impure operations of one node given the taint
-// state before it.
-func (p *purity) reportNode(n ast.Node, ts taintSet) {
+// findMutations reports, via the callback, each operation in n that
+// mutates state reachable from a tainted object given the taint state
+// before the node: stores and increments through an alias, and in-place
+// sorts of tainted slices.
+func (p *taintTracker) findMutations(n ast.Node, ts taintSet, report func(pos token.Pos, msg string)) {
 	InspectShallow(n, func(m ast.Node) bool {
 		switch m := m.(type) {
 		case *ast.AssignStmt:
@@ -257,7 +272,7 @@ func (p *purity) reportNode(n ast.Node, ts taintSet) {
 				}
 				obj := p.objectOf(root)
 				if obj != nil && ts[obj] {
-					p.pass.Reportf(lhs.Pos(), "store through %s mutates scheduler input (schedulers must treat Platform, task slices and DAGs as read-only)", root.Name)
+					report(lhs.Pos(), "store through "+root.Name+" mutates scheduler input (schedulers must treat Platform, task slices and DAGs as read-only)")
 				}
 			}
 		case *ast.IncDecStmt:
@@ -265,7 +280,7 @@ func (p *purity) reportNode(n ast.Node, ts taintSet) {
 				if _, isIdent := m.X.(*ast.Ident); !isIdent {
 					obj := p.objectOf(root)
 					if obj != nil && ts[obj] {
-						p.pass.Reportf(m.Pos(), "increment through %s mutates scheduler input", root.Name)
+						report(m.Pos(), "increment through "+root.Name+" mutates scheduler input")
 					}
 				}
 			}
@@ -276,7 +291,7 @@ func (p *purity) reportNode(n ast.Node, ts taintSet) {
 			}
 			// sort.Slice(in, ...) / slices.SortFunc(in, ...) on a tainted arg.
 			if pkgID, isPkg := sel.X.(*ast.Ident); isPkg {
-				if _, isPkgName := p.pass.Info.Uses[pkgID].(*types.PkgName); isPkgName {
+				if _, isPkgName := p.info.Uses[pkgID].(*types.PkgName); isPkgName {
 					if (pkgID.Name == "sort" || pkgID.Name == "slices") && sortFuncs[sel.Sel.Name] && len(m.Args) > 0 {
 						if p.taintedExpr(ts, m.Args[0]) {
 							root := rootOf(m.Args[0])
@@ -284,7 +299,7 @@ func (p *purity) reportNode(n ast.Node, ts taintSet) {
 							if root != nil {
 								name = root.Name
 							}
-							p.pass.Reportf(m.Pos(), "%s.%s sorts %s in place, mutating scheduler input — sort a Clone() instead", pkgID.Name, sel.Sel.Name, name)
+							report(m.Pos(), pkgID.Name+"."+sel.Sel.Name+" sorts "+name+" in place, mutating scheduler input — sort a Clone() instead")
 						}
 					}
 					return true
@@ -297,7 +312,37 @@ func (p *purity) reportNode(n ast.Node, ts taintSet) {
 				if root != nil {
 					name = root.Name
 				}
-				p.pass.Reportf(m.Pos(), "%s.%s may reorder scheduler input in place — operate on a Clone() instead", name, sel.Sel.Name)
+				report(m.Pos(), name+"."+sel.Sel.Name+" may reorder scheduler input in place — operate on a Clone() instead")
+			}
+		}
+		return true
+	})
+}
+
+// checkCallSites is the interprocedural half: a tainted value passed to
+// an in-module callee whose mutation summary says it stores through that
+// entry is a mutation of scheduler input, reported here at the call site.
+func checkCallSites(pass *Pass, tr *taintTracker, n ast.Node, ts taintSet) {
+	InspectShallow(n, func(m ast.Node) bool {
+		call, ok := m.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := calleeFunc(pass.Info, call)
+		if fn == nil {
+			return true
+		}
+		node := pass.Prog.NodeOf(fn)
+		if node == nil {
+			return true
+		}
+		for _, idx := range pass.Prog.MutatesParams(node) {
+			if idx == -1 {
+				if sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr); isSel && tr.taintedExpr(ts, sel.X) {
+					pass.Reportf(call.Pos(), "call to %s mutates its receiver in place, and the receiver aliases scheduler input — operate on a Clone() instead", node.Name)
+				}
+			} else if idx < len(call.Args) && tr.taintedExpr(ts, call.Args[idx]) {
+				pass.Reportf(call.Args[idx].Pos(), "call to %s mutates this argument in place, and it aliases scheduler input — pass a Clone() instead", node.Name)
 			}
 		}
 		return true
@@ -305,7 +350,7 @@ func (p *purity) reportNode(n ast.Node, ts taintSet) {
 }
 
 func runPurity(pass *Pass) {
-	p := &purity{pass: pass}
+	tr := &taintTracker{info: pass.Info}
 	for _, fb := range FunctionsOf(pass.Files) {
 		entry := make(taintSet)
 		for _, fl := range []*ast.FieldList{fb.Recv, fb.Type.Params} {
@@ -326,11 +371,13 @@ func runPurity(pass *Pass) {
 		}
 		g := BuildCFG(fb.Body)
 		res := Solve(&FlowProblem[taintSet]{
-			CFG:      g,
-			Entry:    entry,
-			Join:     joinTaint,
-			Equal:    equalTaint,
-			Transfer: p.transferTaint,
+			CFG:   g,
+			Entry: entry,
+			Join:  joinTaint,
+			Equal: equalTaint,
+			Transfer: func(b *Block, in taintSet) taintSet {
+				return tr.transferTaint(b, in, protectedCarrier)
+			},
 		})
 		for _, b := range g.Blocks {
 			if !res.Reached[b.Index] {
@@ -338,8 +385,13 @@ func runPurity(pass *Pass) {
 			}
 			ts := res.In[b.Index]
 			for _, n := range b.Nodes {
-				p.reportNode(n, ts)
-				ts = p.transferTaint(&Block{Nodes: []ast.Node{n}}, ts)
+				tr.findMutations(n, ts, func(pos token.Pos, msg string) {
+					pass.Reportf(pos, "%s", msg)
+				})
+				if pass.Prog != nil {
+					checkCallSites(pass, tr, n, ts)
+				}
+				ts = tr.transferTaint(&Block{Nodes: []ast.Node{n}}, ts, protectedCarrier)
 			}
 		}
 	}

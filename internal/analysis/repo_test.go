@@ -18,8 +18,9 @@ func TestRepoIsClean(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	prog := BuildProgram(pkgs)
 	for _, p := range pkgs {
-		for _, d := range RunAnalyzers(All(), p) {
+		for _, d := range RunAnalyzersProgram(All(), p, prog) {
 			t.Errorf("%s", d)
 		}
 	}

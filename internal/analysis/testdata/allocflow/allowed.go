@@ -1,0 +1,28 @@
+package fixture
+
+// The two escape forms: a positional allow at the allocation site
+// (cleans the summary for every caller) and a doc-comment allow that
+// contracts a whole callee as accepted cost.
+
+// Record grows the caller's log: the append is the function's product.
+//
+//hplint:hotpath
+func Record(log []string, s string) []string {
+	//hplint:allow allocflow the recorded log is this function's product
+	return append(log, s)
+}
+
+// expensive is contracted: every hot caller accepts its cost.
+//
+//hplint:allow allocflow fixture contract: scratch setup amortized across the run
+func expensive() []byte {
+	return make([]byte, 1024)
+}
+
+// Checkpoint reaches expensive's allocation only through the contract,
+// so no chain is reported.
+//
+//hplint:hotpath
+func Checkpoint() int {
+	return len(expensive())
+}

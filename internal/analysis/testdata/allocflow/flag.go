@@ -1,0 +1,59 @@
+package fixture
+
+import "fmt"
+
+// Hot paths must not allocate, directly or through any realizable call
+// chain. The chain below is four frames deep and crosses an interface
+// dispatch: Step → fire → (Emitter.Emit) → Sink.Emit → Sink.record.
+
+// Emitter is the dispatch point of the deep chain.
+type Emitter interface {
+	Emit(n int)
+}
+
+// Sink implements Emitter with an allocating chain behind it.
+type Sink struct{ lines []string }
+
+func (s *Sink) Emit(n int) { s.record(n) }
+
+func (s *Sink) record(n int) {
+	s.lines = append(s.lines, describe(n))
+}
+
+func describe(n int) string {
+	return fmt.Sprintf("n=%d", n)
+}
+
+// Step is a hot root reaching the allocation only interprocedurally.
+//
+//hplint:hotpath
+func Step(e Emitter, n int) {
+	fire(e, n) // want "reaches an allocation"
+}
+
+func fire(e Emitter, n int) {
+	e.Emit(n)
+}
+
+// Box allocates in its own body: boxing a concrete int into any.
+//
+//hplint:hotpath
+func Box(v int) {
+	sinkAny(v) // want "interface boxing of int argument"
+}
+
+func sinkAny(v any) { _ = v }
+
+// Grow allocates in its own body: append may grow the backing array.
+//
+//hplint:hotpath
+func Grow(vs []int, v int) []int {
+	return append(vs, v) // want "append may grow the backing array"
+}
+
+// misplaced carries the marker inside the body, where it protects
+// nothing — that must fail loudly.
+func misplaced() int {
+	//hplint:hotpath // want "not attached to a function declaration"
+	return 0
+}

@@ -1,0 +1,34 @@
+package fixture
+
+// The sanctioned forms: hot paths that stay on the stack by filling
+// caller-owned buffers by index and reading scalars back out.
+
+// Fill compacts the even values into the caller's buffer.
+//
+//hplint:hotpath
+func Fill(buf []int, n int) int {
+	k := 0
+	for i := 0; i < n; i++ {
+		if i%2 == 0 {
+			buf[k] = i
+			k++
+		}
+	}
+	return k
+}
+
+// Peak calls a clean helper: interprocedural propagation must not
+// invent an allocation where none exists.
+//
+//hplint:hotpath
+func Peak(vs []int) int {
+	best := 0
+	for i := range vs {
+		if greater(vs[i], best) {
+			best = vs[i]
+		}
+	}
+	return best
+}
+
+func greater(a, b int) bool { return a > b }

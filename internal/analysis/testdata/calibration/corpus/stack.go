@@ -1,0 +1,56 @@
+package corpus
+
+// The stack-side of the corpus: allocation-looking syntax whose value
+// provably stays local. The compiler reports "does not escape" for each;
+// the analyzer must report no AllocEscape site, and every such line
+// counts as a matched negative in the calibration report.
+
+// LocalPoint keeps the &point literal on the stack.
+func LocalPoint() int {
+	p := &point{7, 8}
+	return p.x + p.y
+}
+
+// LocalSliceLit keeps the slice literal on the stack.
+func LocalSliceLit() int {
+	s := []int{4, 5, 6}
+	return s[0] + s[2]
+}
+
+// LocalMake keeps a constant-size make on the stack.
+func LocalMake() int {
+	buf := make([]byte, 16)
+	buf[0] = 1
+	return int(buf[0])
+}
+
+// LocalNew keeps a new'd value on the stack.
+func LocalNew() int {
+	n := new(int)
+	*n = 9
+	return *n
+}
+
+// LocalClosure calls a capturing closure without letting it escape.
+func LocalClosure() int {
+	total := 0
+	add := func(v int) { total += v }
+	add(3)
+	add(4)
+	return total
+}
+
+// ReadPointer takes a pointer without retaining it.
+func ReadPointer(p *point) int { return p.x }
+
+// LocalHolder keeps the &holder literal on the stack.
+func LocalHolder() int {
+	h := &holder{p: nil}
+	if h.p == nil {
+		return 1
+	}
+	return 0
+}
+
+// ReadHolder takes a pointer without retaining it.
+func ReadHolder(h *holder) bool { return h.p != nil }

@@ -1,0 +1,39 @@
+// Package fixture exercises every edge kind the call-graph builder
+// discovers: static calls, CHA-resolved interface dispatch, closure
+// creation, and method values.
+package fixture
+
+// Doer has two in-module implementations; a call through it fans out to
+// both under CHA.
+type Doer interface {
+	Do()
+}
+
+type Alpha struct{}
+
+func (Alpha) Do() {}
+
+type Beta struct{}
+
+func (*Beta) Do() {}
+
+func viaInterface(d Doer) {
+	d.Do()
+}
+
+func static() {
+	helper()
+}
+
+func helper() {}
+
+func methodValue(a Alpha) func() {
+	f := a.Do
+	return f
+}
+
+func closures() int {
+	n := 1
+	f := func() int { return n + 1 }
+	return f()
+}

@@ -37,3 +37,15 @@ func badMaybeAlias(in platform.Instance, b bool) {
 func badIncrement(in platform.Instance) {
 	in[0].Priority++ // want "increment through in"
 }
+
+// Interprocedural: passing scheduler input to a helper that mutates its
+// parameter is flagged at the call site, with the helper's own store
+// flagged where it happens.
+
+func mutateHelper(ts []*platform.Task) {
+	ts[0].Priority = 9 // want "store through ts"
+}
+
+func badCallMutator(in []*platform.Task) {
+	mutateHelper(in) // want "mutates this argument"
+}

@@ -229,7 +229,7 @@ func (g *Graph) AssignBottomLevelPriorities(w Weighting, pl platform.Platform) (
 	}
 	var cp float64
 	for id, v := range bl {
-		g.tasks[id].Priority = v
+		g.tasks[id].Priority = v //hplint:allow purity assigning priorities is this method's documented purpose; callers opt in by name
 		cp = math.Max(cp, v)
 	}
 	return cp, nil

@@ -47,19 +47,33 @@ func (rt *ReadyTracker) Complete(id int) {
 	for _, s := range rt.g.Succs(id) {
 		rt.missing[s]--
 		if rt.missing[s] == 0 {
+			//hplint:allow allocflow amortized growth to the graph's ready-width high-water mark; DrainShared reuses the backing array
 			rt.ready = append(rt.ready, s)
 		}
 	}
 }
 
 // Drain returns the tasks that became ready since the last call, marking
-// them claimed. The caller owns the returned slice.
+// them claimed. The caller owns the returned slice; hot loops use
+// DrainShared.
 func (rt *ReadyTracker) Drain() []int {
-	out := make([]int, 0, len(rt.ready))
+	shared := rt.DrainShared()
+	out := make([]int, len(shared))
+	copy(out, shared)
+	return out
+}
+
+// DrainShared is the allocation-free form of Drain: the returned slice
+// aliases the tracker's internal ready queue and is invalidated by the
+// next Complete call, so callers must consume it before feeding the next
+// completion event.
+//
+//hplint:hotpath
+func (rt *ReadyTracker) DrainShared() []int {
 	for _, id := range rt.ready {
 		rt.claimed[id] = true
-		out = append(out, id)
 	}
+	out := rt.ready
 	rt.ready = rt.ready[:0]
 	return out
 }

@@ -96,6 +96,8 @@ func clampHDR(v int64) int64 {
 }
 
 // Record adds one observation.
+//
+//hplint:hotpath
 func (h *HDRHistogram) Record(v int64) {
 	v = clampHDR(v)
 	h.counts[hdrBucketIndex(v)].Add(1)
@@ -119,6 +121,8 @@ func (h *HDRHistogram) Record(v int64) {
 // it as the bucket's exemplar. Later exemplars overwrite earlier ones, so
 // each bucket points at a recent representative — following the exemplar
 // of a tail bucket leads to a live trace of a slow request.
+//
+//hplint:hotpath
 func (h *HDRHistogram) RecordExemplar(v int64, id uint64) {
 	h.Record(v)
 	if id == 0 {

@@ -149,6 +149,8 @@ func (s *Span) TraceID() uint64 { return s.trace.ID }
 
 // Annotate attaches a key=value string pair (dropped beyond the
 // per-span annotation bound).
+//
+//hplint:hotpath
 func (s *Span) Annotate(key, value string) {
 	if s.nann < maxAnnotations {
 		s.annots[s.nann] = Annotation{Key: key, Str: value}
@@ -157,6 +159,8 @@ func (s *Span) Annotate(key, value string) {
 }
 
 // AnnotateInt attaches a key=value integer pair without allocating.
+//
+//hplint:hotpath
 func (s *Span) AnnotateInt(key string, value int64) {
 	if s.nann < maxAnnotations {
 		s.annots[s.nann] = Annotation{Key: key, Int: value, IsInt: true}
@@ -194,6 +198,7 @@ func (s *Span) End() time.Duration {
 	}
 	td.mu.Lock()
 	if len(td.spans) < maxSpansPerTrace {
+		//hplint:allow allocflow one span record per finished span, capped at maxSpansPerTrace; the trace buffer is the tracer's product
 		td.spans = append(td.spans, sd)
 	} else {
 		td.dropped++

@@ -170,14 +170,19 @@ func (p Platform) KindOf(w int) Kind {
 	return GPU
 }
 
+// KindRange returns the half-open worker index interval [lo, hi) of class
+// k. It is the allocation-free form of WorkersOf for hot loops: workers of
+// a class are always contiguous (CPUs first, then GPUs).
+func (p Platform) KindRange(k Kind) (lo, hi int) {
+	if k == CPU {
+		return 0, p.CPUs
+	}
+	return p.CPUs, p.Workers()
+}
+
 // WorkersOf returns the worker indices of class k, in increasing order.
 func (p Platform) WorkersOf(k Kind) []int {
-	var lo, hi int
-	if k == CPU {
-		lo, hi = 0, p.CPUs
-	} else {
-		lo, hi = p.CPUs, p.Workers()
-	}
+	lo, hi := p.KindRange(k)
 	ws := make([]int, 0, hi-lo)
 	for w := lo; w < hi; w++ {
 		ws = append(ws, w)

@@ -38,16 +38,24 @@ type Kernel struct {
 	entry []int     // index into sched.Entries for the active run
 	sched *Schedule
 	nBusy int
+
+	// Scratch buffers behind RunningOnShared/IdleWorkersShared: sized to
+	// the worker count once, filled by index, never grown — the event
+	// loops query occupancy every decision round and must not allocate.
+	runScratch  []Running
+	idleScratch []int
 }
 
 // NewKernel returns a kernel at time zero with all workers idle.
 func NewKernel(pl platform.Platform) *Kernel {
 	return &Kernel{
-		P:     pl,
-		busy:  make([]bool, pl.Workers()),
-		runs:  make([]Running, pl.Workers()),
-		entry: make([]int, pl.Workers()),
-		sched: &Schedule{Platform: pl},
+		P:           pl,
+		busy:        make([]bool, pl.Workers()),
+		runs:        make([]Running, pl.Workers()),
+		entry:       make([]int, pl.Workers()),
+		sched:       &Schedule{Platform: pl},
+		runScratch:  make([]Running, pl.Workers()),
+		idleScratch: make([]int, pl.Workers()),
 	}
 }
 
@@ -62,14 +70,30 @@ func (k *Kernel) Busy(w int) bool { return k.busy[w] }
 func (k *Kernel) NumBusy() int { return k.nBusy }
 
 // RunningOn returns the runs currently active on workers of class kind.
+// The slice is freshly allocated; hot loops use RunningOnShared.
 func (k *Kernel) RunningOn(kind platform.Kind) []Running {
-	var out []Running
-	for _, w := range k.P.WorkersOf(kind) {
+	shared := k.RunningOnShared(kind)
+	out := make([]Running, len(shared))
+	copy(out, shared)
+	return out
+}
+
+// RunningOnShared is the allocation-free form of RunningOn: the returned
+// slice aliases a kernel-owned scratch buffer and is overwritten by the
+// next call (to either Shared accessor's buffer owner). Callers may
+// reorder it in place but must not retain it across kernel calls.
+//
+//hplint:hotpath
+func (k *Kernel) RunningOnShared(kind platform.Kind) []Running {
+	lo, hi := k.P.KindRange(kind)
+	n := 0
+	for w := lo; w < hi; w++ {
 		if k.busy[w] {
-			out = append(out, k.runs[w])
+			k.runScratch[n] = k.runs[w]
+			n++
 		}
 	}
-	return out
+	return k.runScratch[:n]
 }
 
 // RunOf returns the active run on worker w; it panics if w is idle.
@@ -81,15 +105,29 @@ func (k *Kernel) RunOf(w int) Running {
 }
 
 // IdleWorkers returns the idle workers of class kind in increasing index
-// order.
+// order. The slice is freshly allocated; hot loops use IdleWorkersShared.
 func (k *Kernel) IdleWorkers(kind platform.Kind) []int {
-	var out []int
-	for _, w := range k.P.WorkersOf(kind) {
+	shared := k.IdleWorkersShared(kind)
+	out := make([]int, len(shared))
+	copy(out, shared)
+	return out
+}
+
+// IdleWorkersShared is the allocation-free form of IdleWorkers: the
+// returned slice aliases a kernel-owned scratch buffer and is overwritten
+// by the next call.
+//
+//hplint:hotpath
+func (k *Kernel) IdleWorkersShared(kind platform.Kind) []int {
+	lo, hi := k.P.KindRange(kind)
+	n := 0
+	for w := lo; w < hi; w++ {
 		if !k.busy[w] {
-			out = append(out, w)
+			k.idleScratch[n] = w
+			n++
 		}
 	}
-	return out
+	return k.idleScratch[:n]
 }
 
 // Start begins executing task t on idle worker w at the current time,
@@ -115,6 +153,7 @@ func (k *Kernel) StartTimed(w int, t platform.Task, actual float64, spoliation b
 		EstEnd: k.Now + t.Time(kind), Spoliation: spoliation,
 	}
 	k.entry[w] = len(k.sched.Entries)
+	//hplint:allow allocflow one trace entry per run attempt; the recorded schedule is the simulation's product
 	k.sched.Entries = append(k.sched.Entries, Entry{
 		TaskID:     t.ID,
 		Worker:     w,
