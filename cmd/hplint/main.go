@@ -5,8 +5,10 @@
 // comparison hygiene, the zero-alloc observer and span guard contract,
 // ordered map iteration, sleep-free tests, and — flow-sensitively —
 // unit-consistent arithmetic, mutex discipline, scheduler input purity,
-// error handling along every path, and span End() coverage on every
-// path.
+// error handling along every path, span End() coverage on every path,
+// and — module-wide over the call graph — allocation-free hot paths,
+// an acyclic lock-order graph, blocking operations with reachable
+// counterparts, and race-candidate-free goroutine captures.
 //
 // Usage:
 //
@@ -19,12 +21,19 @@
 // Flags:
 //
 //	-catalog          list the analyzers and exit
-//	-enable a,b,...   run only the named analyzers (default: all twelve)
+//	-enable a,b,...   run only the named analyzers (default: all fifteen)
 //	-json             emit one JSON object per finding, one per line
+//	                  (findings with a call/acquisition chain carry it in
+//	                  the "chain" field)
 //	-callgraph        dump the interprocedural call graph and exit
+//	-lockgraph        dump the module-wide lock acquisition graph and exit
 //	-calibrate dir    diff allocflow's escape verdicts against the
 //	                  compiler's (go build -gcflags=-m) over the corpus in
 //	                  dir; exit non-zero below 95% agreement
+//	-racevalidate     replay the concurrent packages' test suites under
+//	                  -race and assert every reported location is inside
+//	                  capturecheck's candidate set (differential
+//	                  validation); -racetimeout bounds each test binary
 //	-dir path -rel p  lint a single directory as module-relative path p
 //	                  (used by CI to assert the golden flag fixtures fail)
 //
@@ -32,6 +41,9 @@
 // with a justified escape comment:
 //
 //	//hplint:allow <analyzer> <reason>
+//
+// On full-module, full-suite runs hplint also reports stale allows —
+// escape comments whose analyzer no longer fires at their site.
 package main
 
 import (
@@ -41,18 +53,22 @@ import (
 	"os"
 	"sort"
 	"strings"
+	"time"
 
 	"repro/internal/analysis"
 )
 
 // finding is the JSON shape of one diagnostic: stable field names so CI
 // can convert findings to GitHub annotations without parsing text.
+// Chain is present only for findings that carry a call/acquisition chain
+// (allocflow hot-path chains, lockorder cycles).
 type finding struct {
-	File     string `json:"file"`
-	Line     int    `json:"line"`
-	Col      int    `json:"col"`
-	Analyzer string `json:"analyzer"`
-	Message  string `json:"message"`
+	File     string   `json:"file"`
+	Line     int      `json:"line"`
+	Col      int      `json:"col"`
+	Analyzer string   `json:"analyzer"`
+	Message  string   `json:"message"`
+	Chain    []string `json:"chain,omitempty"`
 }
 
 func main() {
@@ -62,9 +78,12 @@ func main() {
 	dir := flag.String("dir", "", "lint a single directory instead of the module")
 	rel := flag.String("rel", "", "module-relative path the -dir package is loaded under")
 	callgraph := flag.Bool("callgraph", false, "dump the interprocedural call graph and exit")
+	lockgraph := flag.Bool("lockgraph", false, "dump the module-wide lock acquisition graph and exit")
 	calibrate := flag.String("calibrate", "", "calibrate allocflow against go build -gcflags=-m over the corpus `dir`")
+	racevalidate := flag.Bool("racevalidate", false, "replay the concurrent packages' tests under -race and check reports against capturecheck's candidate set")
+	racetimeout := flag.Duration("racetimeout", 4*time.Minute, "per-test-binary timeout for -racevalidate")
 	flag.Usage = func() {
-		fmt.Fprintf(flag.CommandLine.Output(), "usage: hplint [-catalog] [-callgraph] [-calibrate dir] [-json] [-enable a,b] [-dir path -rel relpath] [packages]\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: hplint [-catalog] [-callgraph] [-lockgraph] [-calibrate dir] [-racevalidate] [-json] [-enable a,b] [-dir path -rel relpath] [packages]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -77,6 +96,21 @@ func main() {
 		rep.Format(os.Stdout)
 		if rep.Agreement() < 0.95 {
 			fmt.Fprintf(os.Stderr, "hplint: calibration agreement %.1f%% below the 95%% floor\n", 100*rep.Agreement())
+			os.Exit(1)
+		}
+		return
+	}
+	if *racevalidate {
+		wd, err := os.Getwd()
+		if err != nil {
+			fatal(err)
+		}
+		rep, err := analysis.ValidateRace(wd, *racetimeout)
+		if err != nil {
+			fatal(err)
+		}
+		rep.Format(os.Stdout)
+		if !rep.OK() {
 			os.Exit(1)
 		}
 		return
@@ -137,12 +171,27 @@ func main() {
 		fmt.Print(prog.DumpGraph())
 		return
 	}
+	if *lockgraph {
+		fmt.Print(prog.DumpLockGraph())
+		return
+	}
 	// Collect everything before printing: findings are globally sorted by
 	// (file, line, column, analyzer) so CI annotation diffs and golden
-	// comparisons are stable across load order.
-	var diags []analysis.Diagnostic
+	// comparisons are stable across load order. Full-module, full-suite
+	// runs also keep the raw (pre-suppression) stream to report stale
+	// hplint:allow escapes; partial runs cannot tell stale from
+	// not-exercised, so they skip the check.
+	fullRun := *dir == "" && *enable == ""
+	var diags, rawAll []analysis.Diagnostic
 	for _, pkg := range pkgs {
-		diags = append(diags, analysis.RunAnalyzersProgram(suite, pkg, prog)...)
+		kept, raw := analysis.RunAnalyzersProgramRaw(suite, pkg, prog)
+		diags = append(diags, kept...)
+		if fullRun {
+			rawAll = append(rawAll, raw...)
+		}
+	}
+	if fullRun {
+		diags = append(diags, analysis.StaleAllows(suite, pkgs, prog, rawAll)...)
 	}
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i], diags[j]
@@ -160,7 +209,7 @@ func main() {
 	enc := json.NewEncoder(os.Stdout)
 	for _, d := range diags {
 		if *jsonOut {
-			f := finding{File: d.Pos.Filename, Line: d.Pos.Line, Col: d.Pos.Column, Analyzer: d.Analyzer, Message: d.Message}
+			f := finding{File: d.Pos.Filename, Line: d.Pos.Line, Col: d.Pos.Column, Analyzer: d.Analyzer, Message: d.Message, Chain: d.Chain}
 			if err := enc.Encode(f); err != nil {
 				fatal(err)
 			}

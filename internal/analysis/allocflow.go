@@ -89,8 +89,8 @@ func reportChains(pass *Pass, prog *Program, root *Node) {
 			parentNode[callee] = cur
 			parentEdge[callee] = e
 			if sites := prog.allocSitesEffective(callee); len(sites) > 0 {
-				chain, firstSite := renderChain(root, callee, parentNode, parentEdge, sites[0])
-				pass.Reportf(firstSite, "hot path %s reaches an allocation: %s", root.Name, chain)
+				steps, firstSite := chainSteps(root, callee, parentNode, parentEdge, sites[0])
+				pass.ReportChain(firstSite, steps, "hot path %s reaches an allocation: %s", root.Name, strings.Join(steps, " → "))
 				continue
 			}
 			queue = append(queue, callee)
@@ -98,12 +98,12 @@ func reportChains(pass *Pass, prog *Program, root *Node) {
 	}
 }
 
-// renderChain walks the BFS parent links back from target to root and
-// renders the forward chain, inserting the abstract interface method as
-// a pseudo-step on dispatch edges. It returns the chain text and the
-// position of the first call site (the call inside the root), which is
-// where the finding anchors.
-func renderChain(root, target *Node, parentNode map[*Node]*Node, parentEdge map[*Node]Edge, site AllocSite) (string, token.Pos) {
+// chainSteps walks the BFS parent links back from target to root and
+// returns the forward chain as individual steps (for the JSON `chain`
+// field), inserting the abstract interface method as a pseudo-step on
+// dispatch edges, plus the position of the first call site (the call
+// inside the root), which is where the finding anchors.
+func chainSteps(root, target *Node, parentNode map[*Node]*Node, parentEdge map[*Node]Edge, site AllocSite) ([]string, token.Pos) {
 	var rev []string
 	cur := target
 	first := parentEdge[target]
@@ -121,5 +121,5 @@ func renderChain(root, target *Node, parentNode map[*Node]*Node, parentEdge map[
 		steps = append(steps, rev[i])
 	}
 	steps = append(steps, site.Desc)
-	return strings.Join(steps, " → "), first.Site
+	return steps, first.Site
 }

@@ -86,18 +86,29 @@ type Pass struct {
 
 // Reportf records a diagnostic at pos.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.ReportChain(pos, nil, format, args...)
+}
+
+// ReportChain records a diagnostic whose finding is explained by a call
+// or acquisition chain (allocflow, lockorder). The chain rides along to
+// the JSON output so CI annotations can surface it.
+func (p *Pass) ReportChain(pos token.Pos, chain []string, format string, args ...any) {
 	*p.diags = append(*p.diags, Diagnostic{
 		Pos:      p.Fset.Position(pos),
 		Analyzer: p.Analyzer.Name,
 		Message:  fmt.Sprintf(format, args...),
+		Chain:    chain,
 	})
 }
 
 // Diagnostic is one finding, positioned for file.go:line:col rendering.
+// Chain, when set, is the step-by-step explanation (a call chain for
+// allocflow, the cycle edges for lockorder).
 type Diagnostic struct {
 	Pos      token.Position
 	Analyzer string
 	Message  string
+	Chain    []string
 }
 
 // String renders the diagnostic in the conventional positional format.
@@ -106,8 +117,10 @@ func (d Diagnostic) String() string {
 }
 
 // All returns the full analyzer suite in stable order: the six
-// syntactic analyzers, then the five flow-sensitive analyzers built on
-// the CFG/dataflow engine (cfg.go, dataflow.go).
+// syntactic analyzers, the five flow-sensitive analyzers built on the
+// CFG/dataflow engine (cfg.go, dataflow.go), allocflow, and the three
+// module-wide concurrency analyzers built on the call graph
+// (lockorder.go, blockcheck.go, capturecheck.go).
 func All() []*Analyzer {
 	return []*Analyzer{
 		SimDeterminism,
@@ -122,6 +135,9 @@ func All() []*Analyzer {
 		ErrFlow,
 		SpanEnd,
 		AllocFlow,
+		LockOrder,
+		BlockCheck,
+		CaptureCheck,
 	}
 }
 
@@ -203,6 +219,15 @@ func RunAnalyzers(suite []*Analyzer, pkg *Package) []Diagnostic {
 // and returns the surviving (non-suppressed) diagnostics sorted by
 // position.
 func RunAnalyzersProgram(suite []*Analyzer, pkg *Package, prog *Program) []Diagnostic {
+	kept, _ := RunAnalyzersProgramRaw(suite, pkg, prog)
+	return kept
+}
+
+// RunAnalyzersProgramRaw is RunAnalyzersProgram plus the raw diagnostic
+// stream before allow-suppression. The raw stream is what the stale-
+// allow detector (stale.go) consumes: an allow is live exactly when a
+// raw diagnostic fired on one of its lines.
+func RunAnalyzersProgramRaw(suite []*Analyzer, pkg *Package, prog *Program) (kept, raw []Diagnostic) {
 	known := make(map[string]bool, len(suite))
 	for _, a := range suite {
 		known[a.Name] = true
@@ -248,7 +273,8 @@ func RunAnalyzersProgram(suite []*Analyzer, pkg *Package, prog *Program) []Diagn
 		}
 		a.Run(pass)
 	}
-	kept := diags[:0]
+	raw = diags
+	kept = make([]Diagnostic, 0, len(diags))
 	for _, d := range diags {
 		if allows[allowKey{d.Pos.Filename, d.Pos.Line, d.Analyzer}] {
 			continue
@@ -268,5 +294,5 @@ func RunAnalyzersProgram(suite []*Analyzer, pkg *Package, prog *Program) []Diagn
 		}
 		return a.Analyzer < b.Analyzer
 	})
-	return kept
+	return kept, raw
 }

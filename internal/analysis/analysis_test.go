@@ -65,6 +65,9 @@ func TestAnalyzerFixtures(t *testing.T) {
 		{"errflow", "internal/runtime", ErrFlow},
 		{"spanend", "internal/serve", SpanEnd},
 		{"allocflow", "internal/core", AllocFlow},
+		{"lockorder", "internal/lockfixture", LockOrder},
+		{"blockcheck", "internal/engine", BlockCheck},
+		{"capturecheck", "internal/engine", CaptureCheck},
 	}
 	for _, c := range cases {
 		t.Run(c.dir, func(t *testing.T) {

@@ -1,0 +1,581 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// blockcheck flags blocking operations that can stall a goroutine
+// forever: channel sends with no receive anywhere in the module,
+// receives with no send or close, WaitGroup.Wait with no Done,
+// Cond.Wait with no Signal/Broadcast, and sends on unbuffered channels
+// made while a mutex is held (the receiver may need the same lock — the
+// classic send-under-lock deadlock). "Anywhere in the module" is the
+// whole-Program inventory (DESIGN.md §13): an operation is a counterpart
+// no matter which function performs it, which over-approximates
+// reachability but never flags code whose counterpart merely lives in
+// another package. Escape routes are honored: any operation inside a
+// `select` that has a `default` case or a case receiving from an
+// out-of-module channel (ctx.Done(), time.After, timer.C) is exempt, and
+// a select without an escape is only reported when every one of its
+// cases is provably dead. Channels are tracked by identity (a local
+// variable or an in-module struct field); identities that are aliased —
+// passed as arguments, returned, reassigned, or address-taken — leave
+// the analysis rather than risk a false positive, as do channels with no
+// visible make (they may be handed in from anywhere).
+var BlockCheck = &Analyzer{
+	Name:      "blockcheck",
+	Doc:       "blocking channel and sync operations must have a module-reachable counterpart or an escape route",
+	Packages:  []string{"internal/engine", "internal/serve", "internal/obs", "internal/load"},
+	SkipTests: true,
+	Run:       runBlockCheck,
+}
+
+// syncInventory is the module-wide counterpart census for blockcheck,
+// keyed by channel/WaitGroup/Cond identity (the types.Object of the
+// variable or field).
+type syncInventory struct {
+	sends, recvs, closes map[types.Object]bool
+	dones, signals       map[types.Object]bool
+	// made records identities with a visible make; unbufMake/bufMake
+	// split them by capacity (an identity is treated as unbuffered only
+	// if every visible make is).
+	made, unbufMake, bufMake map[types.Object]bool
+	// params are identities declared as parameters, receivers or results
+	// somewhere; aliased are identities whose value leaks to another name.
+	// Both are excluded from deadness checks.
+	params, aliased map[types.Object]bool
+}
+
+func newSyncInventory() *syncInventory {
+	return &syncInventory{
+		sends: map[types.Object]bool{}, recvs: map[types.Object]bool{}, closes: map[types.Object]bool{},
+		dones: map[types.Object]bool{}, signals: map[types.Object]bool{},
+		made: map[types.Object]bool{}, unbufMake: map[types.Object]bool{}, bufMake: map[types.Object]bool{},
+		params: map[types.Object]bool{}, aliased: map[types.Object]bool{},
+	}
+}
+
+// syncIdent resolves a channel/WaitGroup/Cond expression to its identity:
+// a plain variable or a struct field selector. Anything else is nil.
+func syncIdent(info *types.Info, e ast.Expr) types.Object {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		if v, ok := info.Uses[x].(*types.Var); ok {
+			return v
+		}
+		if v, ok := info.Defs[x].(*types.Var); ok {
+			return v
+		}
+	case *ast.SelectorExpr:
+		if v, ok := info.Uses[x.Sel].(*types.Var); ok && v.IsField() {
+			return v
+		}
+	}
+	return nil
+}
+
+func isChanType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Chan)
+	return ok
+}
+
+// namedSyncType reports whether t is (a pointer to) sync.<name>.
+func namedSyncType(t types.Type, name string) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync" && obj.Name() == name
+}
+
+// makeChanCall reports whether e is make(chan ...) and whether the
+// capacity is provably zero. An unknown non-constant capacity counts as
+// buffered — the conservative direction for every rule keyed on it.
+func makeChanCall(info *types.Info, e ast.Expr) (unbuffered, ok bool) {
+	call, isCall := ast.Unparen(e).(*ast.CallExpr)
+	if !isCall || len(call.Args) == 0 {
+		return false, false
+	}
+	id, isIdent := ast.Unparen(call.Fun).(*ast.Ident)
+	if !isIdent {
+		return false, false
+	}
+	if b, isB := info.Uses[id].(*types.Builtin); !isB || b.Name() != "make" {
+		return false, false
+	}
+	if !isChanType(info.Types[call.Args[0]].Type) {
+		return false, false
+	}
+	if len(call.Args) == 1 {
+		return true, true
+	}
+	if tv, okT := info.Types[call.Args[1]]; okT && tv.Value != nil {
+		return tv.Value.String() == "0", true
+	}
+	return false, true
+}
+
+// syncInventory builds (once) the module-wide counterpart census over
+// every base package's non-test files.
+func (prog *Program) syncInventory() *syncInventory {
+	if prog.chanInv != nil {
+		return prog.chanInv
+	}
+	inv := newSyncInventory()
+	for _, n := range prog.Nodes {
+		for _, fl := range []*ast.FieldList{n.Recv, n.Type.Params, n.Type.Results} {
+			if fl == nil {
+				continue
+			}
+			for _, f := range fl.List {
+				for _, name := range f.Names {
+					if v, ok := n.Pkg.Info.Defs[name].(*types.Var); ok {
+						inv.params[v] = true
+					}
+				}
+			}
+		}
+	}
+	for _, p := range prog.packages() {
+		info := p.Info
+		for _, f := range p.Files {
+			ast.Inspect(f, func(m ast.Node) bool {
+				inv.scan(info, m)
+				return true
+			})
+		}
+	}
+	prog.chanInv = inv
+	return inv
+}
+
+// recordMake attributes a make(chan ...) on the RHS to the identity on
+// the LHS; any other RHS identity becomes an alias.
+func (inv *syncInventory) recordMake(info *types.Info, lhs, rhs ast.Expr) {
+	if unbuf, ok := makeChanCall(info, rhs); ok {
+		if id := syncIdent(info, lhs); id != nil {
+			inv.made[id] = true
+			if unbuf {
+				inv.unbufMake[id] = true
+			} else {
+				inv.bufMake[id] = true
+			}
+		}
+		return
+	}
+	if id := inv.trackable(info, rhs); id != nil {
+		inv.aliased[id] = true
+	}
+}
+
+// trackable returns the identity behind e if e is a bare channel/
+// WaitGroup/Cond value (the shapes whose aliasing matters), else nil.
+func (inv *syncInventory) trackable(info *types.Info, e ast.Expr) types.Object {
+	e = ast.Unparen(e)
+	if u, ok := e.(*ast.UnaryExpr); ok && u.Op == token.AND {
+		e = u.X
+	}
+	id := syncIdent(info, e)
+	if id == nil {
+		return nil
+	}
+	t := id.Type()
+	if isChanType(t) || namedSyncType(t, "WaitGroup") || namedSyncType(t, "Cond") {
+		return id
+	}
+	return nil
+}
+
+func (inv *syncInventory) scan(info *types.Info, m ast.Node) {
+	switch x := m.(type) {
+	case *ast.SendStmt:
+		if id := syncIdent(info, x.Chan); id != nil {
+			inv.sends[id] = true
+		}
+		if id := inv.trackable(info, x.Value); id != nil {
+			inv.aliased[id] = true // a channel sent over a channel gains a remote name
+		}
+	case *ast.UnaryExpr:
+		if x.Op == token.ARROW {
+			if id := syncIdent(info, x.X); id != nil {
+				inv.recvs[id] = true
+			}
+		}
+	case *ast.RangeStmt:
+		if isChanType(info.Types[x.X].Type) {
+			if id := syncIdent(info, x.X); id != nil {
+				inv.recvs[id] = true
+			}
+		}
+	case *ast.CallExpr:
+		if id, isIdent := ast.Unparen(x.Fun).(*ast.Ident); isIdent {
+			if b, isB := info.Uses[id].(*types.Builtin); isB && b.Name() == "close" && len(x.Args) == 1 {
+				if cid := syncIdent(info, x.Args[0]); cid != nil {
+					inv.closes[cid] = true
+				}
+				return
+			}
+		}
+		if sel, isSel := x.Fun.(*ast.SelectorExpr); isSel {
+			recv := info.Types[sel.X].Type
+			switch sel.Sel.Name {
+			case "Done":
+				if recv != nil && namedSyncType(recv, "WaitGroup") {
+					if id := syncIdent(info, sel.X); id != nil {
+						inv.dones[id] = true
+					}
+				}
+			case "Signal", "Broadcast":
+				if recv != nil && namedSyncType(recv, "Cond") {
+					if id := syncIdent(info, sel.X); id != nil {
+						inv.signals[id] = true
+					}
+				}
+			}
+		}
+		for _, arg := range x.Args {
+			if id := inv.trackable(info, arg); id != nil {
+				inv.aliased[id] = true
+			}
+		}
+	case *ast.AssignStmt:
+		if len(x.Lhs) == len(x.Rhs) {
+			for i := range x.Lhs {
+				inv.recordMake(info, x.Lhs[i], x.Rhs[i])
+			}
+		}
+	case *ast.ValueSpec:
+		if len(x.Names) == len(x.Values) {
+			for i := range x.Names {
+				inv.recordMake(info, x.Names[i], x.Values[i])
+			}
+		}
+	case *ast.KeyValueExpr:
+		if key, ok := x.Key.(*ast.Ident); ok {
+			if v, isVar := info.Uses[key].(*types.Var); isVar && v.IsField() {
+				if unbuf, isMake := makeChanCall(info, x.Value); isMake {
+					inv.made[v] = true
+					if unbuf {
+						inv.unbufMake[v] = true
+					} else {
+						inv.bufMake[v] = true
+					}
+					return
+				}
+			}
+		}
+		if id := inv.trackable(info, x.Value); id != nil {
+			inv.aliased[id] = true
+		}
+	case *ast.ReturnStmt:
+		for _, r := range x.Results {
+			if id := inv.trackable(info, r); id != nil {
+				inv.aliased[id] = true
+			}
+		}
+	}
+}
+
+// checkableChan reports whether deadness conclusions about id are sound:
+// in-module identity, not a parameter, never aliased, with a visible make.
+func (prog *Program) checkableChan(inv *syncInventory, id types.Object) bool {
+	return id != nil && prog.objInModule(id) && !inv.params[id] && !inv.aliased[id] && inv.made[id]
+}
+
+// checkableSync is the WaitGroup/Cond variant: value identity, in module,
+// not a parameter, never aliased. Pointer-typed variables are excluded
+// except the NewCond idiom (a *Cond local initialized in place).
+func (prog *Program) checkableSync(inv *syncInventory, id types.Object) bool {
+	if id == nil || !prog.objInModule(id) || inv.params[id] || inv.aliased[id] {
+		return false
+	}
+	if _, isPtr := id.Type().(*types.Pointer); isPtr && !namedSyncType(id.Type(), "Cond") {
+		return false
+	}
+	return true
+}
+
+// blockDead classifies one blocking operation against the inventory.
+// It returns a non-empty reason when the op can provably never complete.
+type blockOp struct {
+	pos    token.Pos
+	reason string
+}
+
+func (prog *Program) deadSend(inv *syncInventory, info *types.Info, s *ast.SendStmt) (blockOp, bool) {
+	id := syncIdent(info, s.Chan)
+	if !prog.checkableChan(inv, id) {
+		return blockOp{}, false
+	}
+	if !inv.recvs[id] && !inv.closes[id] {
+		return blockOp{s.Pos(), "send on channel " + id.Name() + " has no receive anywhere in the module and can block forever"}, true
+	}
+	return blockOp{}, false
+}
+
+func (prog *Program) deadRecv(inv *syncInventory, info *types.Info, pos token.Pos, ch ast.Expr) (blockOp, bool) {
+	id := syncIdent(info, ch)
+	if !prog.checkableChan(inv, id) {
+		return blockOp{}, false
+	}
+	if !inv.sends[id] && !inv.closes[id] {
+		return blockOp{pos, "receive on channel " + id.Name() + " has no send or close anywhere in the module and can block forever"}, true
+	}
+	return blockOp{}, false
+}
+
+func (prog *Program) deadWait(inv *syncInventory, info *types.Info, call *ast.CallExpr) (blockOp, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Wait" {
+		return blockOp{}, false
+	}
+	recv := info.Types[sel.X].Type
+	if recv == nil {
+		return blockOp{}, false
+	}
+	id := syncIdent(info, sel.X)
+	switch {
+	case namedSyncType(recv, "WaitGroup"):
+		if prog.checkableSync(inv, id) && !inv.dones[id] {
+			return blockOp{call.Pos(), id.Name() + ".Wait has no matching Done anywhere in the module and can block forever"}, true
+		}
+	case namedSyncType(recv, "Cond"):
+		if prog.checkableSync(inv, id) && !inv.signals[id] {
+			return blockOp{call.Pos(), id.Name() + ".Wait has no Signal or Broadcast anywhere in the module and can block forever"}, true
+		}
+	}
+	return blockOp{}, false
+}
+
+// selectEscape reports whether the select can always bail out: a default
+// case, or a case receiving from a channel the module does not control
+// (ctx.Done(), time.After, a stdlib timer field) — the runtime fires
+// those eventually.
+func (prog *Program) selectEscape(info *types.Info, sel *ast.SelectStmt) bool {
+	for _, c := range sel.Body.List {
+		cc, ok := c.(*ast.CommClause)
+		if !ok {
+			continue
+		}
+		if cc.Comm == nil {
+			return true // default
+		}
+		if ch := commRecvChan(cc.Comm); ch != nil {
+			if _, isCall := ast.Unparen(ch).(*ast.CallExpr); isCall {
+				return true
+			}
+			if id := syncIdent(info, ch); id == nil || !prog.objInModule(id) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// commRecvChan extracts the channel expression of a receive-shaped comm
+// clause, or nil for sends.
+func commRecvChan(comm ast.Stmt) ast.Expr {
+	var e ast.Expr
+	switch s := comm.(type) {
+	case *ast.ExprStmt:
+		e = s.X
+	case *ast.AssignStmt:
+		if len(s.Rhs) == 1 {
+			e = s.Rhs[0]
+		}
+	}
+	if u, ok := ast.Unparen(e).(*ast.UnaryExpr); ok && u.Op == token.ARROW {
+		return u.X
+	}
+	return nil
+}
+
+func runBlockCheck(pass *Pass) {
+	prog := pass.Prog
+	if prog == nil {
+		return
+	}
+	inv := prog.syncInventory()
+	info := pass.Info
+
+	for _, f := range pass.Files {
+		// Pass 1: selects as units — collect their comm ops so the
+		// general walk skips them, and report only all-dead selects.
+		inSelect := map[ast.Node]bool{}
+		ast.Inspect(f, func(m ast.Node) bool {
+			sel, ok := m.(*ast.SelectStmt)
+			if !ok {
+				return true
+			}
+			escape := prog.selectEscape(info, sel)
+			var dead []blockOp
+			allDead := true
+			for _, c := range sel.Body.List {
+				cc, isCC := c.(*ast.CommClause)
+				if !isCC || cc.Comm == nil {
+					continue
+				}
+				inSelect[cc.Comm] = true
+				if ch := commRecvChan(cc.Comm); ch != nil {
+					if u, isU := ast.Unparen(exprOf(cc.Comm)).(*ast.UnaryExpr); isU {
+						inSelect[u] = true
+					}
+					if op, isDead := prog.deadRecv(inv, info, cc.Comm.Pos(), ch); isDead {
+						dead = append(dead, op)
+					} else {
+						allDead = false
+					}
+				} else if s, isSend := cc.Comm.(*ast.SendStmt); isSend {
+					if op, isDead := prog.deadSend(inv, info, s); isDead {
+						dead = append(dead, op)
+					} else {
+						allDead = false
+					}
+				} else {
+					allDead = false
+				}
+			}
+			if !escape && allDead && len(dead) > 0 {
+				pass.Reportf(sel.Pos(), "every case of this select can block forever: %s", dead[0].reason)
+			}
+			return true
+		})
+
+		// Pass 2: blocking ops outside selects.
+		ast.Inspect(f, func(m ast.Node) bool {
+			if inSelect[m] {
+				return true
+			}
+			switch x := m.(type) {
+			case *ast.SendStmt:
+				if op, dead := prog.deadSend(inv, info, x); dead {
+					pass.Reportf(op.pos, "%s", op.reason)
+				}
+			case *ast.UnaryExpr:
+				if x.Op == token.ARROW {
+					if op, dead := prog.deadRecv(inv, info, x.Pos(), x.X); dead {
+						pass.Reportf(op.pos, "%s", op.reason)
+					}
+				}
+			case *ast.RangeStmt:
+				if isChanType(info.Types[x.X].Type) {
+					if op, dead := prog.deadRecv(inv, info, x.Pos(), x.X); dead {
+						pass.Reportf(op.pos, "%s", op.reason)
+					}
+				}
+			case *ast.CallExpr:
+				if op, dead := prog.deadWait(inv, info, x); dead {
+					pass.Reportf(op.pos, "%s", op.reason)
+				}
+			}
+			return true
+		})
+	}
+
+	// Pass 3: unbuffered sends inside a critical section, flow-sensitive
+	// over the same must-held lattice lockcheck uses.
+	for _, fb := range FunctionsOf(pass.Files) {
+		g := BuildCFG(fb.Body)
+		res := Solve(&FlowProblem[lockState]{
+			CFG:   g,
+			Entry: lockState{},
+			Join:  joinLockState,
+			Equal: equalLockState,
+			Transfer: func(b *Block, in lockState) lockState {
+				return lockFlowTransfer(info, b, in)
+			},
+		})
+		for _, b := range g.Blocks {
+			if !res.Reached[b.Index] {
+				continue
+			}
+			held := res.In[b.Index]
+			for _, nd := range b.Nodes {
+				if _, isDefer := nd.(*ast.DeferStmt); !isDefer {
+					InspectShallow(nd, func(m ast.Node) bool {
+						if _, isGo := m.(*ast.GoStmt); isGo {
+							return false
+						}
+						s, ok := m.(*ast.SendStmt)
+						if !ok {
+							return true
+						}
+						id := syncIdent(info, s.Chan)
+						if id == nil || !prog.objInModule(id) || !inv.unbufMake[id] || inv.bufMake[id] || len(held) == 0 {
+							return true
+						}
+						if sel := enclosingExemptSelect(prog, info, fb, s); sel {
+							return true
+						}
+						for _, lk := range sortedLockLabels(held) {
+							pass.Reportf(s.Pos(), "send on unbuffered channel %s while holding %s can deadlock if the receiver needs the lock", id.Name(), lk)
+							break
+						}
+						return true
+					})
+				}
+				held = lockFlowTransfer(info, &Block{Nodes: []ast.Node{nd}}, held)
+			}
+		}
+	}
+}
+
+// exprOf returns the expression of an ExprStmt/AssignStmt comm for the
+// select bookkeeping.
+func exprOf(comm ast.Stmt) ast.Expr {
+	switch s := comm.(type) {
+	case *ast.ExprStmt:
+		return s.X
+	case *ast.AssignStmt:
+		if len(s.Rhs) == 1 {
+			return s.Rhs[0]
+		}
+	}
+	return nil
+}
+
+// enclosingExemptSelect reports whether s sits directly in a select that
+// can bail out (default or out-of-module receive case).
+func enclosingExemptSelect(prog *Program, info *types.Info, fb FuncBody, s *ast.SendStmt) bool {
+	exempt := false
+	ast.Inspect(fb.Body, func(m ast.Node) bool {
+		sel, ok := m.(*ast.SelectStmt)
+		if !ok {
+			return true
+		}
+		for _, c := range sel.Body.List {
+			if cc, isCC := c.(*ast.CommClause); isCC && cc.Comm == s {
+				if prog.selectEscape(info, sel) {
+					exempt = true
+				}
+			}
+		}
+		return true
+	})
+	return exempt
+}
+
+// sortedLockLabels renders the held lock keys deterministically for
+// messages ("p.mu", "mu").
+func sortedLockLabels(held lockState) []string {
+	var out []string
+	for k := range held {
+		label := k.mu.Name()
+		if k.base != nil && k.base != types.Object(k.mu) {
+			label = k.base.Name() + "." + label
+		}
+		out = append(out, label)
+	}
+	sort.Strings(out)
+	return out
+}

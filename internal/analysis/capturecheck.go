@@ -1,0 +1,571 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// capturecheck flags static race candidates: a goroutine closure
+// (`go func(){...}()`) captures a variable that is also accessed by the
+// spawning function while the goroutine may still be running, and no
+// lock guards both sides. "May still be running" is a forward dataflow
+// over the spawner's CFG — a spawn joins (leaves the active set) at a
+// WaitGroup.Wait, a channel receive, or a channel range, the module's
+// join idioms. Guards come from the same must-held lattice lockcheck
+// and lockorder use: a conflict is benign when the intersection of the
+// locks held at the inside accesses and the locks held at the outside
+// access is non-empty. Candidates are ranked by provenance: a write the
+// summary layer derives from a mutating callee (MutatesParams) names
+// the callee in the message. Exemptions keep the repository's sound
+// concurrency idioms quiet: channels, sync.* and atomic.* values,
+// contexts, per-goroutine sharded element writes (`errs[i] =` with a
+// goroutine-local i), and callees that acquire locks of their own
+// (internally synchronized types). Spawns inside a loop are checked
+// against their own previous iterations (the self-overlap rule).
+var CaptureCheck = &Analyzer{
+	Name:      "capturecheck",
+	Doc:       "goroutine closures must not capture variables raced with the spawning function",
+	Packages:  []string{"internal/engine", "internal/serve", "internal/obs", "internal/load"},
+	SkipTests: true,
+	Run:       runCaptureCheck,
+}
+
+// captureSpawn is one `go func(){...}(...)` statement and what its
+// closure does to captured variables.
+type captureSpawn struct {
+	stmt *ast.GoStmt
+	lit  *ast.FuncLit
+	line int
+	// writes maps a captured variable to "" (direct store) or the name
+	// of the mutating callee the write was derived from.
+	writes map[*types.Var]string
+	reads  map[*types.Var]bool
+	// writeGuards/readGuards are the locks held at EVERY inside write /
+	// read of the variable (intersection; the must-guard).
+	writeGuards map[*types.Var]map[lockKey]bool
+	readGuards  map[*types.Var]map[lockKey]bool
+}
+
+// exemptCaptureVar excludes variables whose types are concurrency-safe
+// by construction or checked elsewhere: channels (blockcheck's domain),
+// sync.* (mutexes, wait groups), sync/atomic values, contexts.
+func exemptCaptureVar(v *types.Var) bool {
+	if v == nil || v.IsField() {
+		return true
+	}
+	t := v.Type()
+	for {
+		p, ok := t.(*types.Pointer)
+		if !ok {
+			break
+		}
+		t = p.Elem()
+	}
+	if isChanType(t) {
+		return true
+	}
+	if named, ok := t.(*types.Named); ok {
+		if pkg := named.Obj().Pkg(); pkg != nil {
+			switch pkg.Path() {
+			case "sync", "sync/atomic", "context":
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// captureRoot resolves the variable written through an lvalue or
+// &-operand, reporting whether the access path is sharded — indexed by a
+// variable declared inside [insideLo, insideHi) (the goroutine-local
+// index idiom `errs[i] = ...`, which cannot race between instances).
+func captureRoot(info *types.Info, e ast.Expr, insideLo, insideHi token.Pos) (v *types.Var, sharded bool) {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.IndexExpr:
+			if id, ok := ast.Unparen(x.Index).(*ast.Ident); ok {
+				if obj := info.Uses[id]; obj != nil && obj.Pos() >= insideLo && obj.Pos() < insideHi {
+					sharded = true
+				}
+			}
+			e = x.X
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.Ident:
+			if vv, ok := info.Uses[x].(*types.Var); ok {
+				return vv, sharded
+			}
+			if vv, ok := info.Defs[x].(*types.Var); ok {
+				return vv, sharded
+			}
+			return nil, sharded
+		default:
+			return nil, sharded
+		}
+	}
+}
+
+// calleeWrite is a write derived from a mutating callee's summary.
+type calleeWrite struct {
+	arg ast.Expr
+	via string
+}
+
+// calleeWrites resolves a call's statically-known callee and maps its
+// MutatesParams summary back to argument/receiver expressions. Callees
+// that acquire locks of their own are internally synchronized and
+// produce no writes.
+func calleeWrites(prog *Program, info *types.Info, call *ast.CallExpr) []calleeWrite {
+	if prog == nil {
+		return nil
+	}
+	var fn *types.Func
+	var recv ast.Expr
+	switch f := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ = info.Uses[f].(*types.Func)
+	case *ast.SelectorExpr:
+		fn, _ = info.Uses[f.Sel].(*types.Func)
+		recv = f.X
+	}
+	node := prog.NodeOf(fn)
+	if node == nil || len(prog.lockAcquires(node)) > 0 {
+		return nil
+	}
+	var out []calleeWrite
+	for _, idx := range prog.MutatesParams(node) {
+		if idx == -1 {
+			if recv != nil {
+				out = append(out, calleeWrite{recv, node.Name})
+			}
+			continue
+		}
+		if idx >= 0 && idx < len(call.Args) {
+			out = append(out, calleeWrite{call.Args[idx], node.Name})
+		}
+	}
+	return out
+}
+
+// heldAtFunc computes the must-held lock state at every statement of
+// body and returns a position lookup.
+func heldAtFunc(info *types.Info, body *ast.BlockStmt) func(pos token.Pos) lockState {
+	type entry struct {
+		lo, hi token.Pos
+		st     lockState
+	}
+	g := BuildCFG(body)
+	res := Solve(&FlowProblem[lockState]{
+		CFG:   g,
+		Entry: lockState{},
+		Join:  joinLockState,
+		Equal: equalLockState,
+		Transfer: func(b *Block, in lockState) lockState {
+			return lockFlowTransfer(info, b, in)
+		},
+	})
+	var entries []entry
+	for _, b := range g.Blocks {
+		if !res.Reached[b.Index] {
+			continue
+		}
+		held := res.In[b.Index]
+		for _, nd := range b.Nodes {
+			entries = append(entries, entry{nd.Pos(), nd.End(), held})
+			held = lockFlowTransfer(info, &Block{Nodes: []ast.Node{nd}}, held)
+		}
+	}
+	return func(pos token.Pos) lockState {
+		for _, e := range entries {
+			if pos >= e.lo && pos < e.hi {
+				return e.st
+			}
+		}
+		return lockState{}
+	}
+}
+
+// analyzeSpawn builds the capture profile of one goroutine literal.
+func analyzeSpawn(prog *Program, info *types.Info, g *ast.GoStmt, lit *ast.FuncLit, fset *token.FileSet) *captureSpawn {
+	sp := &captureSpawn{
+		stmt:        g,
+		lit:         lit,
+		line:        fset.Position(g.Pos()).Line,
+		writes:      map[*types.Var]string{},
+		reads:       map[*types.Var]bool{},
+		writeGuards: map[*types.Var]map[lockKey]bool{},
+		readGuards:  map[*types.Var]map[lockKey]bool{},
+	}
+	lo, hi := lit.Pos(), lit.End()
+	captured := func(v *types.Var) bool {
+		return v != nil && !exemptCaptureVar(v) && (v.Pos() < lo || v.Pos() >= hi)
+	}
+	heldAt := heldAtFunc(info, lit.Body)
+	meet := func(guards map[*types.Var]map[lockKey]bool, v *types.Var, pos token.Pos) {
+		held := heldAt(pos)
+		cur, seen := guards[v]
+		if !seen {
+			g2 := map[lockKey]bool{}
+			for k := range held {
+				g2[k] = true
+			}
+			guards[v] = g2
+			return
+		}
+		for k := range cur {
+			if _, ok := held[k]; !ok {
+				delete(cur, k)
+			}
+		}
+	}
+	addWrite := func(v *types.Var, sharded bool, via string, pos token.Pos) {
+		if sharded || !captured(v) {
+			return
+		}
+		if _, ok := sp.writes[v]; !ok || via == "" {
+			sp.writes[v] = via
+		}
+		meet(sp.writeGuards, v, pos)
+	}
+	ast.Inspect(lit.Body, func(m ast.Node) bool {
+		switch x := m.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range x.Lhs {
+				v, sharded := captureRoot(info, lhs, lo, hi)
+				addWrite(v, sharded, "", lhs.Pos())
+			}
+		case *ast.IncDecStmt:
+			v, sharded := captureRoot(info, x.X, lo, hi)
+			addWrite(v, sharded, "", x.Pos())
+		case *ast.UnaryExpr:
+			if x.Op == token.AND {
+				v, sharded := captureRoot(info, x.X, lo, hi)
+				addWrite(v, sharded, "", x.Pos())
+			}
+		case *ast.CallExpr:
+			for _, cw := range calleeWrites(prog, info, x) {
+				v, sharded := captureRoot(info, cw.arg, lo, hi)
+				addWrite(v, sharded, cw.via, cw.arg.Pos())
+			}
+		case *ast.Ident:
+			if v, ok := info.Uses[x].(*types.Var); ok && captured(v) {
+				sp.reads[v] = true
+				meet(sp.readGuards, v, x.Pos())
+			}
+		}
+		return true
+	})
+	return sp
+}
+
+// guardsOverlap reports whether two guard sets share a lock.
+func guardsOverlap(a lockState, b map[lockKey]bool) bool {
+	for k := range a {
+		if b[k] {
+			return true
+		}
+	}
+	return false
+}
+
+func guardSetsOverlap(a, b map[lockKey]bool) bool {
+	for k := range a {
+		if b[k] {
+			return true
+		}
+	}
+	return false
+}
+
+// activeJoin / activeEqual implement the may-be-running lattice.
+func activeJoin(a, b map[*ast.GoStmt]bool) map[*ast.GoStmt]bool {
+	out := make(map[*ast.GoStmt]bool, len(a)+len(b))
+	for k := range a {
+		out[k] = true
+	}
+	for k := range b {
+		out[k] = true
+	}
+	return out
+}
+
+func activeEqual(a, b map[*ast.GoStmt]bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k := range a {
+		if !b[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// isJoinOp reports whether m synchronizes with running goroutines:
+// WaitGroup.Wait, a channel receive, or a channel range. All active
+// spawns are conservatively considered joined after one.
+func isJoinOp(info *types.Info, m ast.Node) bool {
+	switch x := m.(type) {
+	case *ast.UnaryExpr:
+		return x.Op == token.ARROW
+	case *ast.RangeStmt:
+		return isChanType(info.Types[x.X].Type)
+	case *ast.CallExpr:
+		if sel, ok := x.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Wait" {
+			if t := info.Types[sel.X].Type; t != nil && namedSyncType(t, "WaitGroup") {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// activeTransfer applies one block's spawns and joins.
+func activeTransfer(info *types.Info, spawns map[*ast.GoStmt]*captureSpawn, b *Block, in map[*ast.GoStmt]bool) map[*ast.GoStmt]bool {
+	st := in
+	mutated := false
+	mut := func() {
+		if !mutated {
+			st = activeJoin(st, nil)
+			mutated = true
+		}
+	}
+	for _, nd := range b.Nodes {
+		if _, isDefer := nd.(*ast.DeferStmt); isDefer {
+			continue
+		}
+		InspectShallow(nd, func(m ast.Node) bool {
+			if g, isGo := m.(*ast.GoStmt); isGo {
+				if spawns[g] != nil {
+					mut()
+					st[g] = true
+				}
+				return false
+			}
+			if isJoinOp(info, m) && len(st) > 0 {
+				mut()
+				for k := range st {
+					delete(st, k)
+				}
+			}
+			return true
+		})
+	}
+	return st
+}
+
+func runCaptureCheck(pass *Pass) {
+	prog := pass.Prog
+	if prog == nil {
+		return
+	}
+	info := pass.Info
+	for _, fb := range FunctionsOf(pass.Files) {
+		checkCaptureBody(pass, prog, info, fb, nil)
+	}
+}
+
+// captureCandidates accumulates the file:line set a -race report may
+// legitimately point at: every reported access position plus the whole
+// span of each implicated goroutine literal (racevalidate.go).
+type captureCandidates struct {
+	fset  *token.FileSet
+	lines map[string]map[int]bool
+}
+
+func (c *captureCandidates) add(lo, hi token.Pos) {
+	p := c.fset.Position(lo)
+	q := c.fset.Position(hi)
+	if c.lines[p.Filename] == nil {
+		c.lines[p.Filename] = map[int]bool{}
+	}
+	last := q.Line
+	if q.Filename != p.Filename {
+		last = p.Line
+	}
+	for l := p.Line; l <= last; l++ {
+		c.lines[p.Filename][l] = true
+	}
+}
+
+func checkCaptureBody(pass *Pass, prog *Program, info *types.Info, fb FuncBody, cands *captureCandidates) {
+	// Collect this body's own closure spawns (nested literals are their
+	// own FuncBody entries).
+	spawns := map[*ast.GoStmt]*captureSpawn{}
+	ast.Inspect(fb.Body, func(m ast.Node) bool {
+		if _, isLit := m.(*ast.FuncLit); isLit {
+			return false
+		}
+		if g, isGo := m.(*ast.GoStmt); isGo {
+			if lit, isL := g.Call.Fun.(*ast.FuncLit); isL {
+				spawns[g] = analyzeSpawn(prog, info, g, lit, pass.Fset)
+			}
+			return false
+		}
+		return true
+	})
+	if len(spawns) == 0 {
+		return
+	}
+
+	g := BuildCFG(fb.Body)
+	lockRes := Solve(&FlowProblem[lockState]{
+		CFG:   g,
+		Entry: lockState{},
+		Join:  joinLockState,
+		Equal: equalLockState,
+		Transfer: func(b *Block, in lockState) lockState {
+			return lockFlowTransfer(info, b, in)
+		},
+	})
+	actRes := Solve(&FlowProblem[map[*ast.GoStmt]bool]{
+		CFG:   g,
+		Entry: map[*ast.GoStmt]bool{},
+		Join:  activeJoin,
+		Equal: activeEqual,
+		Transfer: func(b *Block, in map[*ast.GoStmt]bool) map[*ast.GoStmt]bool {
+			return activeTransfer(info, spawns, b, in)
+		},
+	})
+
+	type dedupKey struct {
+		spawn *ast.GoStmt
+		v     *types.Var
+	}
+	seen := map[dedupKey]bool{}
+	report := func(sp *captureSpawn, v *types.Var, pos token.Pos, format string, args ...any) {
+		if cands != nil {
+			cands.add(pos, pos+1)
+			cands.add(sp.lit.Pos(), sp.lit.End())
+		}
+		k := dedupKey{sp.stmt, v}
+		if seen[k] {
+			return
+		}
+		seen[k] = true
+		pass.Reportf(pos, format, args...)
+	}
+	sortedActive := func(act map[*ast.GoStmt]bool) []*captureSpawn {
+		var out []*captureSpawn
+		for g2 := range act {
+			if sp := spawns[g2]; sp != nil {
+				out = append(out, sp)
+			}
+		}
+		sort.Slice(out, func(i, j int) bool { return out[i].stmt.Pos() < out[j].stmt.Pos() })
+		return out
+	}
+	rank := func(via string) string {
+		if via != "" {
+			return " — " + via + " mutates its argument"
+		}
+		return ""
+	}
+
+	checkAccess := func(v *types.Var, isWrite bool, pos token.Pos, act map[*ast.GoStmt]bool, held lockState) {
+		if v == nil || exemptCaptureVar(v) {
+			return
+		}
+		for _, sp := range sortedActive(act) {
+			if isWrite {
+				if via, ok := sp.writes[v]; ok {
+					if !guardsOverlap(held, sp.writeGuards[v]) {
+						report(sp, v, pos, "captured variable %s is written both here and by the goroutine spawned at line %d without a common lock (static race candidate%s)", v.Name(), sp.line, rank(via))
+					}
+				} else if sp.reads[v] {
+					if !guardsOverlap(held, sp.readGuards[v]) {
+						report(sp, v, pos, "captured variable %s is written here while the goroutine spawned at line %d reads it without a common lock (static race candidate)", v.Name(), sp.line)
+					}
+				}
+			} else if via, ok := sp.writes[v]; ok {
+				if !guardsOverlap(held, sp.writeGuards[v]) {
+					report(sp, v, pos, "captured variable %s is read here while the goroutine spawned at line %d writes it without a common lock (static race candidate%s)", v.Name(), sp.line, rank(via))
+				}
+			}
+		}
+	}
+
+	sortedWrites := func(sp *captureSpawn) []*types.Var {
+		var out []*types.Var
+		for v := range sp.writes {
+			out = append(out, v)
+		}
+		sort.Slice(out, func(i, j int) bool { return out[i].Name() < out[j].Name() })
+		return out
+	}
+
+	checkSpawnOverlap := func(sp *captureSpawn, act map[*ast.GoStmt]bool) {
+		if act[sp.stmt] {
+			for _, v := range sortedWrites(sp) {
+				if len(sp.writeGuards[v]) > 0 {
+					continue
+				}
+				report(sp, v, sp.stmt.Pos(), "goroutine spawned in a loop writes captured variable %s without a lock; overlapping instances race (static race candidate%s)", v.Name(), rank(sp.writes[v]))
+			}
+		}
+		for _, other := range sortedActive(act) {
+			if other.stmt == sp.stmt {
+				continue
+			}
+			for _, v := range sortedWrites(sp) {
+				if _, w := other.writes[v]; w {
+					if !guardSetsOverlap(sp.writeGuards[v], other.writeGuards[v]) {
+						report(sp, v, sp.stmt.Pos(), "goroutines spawned at lines %d and %d both write captured variable %s without a common lock (static race candidate)", other.line, sp.line, v.Name())
+					}
+				} else if other.reads[v] {
+					if !guardSetsOverlap(sp.writeGuards[v], other.readGuards[v]) {
+						report(sp, v, sp.stmt.Pos(), "goroutine spawned at line %d writes captured variable %s while the one at line %d reads it without a common lock (static race candidate)", sp.line, v.Name(), other.line)
+					}
+				}
+			}
+		}
+	}
+
+	for _, b := range g.Blocks {
+		if !lockRes.Reached[b.Index] {
+			continue
+		}
+		held := lockRes.In[b.Index]
+		act := actRes.In[b.Index]
+		for _, nd := range b.Nodes {
+			if _, isDefer := nd.(*ast.DeferStmt); isDefer {
+				continue
+			}
+			InspectShallow(nd, func(m ast.Node) bool {
+				switch x := m.(type) {
+				case *ast.GoStmt:
+					if sp := spawns[x]; sp != nil {
+						checkSpawnOverlap(sp, act)
+					}
+					return false
+				case *ast.AssignStmt:
+					if x.Tok != token.DEFINE {
+						for _, lhs := range x.Lhs {
+							v, _ := captureRoot(info, lhs, 0, 0)
+							checkAccess(v, true, lhs.Pos(), act, held)
+						}
+					}
+				case *ast.IncDecStmt:
+					v, _ := captureRoot(info, x.X, 0, 0)
+					checkAccess(v, true, x.Pos(), act, held)
+				case *ast.CallExpr:
+					for _, cw := range calleeWrites(prog, info, x) {
+						v, _ := captureRoot(info, cw.arg, 0, 0)
+						checkAccess(v, true, cw.arg.Pos(), act, held)
+					}
+				case *ast.Ident:
+					if v, ok := info.Uses[x].(*types.Var); ok {
+						checkAccess(v, false, x.Pos(), act, held)
+					}
+				}
+				return true
+			})
+			held = lockFlowTransfer(info, &Block{Nodes: []ast.Node{nd}}, held)
+			act = activeTransfer(info, spawns, &Block{Nodes: []ast.Node{nd}}, act)
+		}
+	}
+}

@@ -1,0 +1,607 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// This file builds the module-wide lock-order graph (hplint v4,
+// DESIGN.md §13). Locks are abstracted to stable names — a mutex field
+// is "pkg.Type.field" (every instance of the type maps to one graph
+// node, the classical lock-order abstraction), a package-level mutex is
+// "pkg.var", and a function-local mutex is "func.var". An edge A → B is
+// recorded whenever some function acquires B while the flow-sensitive
+// must-held analysis (the same lattice lockcheck uses) says A is held —
+// either directly, or by calling (over the realizable static/interface
+// edges of callgraph.go) a function whose bottom-up summary says it may
+// acquire B. Any cycle in the graph is a potential deadlock: two
+// goroutines entering the cycle's chains in opposite order can block
+// each other forever. Lock operations behind `go` statements are
+// excluded from both the summaries and the caller's held-set — the
+// spawned goroutine does not run with the spawner's locks; its body is
+// its own graph contributor — and deferred operations are handled as in
+// lockcheck (a deferred Unlock keeps the lock held to the end of the
+// body). Because instances of one type share a graph node, hierarchical
+// locking of two instances of the same type would be reported as a
+// reentrant self-cycle; the repository has no such pattern, and the
+// escape hatch is an explicit //hplint:allow lockorder with a reason.
+
+// LockOrder reports cycles in the module-wide lock acquisition graph.
+// It needs the whole-module Program and stays quiet without it.
+var LockOrder = &Analyzer{
+	Name:      "lockorder",
+	Doc:       "the module-wide lock acquisition graph must stay acyclic (deadlock freedom)",
+	SkipTests: true,
+	Run:       runLockOrder,
+}
+
+// LockID is the stable module-wide name of one lock in the graph.
+type LockID string
+
+// lockAcquire is one direct Lock/RLock in a function's own body.
+type lockAcquire struct {
+	id  LockID
+	pos token.Pos
+}
+
+// lockEdge is one acquisition-order edge: To was acquired while From was
+// held. Chain names the functions from the holder to the acquirer (a
+// single element for a direct acquisition).
+type lockEdge struct {
+	From, To LockID
+	Site     token.Pos
+	Chain    []string
+}
+
+// LockCycle is one cycle in the acquisition graph: the closing edge
+// first, then the path that leads back to its source.
+type LockCycle struct {
+	Site  token.Pos
+	Edges []lockEdge
+}
+
+// resolveLockOp decodes a mutex operation in either shape the repository
+// uses: `x.mu.Lock()` (mutex field, lockcheck's form) and `mu.Lock()`
+// (plain mutex variable, package-level or local).
+func resolveLockOp(info *types.Info, call *ast.CallExpr) (key lockKey, op string, ok bool) {
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return key, "", false
+	}
+	op = sel.Sel.Name
+	switch op {
+	case "Lock", "Unlock", "RLock", "RUnlock":
+	default:
+		return key, "", false
+	}
+	switch x := ast.Unparen(sel.X).(type) {
+	case *ast.SelectorExpr:
+		muObj, isVar := info.Uses[x.Sel].(*types.Var)
+		if !isVar || !isMutexType(muObj.Type()) {
+			return key, "", false
+		}
+		base := rootIdentObj(info, x.X)
+		if base == nil {
+			return key, "", false
+		}
+		return lockKey{base: base, mu: muObj}, op, true
+	case *ast.Ident:
+		muObj, isVar := info.Uses[x].(*types.Var)
+		if !isVar || !isMutexType(muObj.Type()) {
+			return key, "", false
+		}
+		return lockKey{base: muObj, mu: muObj}, op, true
+	}
+	return key, "", false
+}
+
+// rootIdentObj unwraps parens and derefs down to the base identifier's
+// object, or nil for anything more exotic.
+func rootIdentObj(info *types.Info, e ast.Expr) types.Object {
+	for {
+		switch x := e.(type) {
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.Ident:
+			return info.Uses[x]
+		default:
+			return nil
+		}
+	}
+}
+
+// packages returns the distinct packages contributing nodes, in first-node
+// order (deterministic: Nodes is position-sorted).
+func (prog *Program) packages() []*Package {
+	seen := map[*Package]bool{}
+	var out []*Package
+	for _, n := range prog.Nodes {
+		if !seen[n.Pkg] {
+			seen[n.Pkg] = true
+			out = append(out, n.Pkg)
+		}
+	}
+	return out
+}
+
+// inModule reports whether obj's package is one of the module's analyzed
+// packages (as opposed to the stdlib or nothing at all).
+func (prog *Program) objInModule(obj types.Object) bool {
+	if obj == nil || obj.Pkg() == nil {
+		return false
+	}
+	if prog.pkgSet == nil {
+		prog.pkgSet = map[*types.Package]bool{}
+		for _, p := range prog.packages() {
+			prog.pkgSet[p.Types] = true
+		}
+	}
+	return prog.pkgSet[obj.Pkg()]
+}
+
+// lockFieldOwner maps every mutex-typed struct field in the module to
+// its graph name "pkg.Type.field".
+func (prog *Program) lockFieldOwner() map[*types.Var]string {
+	if prog.lockOwners != nil {
+		return prog.lockOwners
+	}
+	prog.lockOwners = map[*types.Var]string{}
+	for _, p := range prog.packages() {
+		scope := p.Types.Scope()
+		for _, name := range scope.Names() {
+			tn, ok := scope.Lookup(name).(*types.TypeName)
+			if !ok || tn.IsAlias() {
+				continue
+			}
+			st, ok := tn.Type().Underlying().(*types.Struct)
+			if !ok {
+				continue
+			}
+			for i := 0; i < st.NumFields(); i++ {
+				f := st.Field(i)
+				if isMutexType(f.Type()) {
+					prog.lockOwners[f] = p.Types.Name() + "." + tn.Name() + "." + f.Name()
+				}
+			}
+		}
+	}
+	return prog.lockOwners
+}
+
+// lockID renders the stable graph name of the mutex behind key, seen
+// from node n (n names function-local mutexes).
+func (prog *Program) lockID(n *Node, key lockKey) LockID {
+	v := key.mu
+	if v.IsField() {
+		if owner := prog.lockFieldOwner()[v]; owner != "" {
+			return LockID(owner)
+		}
+		pkg := ""
+		if v.Pkg() != nil {
+			pkg = v.Pkg().Name() + "."
+		}
+		return LockID(pkg + v.Name())
+	}
+	if v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+		return LockID(v.Pkg().Name() + "." + v.Name())
+	}
+	return LockID(n.Name + "." + v.Name())
+}
+
+// lockDirect returns the Lock/RLock acquisitions in n's own body
+// (literals and go statements excluded — they are their own nodes and
+// threads), and records which call sites sit under a `go` keyword so the
+// summary propagation can skip those edges.
+func (prog *Program) lockDirect(n *Node) []lockAcquire {
+	if prog.lockAcq == nil {
+		prog.lockAcq = map[*Node][]lockAcquire{}
+		prog.goSites = map[*Node]map[token.Pos]bool{}
+	}
+	if a, ok := prog.lockAcq[n]; ok {
+		return a
+	}
+	info := n.Pkg.Info
+	var acqs []lockAcquire
+	goSites := map[token.Pos]bool{}
+	inspectOwn(n.Body, n.Lit, func(m ast.Node) bool {
+		switch x := m.(type) {
+		case *ast.GoStmt:
+			goSites[x.Call.Pos()] = true
+			return false
+		case *ast.CallExpr:
+			if key, op, ok := resolveLockOp(info, x); ok && (op == "Lock" || op == "RLock") {
+				acqs = append(acqs, lockAcquire{id: prog.lockID(n, key), pos: x.Pos()})
+			}
+		}
+		return true
+	})
+	prog.lockAcq[n] = acqs
+	prog.goSites[n] = goSites
+	return acqs
+}
+
+// lockEdgeUsable reports whether e carries lock acquisitions back to the
+// caller's thread: resolved static/interface calls not spawned with `go`.
+func (prog *Program) lockEdgeUsable(n *Node, e Edge) bool {
+	if e.Kind != EdgeStatic && e.Kind != EdgeInterface {
+		return false
+	}
+	prog.lockDirect(n) // ensure goSites is populated
+	return !prog.goSites[n][e.Site]
+}
+
+// lockAcquires returns every lock n may acquire on the caller's thread,
+// directly or transitively. The whole fixpoint is computed on first use
+// by reverse propagation, mirroring computeMayAlloc.
+func (prog *Program) lockAcquires(n *Node) map[LockID]bool {
+	if prog.lockAcqAll == nil {
+		prog.computeLockAcquires()
+	}
+	return prog.lockAcqAll[n]
+}
+
+func (prog *Program) computeLockAcquires() {
+	all := make(map[*Node]map[LockID]bool, len(prog.Nodes))
+	callers := map[*Node][]*Node{}
+	var work []*Node
+	for _, n := range prog.Nodes {
+		ids := map[LockID]bool{}
+		for _, a := range prog.lockDirect(n) {
+			ids[a.id] = true
+		}
+		all[n] = ids
+		if len(ids) > 0 {
+			work = append(work, n)
+		}
+	}
+	for _, n := range prog.Nodes {
+		for _, e := range n.Calls {
+			if prog.lockEdgeUsable(n, e) {
+				callers[e.Callee] = append(callers[e.Callee], n)
+			}
+		}
+	}
+	for len(work) > 0 {
+		n := work[len(work)-1]
+		work = work[:len(work)-1]
+		for _, c := range callers[n] {
+			grew := false
+			for id := range all[n] {
+				if !all[c][id] {
+					all[c][id] = true
+					grew = true
+				}
+			}
+			if grew {
+				work = append(work, c)
+			}
+		}
+	}
+	prog.lockAcqAll = all
+}
+
+// lockPath returns the function names from callee down to the nearest
+// function that directly acquires id, following usable edges in their
+// deterministic sorted order.
+func (prog *Program) lockPath(callee *Node, id LockID) []string {
+	type item struct {
+		n    *Node
+		path []string
+	}
+	seen := map[*Node]bool{callee: true}
+	queue := []item{{callee, []string{callee.Name}}}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, a := range prog.lockDirect(cur.n) {
+			if a.id == id {
+				return cur.path
+			}
+		}
+		for _, e := range cur.n.Calls {
+			if seen[e.Callee] || !prog.lockEdgeUsable(cur.n, e) || !prog.lockAcquires(e.Callee)[id] {
+				continue
+			}
+			seen[e.Callee] = true
+			next := append(append([]string(nil), cur.path...), e.Callee.Name)
+			queue = append(queue, item{e.Callee, next})
+		}
+	}
+	return []string{callee.Name}
+}
+
+// LockEdges returns the deduplicated acquisition-order edges of the
+// whole module, sorted by (From, To). The first witness wins and the
+// construction order is deterministic (nodes by name, blocks in CFG
+// order, held sets sorted), so repeated runs yield identical output.
+func (prog *Program) LockEdges() []lockEdge {
+	if !prog.lockEdgesOK {
+		prog.computeLockEdges()
+		prog.lockEdgesOK = true
+	}
+	return prog.lockEdges
+}
+
+func (prog *Program) computeLockEdges() {
+	nodes := append([]*Node(nil), prog.Nodes...)
+	sort.Slice(nodes, func(i, j int) bool {
+		if nodes[i].Name != nodes[j].Name {
+			return nodes[i].Name < nodes[j].Name
+		}
+		return nodes[i].docPos < nodes[j].docPos
+	})
+	seen := map[string]bool{}
+	add := func(from, to LockID, site token.Pos, chain []string) {
+		k := string(from) + "\x00" + string(to)
+		if seen[k] {
+			return
+		}
+		seen[k] = true
+		prog.lockEdges = append(prog.lockEdges, lockEdge{From: from, To: to, Site: site, Chain: chain})
+	}
+	for _, n := range nodes {
+		prog.nodeLockEdges(n, add)
+	}
+	sort.Slice(prog.lockEdges, func(i, j int) bool {
+		a, b := prog.lockEdges[i], prog.lockEdges[j]
+		if a.From != b.From {
+			return a.From < b.From
+		}
+		return a.To < b.To
+	})
+}
+
+// nodeLockEdges replays n's body under the must-held analysis and emits
+// an edge for every direct or call-summarized acquisition under a held
+// lock.
+func (prog *Program) nodeLockEdges(n *Node, add func(LockID, LockID, token.Pos, []string)) {
+	info := n.Pkg.Info
+	g := BuildCFG(n.Body)
+	res := Solve(&FlowProblem[lockState]{
+		CFG:   g,
+		Entry: lockState{},
+		Join:  joinLockState,
+		Equal: equalLockState,
+		Transfer: func(b *Block, in lockState) lockState {
+			return lockFlowTransfer(info, b, in)
+		},
+	})
+	for _, b := range g.Blocks {
+		if !res.Reached[b.Index] {
+			continue
+		}
+		held := res.In[b.Index]
+		for _, stmt := range b.Nodes {
+			held = prog.replayLockStmt(n, info, stmt, held, add)
+		}
+	}
+}
+
+func (prog *Program) replayLockStmt(n *Node, info *types.Info, stmt ast.Node, held lockState, add func(LockID, LockID, token.Pos, []string)) lockState {
+	if _, isDefer := stmt.(*ast.DeferStmt); isDefer {
+		return held
+	}
+	InspectShallow(stmt, func(m ast.Node) bool {
+		if _, isGo := m.(*ast.GoStmt); isGo {
+			return false
+		}
+		call, isCall := m.(*ast.CallExpr)
+		if !isCall {
+			return true
+		}
+		if key, op, ok := resolveLockOp(info, call); ok {
+			switch op {
+			case "Lock", "RLock":
+				to := prog.lockID(n, key)
+				for _, from := range prog.sortedHeldIDs(n, held) {
+					add(from, to, call.Pos(), []string{n.Name})
+				}
+				held = held.clone()
+				if op == "Lock" {
+					held[key] = lockWrite
+				} else {
+					held[key] = lockRead
+				}
+			case "Unlock", "RUnlock":
+				held = held.clone()
+				delete(held, key)
+			}
+			return true
+		}
+		if len(held) > 0 {
+			for _, e := range n.Calls {
+				if e.Site != call.Pos() || !prog.lockEdgeUsable(n, e) {
+					continue
+				}
+				for _, to := range sortedLockIDs(prog.lockAcquires(e.Callee)) {
+					chain := append([]string{n.Name}, prog.lockPath(e.Callee, to)...)
+					for _, from := range prog.sortedHeldIDs(n, held) {
+						add(from, to, call.Pos(), chain)
+					}
+				}
+			}
+		}
+		return true
+	})
+	return held
+}
+
+// lockFlowTransfer is transferLocks generalized to both lock-call shapes,
+// with `go` subtrees excluded (the spawned goroutine has its own state).
+func lockFlowTransfer(info *types.Info, b *Block, in lockState) lockState {
+	st := in
+	mutated := false
+	set := func(k lockKey, lv lockLevel) {
+		if !mutated {
+			st = st.clone()
+			mutated = true
+		}
+		if lv == lockNone {
+			delete(st, k)
+		} else {
+			st[k] = lv
+		}
+	}
+	for _, n := range b.Nodes {
+		if _, isDefer := n.(*ast.DeferStmt); isDefer {
+			continue
+		}
+		InspectShallow(n, func(m ast.Node) bool {
+			if _, isGo := m.(*ast.GoStmt); isGo {
+				return false
+			}
+			call, isCall := m.(*ast.CallExpr)
+			if !isCall {
+				return true
+			}
+			if key, op, ok := resolveLockOp(info, call); ok {
+				switch op {
+				case "Lock":
+					set(key, lockWrite)
+				case "RLock":
+					set(key, lockRead)
+				case "Unlock", "RUnlock":
+					set(key, lockNone)
+				}
+			}
+			return true
+		})
+	}
+	return st
+}
+
+func (prog *Program) sortedHeldIDs(n *Node, held lockState) []LockID {
+	ids := make([]LockID, 0, len(held))
+	for k := range held {
+		ids = append(ids, prog.lockID(n, k))
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	out := ids[:0]
+	for i, id := range ids {
+		if i == 0 || id != ids[i-1] {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+func sortedLockIDs(m map[LockID]bool) []LockID {
+	ids := make([]LockID, 0, len(m))
+	for id := range m {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// LockCycles returns every distinct cycle of the acquisition graph, each
+// anchored at its closing edge's source position. Cycles are canonical-
+// ized by their edge set so each is reported once no matter which edge
+// the scan reaches first.
+func (prog *Program) LockCycles() []LockCycle {
+	edges := prog.LockEdges()
+	adj := map[LockID][]lockEdge{}
+	for _, e := range edges {
+		adj[e.From] = append(adj[e.From], e)
+	}
+	seen := map[string]bool{}
+	var cycles []LockCycle
+	for _, e := range edges {
+		var cyc []lockEdge
+		if e.From == e.To {
+			cyc = []lockEdge{e}
+		} else {
+			back := lockBFSPath(adj, e.To, e.From)
+			if back == nil {
+				continue
+			}
+			cyc = append([]lockEdge{e}, back...)
+		}
+		keys := make([]string, len(cyc))
+		for i, ce := range cyc {
+			keys[i] = string(ce.From) + ">" + string(ce.To)
+		}
+		sort.Strings(keys)
+		k := strings.Join(keys, ";")
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		cycles = append(cycles, LockCycle{Site: e.Site, Edges: cyc})
+	}
+	return cycles
+}
+
+// lockBFSPath returns the shortest edge path from one lock to another,
+// or nil. Deterministic: adjacency lists inherit the sorted edge order.
+func lockBFSPath(adj map[LockID][]lockEdge, from, to LockID) []lockEdge {
+	type item struct {
+		at   LockID
+		path []lockEdge
+	}
+	seen := map[LockID]bool{from: true}
+	queue := []item{{from, nil}}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, e := range adj[cur.at] {
+			next := append(append([]lockEdge(nil), cur.path...), e)
+			if e.To == to {
+				return next
+			}
+			if seen[e.To] {
+				continue
+			}
+			seen[e.To] = true
+			queue = append(queue, item{e.To, next})
+		}
+	}
+	return nil
+}
+
+// DumpLockGraph renders the acquisition graph deterministically, one
+// edge per line, for the -lockgraph debug flag and the golden tests.
+func (prog *Program) DumpLockGraph() string {
+	var b strings.Builder
+	for _, e := range prog.LockEdges() {
+		fmt.Fprintf(&b, "%s -> %s [%s]\n", e.From, e.To, strings.Join(e.Chain, " → "))
+	}
+	return b.String()
+}
+
+func renderLockEdge(e lockEdge) string {
+	if e.From == e.To {
+		return fmt.Sprintf("%s reacquired while held (in %s)", e.From, strings.Join(e.Chain, " → "))
+	}
+	return fmt.Sprintf("%s held while acquiring %s (in %s)", e.From, e.To, strings.Join(e.Chain, " → "))
+}
+
+func runLockOrder(pass *Pass) {
+	prog := pass.Prog
+	if prog == nil {
+		return
+	}
+	inPass := map[string]bool{}
+	for _, f := range pass.Files {
+		inPass[pass.Fset.Position(f.Pos()).Filename] = true
+	}
+	for _, c := range prog.LockCycles() {
+		pos := prog.Fset.Position(c.Site)
+		if !inPass[pos.Filename] {
+			continue
+		}
+		parts := make([]string, len(c.Edges))
+		chain := make([]string, len(c.Edges))
+		for i, e := range c.Edges {
+			parts[i] = renderLockEdge(e)
+			chain[i] = fmt.Sprintf("%s -> %s [%s]", e.From, e.To, strings.Join(e.Chain, " → "))
+		}
+		pass.ReportChain(c.Site, chain, "lock-order cycle (potential deadlock): %s", strings.Join(parts, "; "))
+	}
+}

@@ -1,0 +1,235 @@
+package analysis
+
+import (
+	"fmt"
+	"io"
+	"os/exec"
+	"regexp"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Differential race validation (the concurrency analogue of the
+// compiler calibration in calibrate.go): replay the checked-in test
+// suites of the concurrent packages under the race detector and assert
+// that every location the detector reports is inside capturecheck's
+// candidate set. A race outside the candidate set means the static
+// analysis has a blind spot — the build fails loudly instead of the
+// analyzer silently under-approximating. On a clean repository the
+// candidate set is empty and the assertion degenerates to "the race
+// detector found nothing", which is exactly the invariant the paper's
+// determinism claims rest on.
+
+// raceValidatePackages are the test suites replayed under -race: every
+// package with a concurrent surface.
+var raceValidatePackages = []string{
+	"./internal/engine/...",
+	"./internal/serve/...",
+	"./internal/obs/...",
+	"./internal/load/...",
+	"./cmd/hpserve/...",
+}
+
+// RaceLoc is one source location extracted from a race report frame.
+type RaceLoc struct {
+	File string
+	Line int
+}
+
+// RaceReport is one WARNING: DATA RACE block: the top in-module frame of
+// each access stack, and whether all of them fall inside the candidate
+// set.
+type RaceReport struct {
+	Locs    []RaceLoc
+	Matched bool
+}
+
+// RaceValidation is the outcome of one differential validation run.
+type RaceValidation struct {
+	Packages   []string
+	PerTest    time.Duration
+	Candidates int
+	// TestsPassed is the go test exit status; false with zero Reports
+	// means an ordinary (non-race) test failure.
+	TestsPassed bool
+	Reports     []RaceReport
+	// OutputTail holds the last part of the test output when something
+	// failed, for diagnosis.
+	OutputTail string
+}
+
+// OK reports whether the validation holds: the suites passed and no race
+// report escaped the candidate set.
+func (v *RaceValidation) OK() bool {
+	if !v.TestsPassed {
+		return false
+	}
+	for _, r := range v.Reports {
+		if !r.Matched {
+			return false
+		}
+	}
+	return true
+}
+
+// Format renders the validation for the CLI and the CI log.
+func (v *RaceValidation) Format(w io.Writer) {
+	unmatched := 0
+	for _, r := range v.Reports {
+		if !r.Matched {
+			unmatched++
+		}
+	}
+	fmt.Fprintf(w, "race differential validation: %d package patterns, %d candidate lines, %d race report(s), %d outside the candidate set\n",
+		len(v.Packages), v.Candidates, len(v.Reports), unmatched)
+	for _, r := range v.Reports {
+		for _, loc := range r.Locs {
+			state := "candidate"
+			if !r.Matched {
+				state = "NOT A CANDIDATE"
+			}
+			fmt.Fprintf(w, "  race at %s:%d (%s)\n", loc.File, loc.Line, state)
+		}
+	}
+	if v.OK() {
+		fmt.Fprintf(w, "PASS: every race detector finding (if any) is inside capturecheck's candidate set\n")
+		return
+	}
+	if !v.TestsPassed && len(v.Reports) == 0 {
+		fmt.Fprintf(w, "FAIL: test suites failed without race reports\n")
+	} else {
+		fmt.Fprintf(w, "FAIL\n")
+	}
+	if v.OutputTail != "" {
+		fmt.Fprintf(w, "---- test output tail ----\n%s\n", v.OutputTail)
+	}
+}
+
+var (
+	raceHeaderRe = regexp.MustCompile(`^(Read|Write|Previous read|Previous write) at 0x`)
+	raceFrameRe  = regexp.MustCompile(`^\s+(\S+\.go):(\d+)`)
+)
+
+// ParseRaceOutput extracts the per-access top frames of every
+// "WARNING: DATA RACE" block in go test -race output.
+func ParseRaceOutput(out string) [][]RaceLoc {
+	var blocks [][]RaceLoc
+	var cur []RaceLoc
+	inBlock := false
+	wantFrame := false
+	for _, line := range strings.Split(out, "\n") {
+		switch {
+		case strings.Contains(line, "WARNING: DATA RACE"):
+			inBlock = true
+			cur = nil
+			wantFrame = false
+		case inBlock && strings.HasPrefix(line, "=========="):
+			blocks = append(blocks, cur)
+			inBlock = false
+		case inBlock && raceHeaderRe.MatchString(line):
+			wantFrame = true
+		case inBlock && wantFrame:
+			if m := raceFrameRe.FindStringSubmatch(line); m != nil {
+				n, _ := strconv.Atoi(m[2])
+				cur = append(cur, RaceLoc{File: m[1], Line: n})
+				wantFrame = false
+			}
+		}
+	}
+	if inBlock {
+		blocks = append(blocks, cur)
+	}
+	return blocks
+}
+
+// CaptureCandidates computes the raw (pre-suppression) capturecheck
+// candidate line set over every in-scope package.
+func CaptureCandidates(pkgs []*Package, prog *Program) map[string]map[int]bool {
+	var fset = prog.Fset
+	if fset == nil && len(pkgs) > 0 {
+		fset = pkgs[0].Fset
+	}
+	cc := &captureCandidates{fset: fset, lines: map[string]map[int]bool{}}
+	for _, pkg := range pkgs {
+		if pkg.TestOnly {
+			continue
+		}
+		inScope := false
+		for _, p := range CaptureCheck.Packages {
+			if pkg.RelPath == p {
+				inScope = true
+				break
+			}
+		}
+		if !inScope {
+			continue
+		}
+		var files = pkg.Files
+		var sink []Diagnostic
+		pass := &Pass{
+			Analyzer: CaptureCheck,
+			Fset:     pkg.Fset,
+			RelPath:  pkg.RelPath,
+			Files:    files,
+			Types:    pkg.Types,
+			Info:     pkg.Info,
+			Prog:     prog,
+			diags:    &sink,
+		}
+		for _, fb := range FunctionsOf(files) {
+			checkCaptureBody(pass, prog, pkg.Info, fb, cc)
+		}
+	}
+	return cc.lines
+}
+
+// ValidateRace loads the module, computes the candidate set, replays the
+// concurrent packages' suites under -race with a per-test timeout, and
+// checks every reported race location against the candidates.
+func ValidateRace(moduleDir string, perTest time.Duration) (*RaceValidation, error) {
+	l, err := NewLoader(moduleDir)
+	if err != nil {
+		return nil, err
+	}
+	pkgs, err := l.LoadModule()
+	if err != nil {
+		return nil, err
+	}
+	prog := BuildProgram(pkgs)
+	cands := CaptureCandidates(pkgs, prog)
+	count := 0
+	for _, lines := range cands {
+		count += len(lines)
+	}
+
+	args := append([]string{"test", "-race", "-count=1", "-timeout", perTest.String()}, raceValidatePackages...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = l.ModuleRoot
+	out, runErr := cmd.CombinedOutput()
+
+	v := &RaceValidation{
+		Packages:    raceValidatePackages,
+		PerTest:     perTest,
+		Candidates:  count,
+		TestsPassed: runErr == nil,
+	}
+	for _, locs := range ParseRaceOutput(string(out)) {
+		r := RaceReport{Locs: locs, Matched: len(locs) > 0}
+		for _, loc := range locs {
+			if lines := cands[loc.File]; lines == nil || !lines[loc.Line] {
+				r.Matched = false
+			}
+		}
+		v.Reports = append(v.Reports, r)
+	}
+	if !v.OK() {
+		tail := string(out)
+		const keep = 4000
+		if len(tail) > keep {
+			tail = "…" + tail[len(tail)-keep:]
+		}
+		v.OutputTail = strings.TrimSpace(tail)
+	}
+	return v, nil
+}

@@ -3,9 +3,9 @@ package analysis
 import "testing"
 
 // TestRepoIsClean runs the full analyzer suite over the whole module and
-// requires zero diagnostics: the repository must stay hplint-clean. CI
-// also runs the cmd/hplint binary; this keeps plain `go test ./...`
-// self-contained.
+// requires zero diagnostics — and zero stale hplint:allow escapes: the
+// repository must stay hplint-clean. CI also runs the cmd/hplint binary;
+// this keeps plain `go test ./...` self-contained.
 func TestRepoIsClean(t *testing.T) {
 	if testing.Short() {
 		t.Skip("type-checks the whole module")
@@ -19,9 +19,16 @@ func TestRepoIsClean(t *testing.T) {
 		t.Fatal(err)
 	}
 	prog := BuildProgram(pkgs)
+	suite := All()
+	var raw []Diagnostic
 	for _, p := range pkgs {
-		for _, d := range RunAnalyzersProgram(All(), p, prog) {
+		kept, r := RunAnalyzersProgramRaw(suite, p, prog)
+		for _, d := range kept {
 			t.Errorf("%s", d)
 		}
+		raw = append(raw, r...)
+	}
+	for _, d := range StaleAllows(suite, pkgs, prog, raw) {
+		t.Errorf("%s", d)
 	}
 }

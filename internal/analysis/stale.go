@@ -1,0 +1,215 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Stale-escape detection: an //hplint:allow comment earns its keep only
+// while the named analyzer would still fire at that site. Once the code
+// underneath is fixed or refactored away, the allow is a standing
+// invitation to reintroduce the problem silently — so hplint reports it
+// for deletion. Liveness has two sources: the raw (pre-suppression)
+// diagnostic stream of a full-suite, full-module run, and the summary
+// layer's raw sites — allocflow/purity/errflow consume callee-side
+// allows without ever emitting a diagnostic at the allowed line, so the
+// raw AllocSitesRaw / mutation / swallowed-error positions stand in for
+// them. A doc-comment allocflow contract (Node.Contracted) is live while
+// the function or any direct callee still allocates. Detection runs only
+// on full-module, full-suite runs (cmd/hplint without -dir/-enable, and
+// the repo self-test): a partial run cannot distinguish "stale" from
+// "not exercised here".
+
+// StaleAllows reports every hplint:allow comment in pkgs that no longer
+// suppresses anything. raw must be the concatenated RAW diagnostic
+// streams (RunAnalyzersProgramRaw) of every package in pkgs, and suite
+// the full suite those runs used.
+func StaleAllows(suite []*Analyzer, pkgs []*Package, prog *Program, raw []Diagnostic) []Diagnostic {
+	known := make(map[string]bool, len(suite))
+	for _, a := range suite {
+		known[a.Name] = true
+	}
+	fired := map[allowKey]bool{}
+	for _, d := range raw {
+		if d.Analyzer == "hplint" {
+			continue
+		}
+		fired[allowKey{d.Pos.Filename, d.Pos.Line, d.Analyzer}] = true
+	}
+	if prog != nil {
+		for _, n := range prog.Nodes {
+			for _, s := range prog.AllocSitesRaw(n) {
+				p := prog.Fset.Position(s.Pos)
+				fired[allowKey{p.Filename, p.Line, "allocflow"}] = true
+			}
+			for _, pos := range prog.mutationSitesRaw(n) {
+				p := prog.Fset.Position(pos)
+				fired[allowKey{p.Filename, p.Line, "purity"}] = true
+			}
+			for _, pos := range prog.swallowSitesRaw(n) {
+				p := prog.Fset.Position(pos)
+				fired[allowKey{p.Filename, p.Line, "errflow"}] = true
+			}
+		}
+	}
+
+	var out []Diagnostic
+	seenFile := map[string]bool{}
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			fname := pkg.Fset.Position(f.Pos()).Filename
+			if seenFile[fname] {
+				continue
+			}
+			seenFile[fname] = true
+			contracts := contractAllowPositions(pkg, prog, f)
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					rest, ok := strings.CutPrefix(c.Text, allowPrefix)
+					if !ok {
+						continue
+					}
+					az, reason, _ := strings.Cut(strings.TrimSpace(rest), " ")
+					if !known[az] || strings.TrimSpace(reason) == "" {
+						continue // malformed allows get their own diagnostics
+					}
+					pos := pkg.Fset.Position(c.Pos())
+					if live, isContract := contracts[c.Pos()]; isContract {
+						if !live {
+							out = append(out, staleDiag(pos, az))
+						}
+						continue
+					}
+					if fired[allowKey{pos.Filename, pos.Line, az}] || fired[allowKey{pos.Filename, pos.Line + 1, az}] {
+						continue
+					}
+					out = append(out, staleDiag(pos, az))
+				}
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		return a.Pos.Line < b.Pos.Line
+	})
+	return out
+}
+
+func staleDiag(pos token.Position, az string) Diagnostic {
+	return Diagnostic{
+		Pos:      pos,
+		Analyzer: "hplint",
+		Message:  fmt.Sprintf("stale hplint:allow %s — the analyzer no longer fires at this site; delete the escape", az),
+	}
+}
+
+// contractAllowPositions maps the positions of doc-comment allocflow
+// contract allows in f to whether the contract is still live (the
+// function or a direct callee still allocates).
+func contractAllowPositions(pkg *Package, prog *Program, f *ast.File) map[token.Pos]bool {
+	out := map[token.Pos]bool{}
+	if prog == nil {
+		return out
+	}
+	for _, decl := range f.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if !ok || fd.Doc == nil {
+			continue
+		}
+		for _, c := range fd.Doc.List {
+			rest, ok := strings.CutPrefix(c.Text, allowPrefix)
+			if !ok {
+				continue
+			}
+			az, reason, _ := strings.Cut(strings.TrimSpace(rest), " ")
+			if az != "allocflow" || strings.TrimSpace(reason) == "" {
+				continue
+			}
+			out[c.Pos()] = contractLive(prog, pkg, fd)
+		}
+	}
+	return out
+}
+
+func contractLive(prog *Program, pkg *Package, fd *ast.FuncDecl) bool {
+	fn, _ := pkg.Info.Defs[fd.Name].(*types.Func)
+	node := prog.NodeOf(fn)
+	if node == nil {
+		return false
+	}
+	if len(prog.AllocSitesRaw(node)) > 0 {
+		return true
+	}
+	for _, e := range node.Calls {
+		if len(prog.AllocSitesRaw(e.Callee)) > 0 || prog.MayAlloc(e.Callee) {
+			return true
+		}
+	}
+	return false
+}
+
+// mutationSitesRaw collects every parameter/receiver mutation position
+// in n, ignoring allows — the raw sibling of MutatesParams for the
+// stale-allow liveness check.
+func (prog *Program) mutationSitesRaw(n *Node) []token.Pos {
+	if n.Obj == nil {
+		return nil
+	}
+	var out []token.Pos
+	for _, cand := range entryCandidates(n) {
+		tr := &taintTracker{info: n.Pkg.Info}
+		g := BuildCFG(n.Body)
+		res := Solve(&FlowProblem[taintSet]{
+			CFG:      g,
+			Entry:    taintSet{cand.obj: true},
+			Join:     joinTaint,
+			Equal:    equalTaint,
+			Transfer: func(b *Block, in taintSet) taintSet { return tr.transferTaint(b, in, isRefLike) },
+		})
+		for _, b := range g.Blocks {
+			if !res.Reached[b.Index] {
+				continue
+			}
+			ts := res.In[b.Index]
+			for _, node := range b.Nodes {
+				tr.findMutations(node, ts, func(pos token.Pos, _ string) {
+					out = append(out, pos)
+				})
+				ts = tr.transferTaint(&Block{Nodes: []ast.Node{node}}, ts, isRefLike)
+			}
+		}
+	}
+	return out
+}
+
+// swallowSitesRaw collects every swallowed-error call position in n,
+// ignoring allows — the raw sibling of SwallowsError.
+func (prog *Program) swallowSitesRaw(n *Node) []token.Pos {
+	if n.Obj == nil {
+		return nil
+	}
+	info := n.Pkg.Info
+	var out []token.Pos
+	inspectOwn(n.Body, n.Lit, func(m ast.Node) bool {
+		es, ok := m.(*ast.ExprStmt)
+		if !ok {
+			return true
+		}
+		call, ok := es.X.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if tv, okT := info.Types[call]; okT && hasErrorResult(tv.Type) && !ignoredErrorCallInfo(info, call) {
+			out = append(out, call.Pos())
+		}
+		return true
+	})
+	return out
+}

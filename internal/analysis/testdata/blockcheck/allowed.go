@@ -1,0 +1,10 @@
+package fixture
+
+// The escape hatch: a justified allow on the line above suppresses the
+// finding.
+
+func allowedDeadRecv() int {
+	ch := make(chan int)
+	//hplint:allow blockcheck fixture exercises the suppression path
+	return <-ch
+}

@@ -1,0 +1,56 @@
+package fixture
+
+import "sync"
+
+// Blocking operations whose counterpart exists nowhere in the module, and
+// the unbuffered-send-under-lock deadlock shape.
+
+func deadReceive() int {
+	ch := make(chan int)
+	return <-ch // want "receive on channel ch has no send or close anywhere in the module"
+}
+
+func deadSendForever() {
+	done := make(chan struct{})
+	done <- struct{}{} // want "send on channel done has no receive anywhere in the module"
+}
+
+func waitNoDone() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	wg.Wait() // want "wg.Wait has no matching Done anywhere in the module"
+}
+
+func condWaitNoSignal() {
+	var mu sync.Mutex
+	c := sync.NewCond(&mu)
+	mu.Lock()
+	c.Wait() // want "c.Wait has no Signal or Broadcast anywhere in the module"
+	mu.Unlock()
+}
+
+// Every case of this select is provably dead and there is no escape.
+func deadSelect() {
+	never := make(chan int)
+	select { // want "every case of this select can block forever"
+	case <-never:
+	}
+}
+
+type courier struct {
+	mu sync.Mutex
+	n  int
+}
+
+// The receiver of an unbuffered channel may need the lock the sender
+// holds; the handoff must happen outside the critical section.
+func sendWhileLocked(c *courier) {
+	ch := make(chan int)
+	go func() {
+		<-ch
+	}()
+	c.mu.Lock()
+	c.n++
+	ch <- c.n // want "send on unbuffered channel ch while holding"
+	c.mu.Unlock()
+}

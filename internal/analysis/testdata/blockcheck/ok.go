@@ -1,0 +1,86 @@
+package fixture
+
+import (
+	"context"
+	"sync"
+)
+
+// Sanctioned shapes: counterparts present somewhere in the module,
+// select escapes, buffered handoffs, and identities the analysis must
+// leave alone (parameters, aliased values).
+
+func okPaired() int {
+	ch := make(chan int, 1)
+	ch <- 1
+	return <-ch
+}
+
+func okWaitGroup() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		wg.Done()
+	}()
+	wg.Wait()
+}
+
+func okCond() {
+	var mu sync.Mutex
+	c := sync.NewCond(&mu)
+	go func() {
+		c.Broadcast()
+	}()
+	mu.Lock()
+	c.Wait()
+	mu.Unlock()
+}
+
+// A default case means the select never blocks, whatever the channels do.
+func okSelectDefault() int {
+	idle := make(chan int)
+	select {
+	case v := <-idle:
+		return v
+	default:
+		return 0
+	}
+}
+
+// A case receiving from an out-of-module channel (the runtime fires
+// ctx.Done eventually) is an escape for the whole select.
+func okCtxEscape(ctx context.Context) {
+	idle := make(chan int)
+	select {
+	case <-idle:
+	case <-ctx.Done():
+	}
+}
+
+// Parameters may be fed from anywhere: no deadness conclusion is sound.
+func okParamChan(ch chan int) int {
+	return <-ch
+}
+
+// An aliased channel (passed to another function) leaves the analysis.
+func okAliased() int {
+	ch := make(chan int)
+	feed(ch)
+	return <-ch
+}
+
+func feed(ch chan int) {
+	go func() {
+		ch <- 7
+	}()
+}
+
+// A buffered handoff under a lock cannot deadlock on the receiver.
+func okBufferedUnderLock(c *courier) {
+	ch := make(chan int, 1)
+	go func() {
+		<-ch
+	}()
+	c.mu.Lock()
+	ch <- 1
+	c.mu.Unlock()
+}

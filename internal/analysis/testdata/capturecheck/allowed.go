@@ -1,0 +1,17 @@
+package fixture
+
+// The escape hatch: a justified allow on the line above suppresses the
+// finding.
+
+func allowedRace() int {
+	n := 0
+	done := make(chan struct{})
+	go func() {
+		n++
+		close(done)
+	}()
+	//hplint:allow capturecheck fixture exercises the suppression path
+	n = 2
+	<-done
+	return n
+}

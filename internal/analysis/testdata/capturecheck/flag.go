@@ -1,0 +1,82 @@
+package fixture
+
+import "sync"
+
+// Goroutine closures capturing variables the spawning function also
+// touches without a common lock: the static race candidates.
+
+func writeAfterSpawn() int {
+	total := 0
+	done := make(chan struct{})
+	go func() {
+		total += 1
+		close(done)
+	}()
+	total = 5 // want "captured variable total is written both here and by the goroutine spawned at line"
+	<-done
+	return total
+}
+
+func readWhileSpawnWrites() int {
+	count := 0
+	done := make(chan struct{})
+	go func() {
+		count = 9
+		close(done)
+	}()
+	snapshot := count // want "captured variable count is read here while the goroutine spawned at line"
+	<-done
+	return snapshot
+}
+
+func loopSpawn(n int) int {
+	sum := 0
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() { // want "goroutine spawned in a loop writes captured variable sum"
+			sum++
+			wg.Done()
+		}()
+	}
+	wg.Wait()
+	return sum
+}
+
+func doubleSpawn() int {
+	hits := 0
+	done := make(chan struct{}, 2)
+	go func() {
+		hits++
+		done <- struct{}{}
+	}()
+	go func() { // want "both write captured variable hits without a common lock"
+		hits++
+		done <- struct{}{}
+	}()
+	<-done
+	<-done
+	return hits
+}
+
+type counterBox struct {
+	n int
+}
+
+func bumpCount(c *counterBox) {
+	c.n++
+}
+
+// The write is invisible in the closure body: it happens through a callee
+// the summary layer knows mutates its argument.
+func calleeMutates() int {
+	box := &counterBox{}
+	done := make(chan struct{})
+	go func() {
+		bumpCount(box)
+		close(done)
+	}()
+	snapshot := box.n // want "mutates its argument"
+	<-done
+	return snapshot + box.n
+}

@@ -1,0 +1,79 @@
+package fixture
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Sanctioned shapes: a common lock on both sides, sharded index writes,
+// accesses sequenced after a join, and types that synchronize themselves.
+
+func okGuarded() int {
+	var mu sync.Mutex
+	total := 0
+	done := make(chan struct{})
+	go func() {
+		mu.Lock()
+		total++
+		mu.Unlock()
+		close(done)
+	}()
+	mu.Lock()
+	total += 2
+	mu.Unlock()
+	<-done
+	return total
+}
+
+// The engine.Map idiom: every instance writes its own element, indexed by
+// a variable declared inside the goroutine.
+func okSharded(n int) []int {
+	results := make([]int, n)
+	var wg sync.WaitGroup
+	var next atomic.Int64
+	for k := 0; k < n; k++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			i := int(next.Add(1)) - 1
+			results[i] = i * i
+		}()
+	}
+	wg.Wait()
+	return results
+}
+
+// Reads and writes after the join are sequenced, not racing.
+func okAfterJoin() int {
+	total := 0
+	done := make(chan struct{})
+	go func() {
+		total = 3
+		close(done)
+	}()
+	<-done
+	total++
+	return total
+}
+
+// Atomics synchronize themselves.
+func okAtomic() int64 {
+	var n atomic.Int64
+	done := make(chan struct{})
+	go func() {
+		n.Add(1)
+		close(done)
+	}()
+	n.Add(1)
+	<-done
+	return n.Load()
+}
+
+// Values handed in as parameters are fresh per call.
+func okParamCopy(seed int) int {
+	out := make(chan int, 1)
+	go func(s int) {
+		out <- s * 2
+	}(seed)
+	return <-out
+}

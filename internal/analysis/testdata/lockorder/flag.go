@@ -1,0 +1,54 @@
+package fixture
+
+import "sync"
+
+// Two locks acquired in opposite orders across a call chain — the classic
+// AB/BA shape the acquisition graph exists to catch — plus a reentrant
+// self-lock. The cycle is reported once, anchored at the closing edge
+// reached first in the deterministic edge order.
+
+type alpha struct {
+	mu sync.Mutex
+	n  int
+}
+
+type beta struct {
+	mu sync.Mutex
+	n  int
+}
+
+func lockAlphaThenBeta(a *alpha, b *beta) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.n++
+	bumpBeta(b) // want "lock-order cycle (potential deadlock)"
+}
+
+// bumpBeta's acquisition reaches the graph through the call summary, not
+// a direct Lock in the caller.
+func bumpBeta(b *beta) {
+	b.mu.Lock()
+	b.n++
+	b.mu.Unlock()
+}
+
+func lockBetaThenAlpha(a *alpha, b *beta) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	a.mu.Lock()
+	a.n++
+	a.mu.Unlock()
+}
+
+type gamma struct {
+	mu sync.Mutex
+	n  int
+}
+
+func reentrant(g *gamma) {
+	g.mu.Lock()
+	g.mu.Lock() // want "reacquired while held"
+	g.n += 2
+	g.mu.Unlock()
+	g.mu.Unlock()
+}

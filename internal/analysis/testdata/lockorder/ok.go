@@ -1,0 +1,60 @@
+package fixture
+
+import "sync"
+
+// Sanctioned shapes: nesting in one consistent order, release-before-
+// acquire sequencing, and goroutine bodies whose acquisitions do not
+// extend the spawner's held set.
+
+type outer struct {
+	mu sync.Mutex
+	n  int
+}
+
+type inner struct {
+	mu sync.Mutex
+	n  int
+}
+
+// Consistent nesting order everywhere: outer before inner. An edge, but
+// no cycle.
+func okNested(o *outer, i *inner) {
+	o.mu.Lock()
+	i.mu.Lock()
+	i.n++
+	o.n++
+	i.mu.Unlock()
+	o.mu.Unlock()
+}
+
+func okNestedAgain(o *outer, i *inner) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	i.mu.Lock()
+	i.n--
+	i.mu.Unlock()
+}
+
+// Sequential critical sections never hold both locks at once, so the
+// reversed textual order contributes no edge.
+func okSequential(o *outer, i *inner) {
+	i.mu.Lock()
+	i.n++
+	i.mu.Unlock()
+	o.mu.Lock()
+	o.n++
+	o.mu.Unlock()
+}
+
+// A goroutine spawned under a lock runs with its own (empty) held set:
+// its acquisition is not "while holding" the spawner's lock.
+func okSpawn(o *outer, i *inner) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	go func() {
+		i.mu.Lock()
+		i.n++
+		i.mu.Unlock()
+	}()
+	o.n++
+}

@@ -1,0 +1,22 @@
+package fixture
+
+// A live allow (the analyzer would still fire underneath) and a stale one
+// (the code was rewritten and the escape now suppresses nothing).
+
+func liveAllow(m map[int]float64) []int {
+	var ids []int
+	//hplint:allow maporder fixture consumer tolerates any order
+	for id := range m {
+		ids = append(ids, id)
+	}
+	return ids
+}
+
+func staleAllow(xs []int) []int {
+	var out []int
+	//hplint:allow maporder this loop was rewritten over a slice
+	for _, x := range xs {
+		out = append(out, x)
+	}
+	return out
+}

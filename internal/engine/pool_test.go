@@ -1,0 +1,92 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"testing"
+)
+
+func TestPanicErrorMessage(t *testing.T) {
+	pe := &PanicError{Cell: Cell{Index: 7, Seed: 42}, Value: "boom"}
+	got := pe.Error()
+	want := "engine: cell 7 (seed 42) panicked: boom"
+	if got != want {
+		t.Errorf("Error() = %q, want %q", got, want)
+	}
+}
+
+func TestNewPoolDefaultWidth(t *testing.T) {
+	p := NewPool(0, nil)
+	if w := p.Width(); w != runtime.GOMAXPROCS(0) {
+		t.Errorf("Width() = %d, want GOMAXPROCS %d", w, runtime.GOMAXPROCS(0))
+	}
+	if p := NewPool(3, nil); p.Width() != 3 {
+		t.Errorf("Width() = %d, want 3", p.Width())
+	}
+}
+
+func TestStatsSnapshot(t *testing.T) {
+	p := NewPool(2, nil)
+	st := p.Stats()
+	if st.Width != 2 || st.Busy != 0 || st.QueueDepth != 0 || st.Cells != 0 || st.BusySeconds != 0 {
+		t.Errorf("fresh pool stats = %+v, want all-zero except width 2", st)
+	}
+	if _, err := Map(context.Background(), p, Job{Cells: 5}, func(_ context.Context, c Cell) (int, error) {
+		return c.Index, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	st = p.Stats()
+	if st.Cells != 5 {
+		t.Errorf("Cells = %v after 5-cell map, want 5", st.Cells)
+	}
+	if st.Busy != 0 || st.QueueDepth != 0 {
+		t.Errorf("idle pool shows busy=%d queue=%d, want 0/0", st.Busy, st.QueueDepth)
+	}
+	if st.BusySeconds < 0 {
+		t.Errorf("BusySeconds = %v, want >= 0", st.BusySeconds)
+	}
+}
+
+func TestDefaultPoolShared(t *testing.T) {
+	a := Default()
+	b := Default()
+	if a == nil || a != b {
+		t.Fatalf("Default() not a stable singleton: %p vs %p", a, b)
+	}
+	if a.Width() != runtime.GOMAXPROCS(0) {
+		t.Errorf("default pool width = %d, want GOMAXPROCS %d", a.Width(), runtime.GOMAXPROCS(0))
+	}
+	// The shared pool must actually run work.
+	got, err := One(context.Background(), a, func(_ context.Context) (string, error) {
+		return "ran", nil
+	})
+	if err != nil || got != "ran" {
+		t.Errorf("One on default pool = (%q, %v), want (ran, nil)", got, err)
+	}
+}
+
+func TestOneError(t *testing.T) {
+	sentinel := errors.New("cell failed")
+	got, err := One(context.Background(), NewPool(1, nil), func(_ context.Context) (int, error) {
+		return 0, sentinel
+	})
+	if !errors.Is(err, sentinel) {
+		t.Errorf("err = %v, want %v", err, sentinel)
+	}
+	if got != 0 {
+		t.Errorf("value on error = %d, want zero", got)
+	}
+}
+
+func TestOneCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := One(ctx, NewPool(1, nil), func(ctx context.Context) (int, error) {
+		return 1, ctx.Err()
+	})
+	if err == nil {
+		t.Error("One on a cancelled context returned nil error")
+	}
+}
