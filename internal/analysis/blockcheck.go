@@ -28,7 +28,7 @@ import (
 var BlockCheck = &Analyzer{
 	Name:      "blockcheck",
 	Doc:       "blocking channel and sync operations must have a module-reachable counterpart or an escape route",
-	Packages:  []string{"internal/engine", "internal/serve", "internal/obs", "internal/load"},
+	Packages:  []string{"internal/engine", "internal/serve", "internal/shard", "internal/obs", "internal/load"},
 	SkipTests: true,
 	Run:       runBlockCheck,
 }

@@ -27,7 +27,7 @@ import (
 var CaptureCheck = &Analyzer{
 	Name:      "capturecheck",
 	Doc:       "goroutine closures must not capture variables raced with the spawning function",
-	Packages:  []string{"internal/engine", "internal/serve", "internal/obs", "internal/load"},
+	Packages:  []string{"internal/engine", "internal/serve", "internal/shard", "internal/obs", "internal/load"},
 	SkipTests: true,
 	Run:       runCaptureCheck,
 }

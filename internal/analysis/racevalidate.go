@@ -26,6 +26,7 @@ import (
 var raceValidatePackages = []string{
 	"./internal/engine/...",
 	"./internal/serve/...",
+	"./internal/shard/...",
 	"./internal/obs/...",
 	"./internal/load/...",
 	"./cmd/hpserve/...",

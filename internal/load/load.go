@@ -198,6 +198,10 @@ type Config struct {
 	Timeout     time.Duration // per-request client timeout
 	TraceSample int           // resolve every Nth OK request's trace; 0 disables
 	Client      *http.Client  // optional; defaults to one with Timeout
+	// Replicas lists replica base URLs to scrape individually before and
+	// after the run (multi-target mode against a router). Usually filled
+	// via DiscoverReplicas; empty means single-target reporting.
+	Replicas []string
 }
 
 // StatusCounts buckets request outcomes by the server's SLO-relevant
@@ -249,17 +253,19 @@ type PlanSummary struct {
 
 // Report is the SLO report for one run.
 type Report struct {
-	Target        string       `json:"target"`
-	Concurrency   int          `json:"concurrency"`
-	Plan          PlanSummary  `json:"plan"`
-	ElapsedMS     float64      `json:"elapsed_ms"`
-	AchievedRate  float64      `json:"achieved_rate"`
-	Status        StatusCounts `json:"status"`
-	HitRate       float64      `json:"hit_rate"`  // Δ cache hits / Δ lookups, from /metrics
-	ShedRate      float64      `json:"shed_rate"` // shed / planned requests
-	Latency       LatencyStats `json:"latency"`
-	Phases        []PhaseStat  `json:"phases"`
-	SampledTraces int          `json:"sampled_traces"`
+	Target        string         `json:"target"`
+	Concurrency   int            `json:"concurrency"`
+	Plan          PlanSummary    `json:"plan"`
+	ElapsedMS     float64        `json:"elapsed_ms"`
+	AchievedRate  float64        `json:"achieved_rate"`
+	Status        StatusCounts   `json:"status"`
+	HitRate       float64        `json:"hit_rate"`  // Δ L1 hits / Δ lookups, from /metrics
+	ShedRate      float64        `json:"shed_rate"` // shed / planned requests
+	Latency       LatencyStats   `json:"latency"`
+	Tiers         *TierBreakdown `json:"tiers,omitempty"`    // cache-tier deltas off the target
+	Replicas      []ReplicaStats `json:"replicas,omitempty"` // per-replica deltas (multi-target mode)
+	Phases        []PhaseStat    `json:"phases"`
+	SampledTraces int            `json:"sampled_traces"`
 }
 
 // Run builds the plan and replays it against cfg.BaseURL.
@@ -290,7 +296,14 @@ func RunPlan(ctx context.Context, cfg Config, plan *Plan) (*Report, error) {
 		if timeout <= 0 {
 			timeout = 30 * time.Second
 		}
-		client = &http.Client{Timeout: timeout}
+		// One target host at up to `conc` in-flight requests: the default
+		// transport's 2 idle connections per host would turn the harness
+		// into a connection-churn benchmark. Size the idle pool to the
+		// concurrency cap so the measured latency is the target's.
+		tr := http.DefaultTransport.(*http.Transport).Clone()
+		tr.MaxIdleConns = 2 * conc
+		tr.MaxIdleConnsPerHost = conc
+		client = &http.Client{Timeout: timeout, Transport: tr}
 	}
 
 	var (
@@ -303,7 +316,8 @@ func RunPlan(ctx context.Context, cfg Config, plan *Plan) (*Report, error) {
 		sampled int
 	)
 
-	before := scrapeCache(ctx, client, base)
+	before := scrapeExposition(ctx, client, base)
+	replicaBefore := scrapeReplicas(ctx, client, cfg.Replicas)
 
 	sem := make(chan struct{}, conc)
 	var wg sync.WaitGroup
@@ -357,7 +371,8 @@ func RunPlan(ctx context.Context, cfg Config, plan *Plan) (*Report, error) {
 	wg.Wait()
 	elapsed := time.Since(start)
 
-	after := scrapeCache(ctx, client, base)
+	after := scrapeExposition(ctx, client, base)
+	replicaAfter := scrapeReplicas(ctx, client, cfg.Replicas)
 
 	rep := &Report{
 		Target:      base,
@@ -377,8 +392,12 @@ func RunPlan(ctx context.Context, cfg Config, plan *Plan) (*Report, error) {
 		Latency:       latencyStats(hist),
 		SampledTraces: sampled,
 	}
-	if lookups := (after.hits - before.hits) + (after.misses - before.misses); lookups > 0 {
-		rep.HitRate = (after.hits - before.hits) / lookups
+	rep.Tiers = tierBreakdown(before, after)
+	if rep.Tiers != nil && rep.Tiers.Lookups > 0 {
+		rep.HitRate = rep.Tiers.L1HitRate
+	}
+	for i, u := range cfg.Replicas {
+		rep.Replicas = append(rep.Replicas, replicaStats(u, replicaBefore[i], replicaAfter[i]))
 	}
 	for _, name := range phaseOrder(phases) {
 		h := phases[name]
@@ -494,46 +513,15 @@ func phaseOrder(phases map[string]*obs.HDRHistogram) []string {
 	return names
 }
 
-// cacheCounters is the pair of server-side cache counters whose delta
-// yields the run's hit rate.
-type cacheCounters struct {
-	hits, misses float64
-}
-
-// scrapeCache reads the hp_cache_* counters off the target's /metrics.
-// Scrape failures degrade to zero deltas (hit rate reports as 0).
-func scrapeCache(ctx context.Context, client *http.Client, base string) cacheCounters {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/metrics", nil)
-	if err != nil {
-		return cacheCounters{}
+// scrapeReplicas snapshots each replica's exposition; a failed scrape
+// leaves a nil slot (its deltas read as zero).
+func scrapeReplicas(ctx context.Context, client *http.Client, urls []string) []*obs.Exposition {
+	if len(urls) == 0 {
+		return nil
 	}
-	resp, err := client.Do(req)
-	if err != nil {
-		return cacheCounters{}
+	out := make([]*obs.Exposition, len(urls))
+	for i, u := range urls {
+		out[i] = scrapeExposition(ctx, client, u)
 	}
-	defer resp.Body.Close()
-	body, err := io.ReadAll(resp.Body)
-	if err != nil {
-		return cacheCounters{}
-	}
-	return cacheCounters{
-		hits:   metricValue(string(body), "hp_cache_hits_total"),
-		misses: metricValue(string(body), "hp_cache_misses_total"),
-	}
-}
-
-// metricValue extracts an unlabelled sample from a Prometheus text
-// exposition; missing series read as 0.
-func metricValue(body, name string) float64 {
-	for _, line := range strings.Split(body, "\n") {
-		rest, ok := strings.CutPrefix(line, name+" ")
-		if !ok {
-			continue
-		}
-		v, err := strconv.ParseFloat(strings.TrimSpace(rest), 64)
-		if err == nil {
-			return v
-		}
-	}
-	return 0
+	return out
 }

@@ -1,0 +1,229 @@
+package load
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"strings"
+
+	"repro/internal/obs"
+)
+
+// This file is the multi-target side of the harness: when the target is
+// a replica router, hpload scrapes every replica's /metrics before and
+// after the run and reports per-replica request counts, cache-tier hits
+// and server-side latency quantiles next to the aggregate report.
+
+// DiscoverReplicas asks a router target for its replica list (the
+// /replicas endpoint). A plain single-replica hpserve has no such
+// endpoint; callers treat an error as "no replicas to break down".
+func DiscoverReplicas(ctx context.Context, client *http.Client, base string) ([]string, error) {
+	if client == nil {
+		client = http.DefaultClient
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, strings.TrimSuffix(base, "/")+"/replicas", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		_, _ = io.Copy(io.Discard, resp.Body)
+		return nil, fmt.Errorf("load: /replicas: status %d", resp.StatusCode)
+	}
+	var listing struct {
+		Replicas []struct {
+			URL string `json:"url"`
+		} `json:"replicas"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&listing); err != nil {
+		return nil, err
+	}
+	urls := make([]string, 0, len(listing.Replicas))
+	for _, r := range listing.Replicas {
+		urls = append(urls, r.URL)
+	}
+	if len(urls) == 0 {
+		return nil, fmt.Errorf("load: /replicas listed no replicas")
+	}
+	return urls, nil
+}
+
+// TierBreakdown is the cache-tier accounting of a run, from the target's
+// /metrics deltas (on a router target the merged view, so the counts
+// cover the whole cluster). Counts are exact; with router affinity and
+// no sheds they are a pure function of the plan, independent of client
+// concurrency — the property the shard-smoke CI diff asserts.
+type TierBreakdown struct {
+	Lookups   int64   `json:"lookups"`
+	L1Hits    int64   `json:"l1_hits"` // includes coalesced shares
+	L2Hits    int64   `json:"l2_hits"`
+	Computed  int64   `json:"computed"`
+	L1HitRate float64 `json:"l1_hit_rate"`
+	L2HitRate float64 `json:"l2_hit_rate"`
+}
+
+// ServerLatency is a server-side latency summary derived from HDR bucket
+// deltas of hp_latency_request_us — quantiles of what the replica
+// measured, free of client queueing.
+type ServerLatency struct {
+	Count int64 `json:"count"`
+	P50   int64 `json:"p50_us"`
+	P99   int64 `json:"p99_us"`
+	P999  int64 `json:"p999_us"`
+}
+
+// ReplicaStats is one replica's share of the run.
+type ReplicaStats struct {
+	URL      string         `json:"url"`
+	Requests int64          `json:"requests"` // HTTP requests handled
+	Runs     int64          `json:"runs"`     // simulations actually executed
+	L1Hits   int64          `json:"l1_hits"`
+	L2Hits   int64          `json:"l2_hits"`
+	Latency  *ServerLatency `json:"latency,omitempty"`
+}
+
+// scrapeExposition fetches and parses a /metrics exposition; failures
+// degrade to nil (the report omits what it cannot measure).
+func scrapeExposition(ctx context.Context, client *http.Client, base string) *obs.Exposition {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, strings.TrimSuffix(base, "/")+"/metrics", nil)
+	if err != nil {
+		return nil
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return nil
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil || resp.StatusCode != http.StatusOK {
+		return nil
+	}
+	exp, err := obs.ParseExposition(string(body))
+	if err != nil {
+		return nil
+	}
+	return exp
+}
+
+// expDelta reads the increase of a summed family between two scrapes.
+// Either side being nil reads as zero.
+func expDelta(before, after *obs.Exposition, name string) float64 {
+	if after == nil {
+		return 0
+	}
+	d := after.Value(name)
+	if before != nil {
+		d -= before.Value(name)
+	}
+	return d
+}
+
+// tierBreakdown derives the tier accounting from target scrapes.
+func tierBreakdown(before, after *obs.Exposition) *TierBreakdown {
+	if after == nil {
+		return nil
+	}
+	l1 := int64(expDelta(before, after, "hp_cache_hits_total"))
+	misses := int64(expDelta(before, after, "hp_cache_misses_total"))
+	l2 := int64(expDelta(before, after, "hp_cache_l2_hits_total"))
+	t := &TierBreakdown{
+		Lookups:  l1 + misses,
+		L1Hits:   l1,
+		L2Hits:   l2,
+		Computed: misses - l2,
+	}
+	if t.Lookups > 0 {
+		t.L1HitRate = float64(t.L1Hits) / float64(t.Lookups)
+		t.L2HitRate = float64(t.L2Hits) / float64(t.Lookups)
+	}
+	return t
+}
+
+// replicaStats derives one replica's share from its scrape pair.
+func replicaStats(url string, before, after *obs.Exposition) ReplicaStats {
+	rs := ReplicaStats{
+		URL:      url,
+		Requests: int64(expDelta(before, after, "hp_http_requests_total")),
+		Runs:     int64(expDelta(before, after, "hp_runs_total")),
+		L1Hits:   int64(expDelta(before, after, "hp_cache_hits_total")),
+		L2Hits:   int64(expDelta(before, after, "hp_cache_l2_hits_total")),
+	}
+	if after != nil {
+		rs.Latency = serverLatency(histDelta(
+			histBuckets(before, "hp_latency_request_us"),
+			histBuckets(after, "hp_latency_request_us")))
+	}
+	return rs
+}
+
+func histBuckets(exp *obs.Exposition, name string) []obs.HistBucket {
+	if exp == nil {
+		return nil
+	}
+	return exp.Histogram(name)
+}
+
+// histDelta subtracts two cumulative bucket snapshots at after's
+// boundaries. A boundary absent from before reads as before's cumulative
+// count at the next lower boundary it does emit — exact for same-grid
+// histograms (the merge-side argument in obs/merge.go).
+func histDelta(before, after []obs.HistBucket) []obs.HistBucket {
+	if len(after) == 0 {
+		return nil
+	}
+	out := make([]obs.HistBucket, len(after))
+	for i, b := range after {
+		out[i] = obs.HistBucket{Le: b.Le, Cum: b.Cum - cumAtBound(before, b.Le)}
+	}
+	return out
+}
+
+// cumAtBound reads a cumulative snapshot at bound b (zero below the
+// first emitted bound).
+func cumAtBound(bks []obs.HistBucket, b float64) float64 {
+	cum := 0.0
+	for _, bk := range bks {
+		if bk.Le > b {
+			break
+		}
+		cum = bk.Cum
+	}
+	return cum
+}
+
+// serverLatency summarises a delta distribution into quantiles. Each
+// quantile reports the upper bound of the bucket containing it — the
+// same ~3% relative-error contract as the HDR histogram itself.
+func serverLatency(delta []obs.HistBucket) *ServerLatency {
+	if len(delta) == 0 {
+		return nil
+	}
+	total := delta[len(delta)-1].Cum
+	if total <= 0 {
+		return nil
+	}
+	q := func(p float64) int64 {
+		target := p * total
+		last := 0.0
+		for _, bk := range delta {
+			if bk.Cum >= target && bk.Cum > 0 {
+				if math.IsInf(bk.Le, 1) {
+					return int64(last)
+				}
+				return int64(bk.Le)
+			}
+			if !math.IsInf(bk.Le, 1) {
+				last = bk.Le
+			}
+		}
+		return int64(last)
+	}
+	return &ServerLatency{Count: int64(total), P50: q(0.50), P99: q(0.99), P999: q(0.999)}
+}

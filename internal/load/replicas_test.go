@@ -1,0 +1,227 @@
+package load
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+func mustParse(t *testing.T, text string) *obs.Exposition {
+	t.Helper()
+	exp, err := obs.ParseExposition(text)
+	if err != nil {
+		t.Fatalf("ParseExposition: %v", err)
+	}
+	return exp
+}
+
+func TestDiscoverReplicas(t *testing.T) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/replicas", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, `{"vnodes":64,"replicas":[
+			{"index":0,"url":"http://a:1","healthy":true},
+			{"index":1,"url":"http://b:2","healthy":false}]}`)
+	})
+	srv := httptest.NewServer(mux)
+	t.Cleanup(srv.Close)
+
+	urls, err := DiscoverReplicas(context.Background(), nil, srv.URL+"/")
+	if err != nil {
+		t.Fatalf("DiscoverReplicas: %v", err)
+	}
+	if len(urls) != 2 || urls[0] != "http://a:1" || urls[1] != "http://b:2" {
+		t.Fatalf("urls = %v", urls)
+	}
+
+	// A plain replica (no /replicas endpoint) is an error, not a panic.
+	plain := httptest.NewServer(http.NotFoundHandler())
+	t.Cleanup(plain.Close)
+	if _, err := DiscoverReplicas(context.Background(), nil, plain.URL); err == nil {
+		t.Fatal("404 target accepted")
+	}
+
+	empty := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, `{"replicas":[]}`)
+	}))
+	t.Cleanup(empty.Close)
+	if _, err := DiscoverReplicas(context.Background(), nil, empty.URL); err == nil {
+		t.Fatal("empty replica list accepted")
+	}
+}
+
+func TestTierBreakdown(t *testing.T) {
+	before := mustParse(t, "hp_cache_hits_total 10\nhp_cache_misses_total 4\nhp_cache_l2_hits_total 1\n")
+	after := mustParse(t, "hp_cache_hits_total 40\nhp_cache_misses_total 14\nhp_cache_l2_hits_total 5\n")
+	tb := tierBreakdown(before, after)
+	if tb == nil {
+		t.Fatal("nil breakdown")
+	}
+	want := TierBreakdown{Lookups: 40, L1Hits: 30, L2Hits: 4, Computed: 6, L1HitRate: 0.75, L2HitRate: 0.1}
+	if *tb != want {
+		t.Fatalf("breakdown %+v, want %+v", *tb, want)
+	}
+	// No after scrape: no breakdown. No before scrape: absolute values.
+	if tierBreakdown(before, nil) != nil {
+		t.Fatal("breakdown from a failed after-scrape")
+	}
+	if tb := tierBreakdown(nil, after); tb.Lookups != 54 || tb.L1Hits != 40 {
+		t.Fatalf("absolute breakdown %+v", tb)
+	}
+}
+
+func TestHistDeltaAndServerLatency(t *testing.T) {
+	// Same-grid cumulative snapshots: before has observations only in the
+	// low buckets, after adds a tail. The delta at each bound must read
+	// before's cumulative count at the next lower emitted bound.
+	before := []obs.HistBucket{{Le: 100, Cum: 5}, {Le: 200, Cum: 8}, {Le: math.Inf(1), Cum: 8}}
+	after := []obs.HistBucket{
+		{Le: 100, Cum: 5}, {Le: 200, Cum: 95}, {Le: 400, Cum: 99},
+		{Le: 800, Cum: 100}, {Le: math.Inf(1), Cum: 100},
+	}
+	delta := histDelta(before, after)
+	wantCums := []float64{0, 87, 91, 92, 92} // 400 and 800 inherit before's cum at 200
+	for i, w := range wantCums {
+		if delta[i].Cum != w {
+			t.Fatalf("delta[%d] = %+v, want cum %g (full: %+v)", i, delta[i], w, delta)
+		}
+	}
+	lat := serverLatency(delta)
+	if lat == nil || lat.Count != 92 {
+		t.Fatalf("latency %+v", lat)
+	}
+	if lat.P50 != 200 || lat.P99 != 800 || lat.P999 != 800 {
+		t.Fatalf("quantiles %+v", lat)
+	}
+
+	if serverLatency(nil) != nil {
+		t.Fatal("latency from no buckets")
+	}
+	if serverLatency(histDelta(after, after)) != nil {
+		t.Fatal("latency from an all-zero delta")
+	}
+	if histDelta(before, nil) != nil {
+		t.Fatal("delta from a missing after-snapshot")
+	}
+	// Missing before-snapshot: absolute counts.
+	abs := histDelta(nil, before)
+	if abs[len(abs)-1].Cum != 8 {
+		t.Fatalf("absolute delta %+v", abs)
+	}
+}
+
+// multiTargetStub fakes a router plus two replicas: the router serves the
+// plan traffic and a merged /metrics; each replica serves only /metrics
+// with its own counters and a TYPEd request-latency histogram.
+func multiTargetStub(t *testing.T) (router *httptest.Server, replicas []string) {
+	t.Helper()
+	var reqs atomic.Int64
+	routerMux := http.NewServeMux()
+	handler := func(w http.ResponseWriter, r *http.Request) {
+		reqs.Add(1)
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprint(w, `{"ok":true}`)
+	}
+	routerMux.HandleFunc("/schedule", handler)
+	routerMux.HandleFunc("/compare", handler)
+	routerMux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		n := reqs.Load()
+		fmt.Fprintf(w, "hp_cache_hits_total %d\nhp_cache_misses_total 6\nhp_cache_l2_hits_total 2\n", n)
+	})
+	router = httptest.NewServer(routerMux)
+	t.Cleanup(router.Close)
+
+	for i := 0; i < 2; i++ {
+		i := i
+		mux := http.NewServeMux()
+		mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+			n := reqs.Load()
+			fmt.Fprintf(w, "hp_http_requests_total %d\nhp_runs_total %d\n", n/2+int64(i), 3+int64(i))
+			fmt.Fprintf(w, "hp_cache_hits_total %d\nhp_cache_l2_hits_total %d\n", n/2, int64(i))
+			fmt.Fprint(w, "# TYPE hp_latency_request_us histogram\n")
+			fmt.Fprintf(w, "hp_latency_request_us_bucket{le=\"500\"} %d\n", n/2)
+			fmt.Fprintf(w, "hp_latency_request_us_bucket{le=\"1000\"} %d\n", n/2+2)
+			fmt.Fprintf(w, "hp_latency_request_us_bucket{le=\"+Inf\"} %d\n", n/2+2)
+			fmt.Fprintf(w, "hp_latency_request_us_sum %d\nhp_latency_request_us_count %d\n", n*100, n/2+2)
+		})
+		srv := httptest.NewServer(mux)
+		t.Cleanup(srv.Close)
+		replicas = append(replicas, srv.URL)
+	}
+	return router, replicas
+}
+
+func TestRunMultiTarget(t *testing.T) {
+	router, replicas := multiTargetStub(t)
+	rep, err := Run(context.Background(), Config{
+		BaseURL:     router.URL,
+		Plan:        PlanConfig{Requests: 24, Rate: 4000, Seed: 5},
+		Concurrency: 4,
+		Replicas:    replicas,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Tiers == nil {
+		t.Fatal("multi-target run produced no tier breakdown")
+	}
+	// The stub's hit counter equals the request counter, so the delta over
+	// 24 requests is 24 L1 hits, zero new misses.
+	if rep.Tiers.L1Hits != 24 || rep.Tiers.Lookups != 24 || rep.Tiers.Computed != 0 {
+		t.Fatalf("tiers %+v", rep.Tiers)
+	}
+	if rep.HitRate != 1 {
+		t.Fatalf("hit rate %g", rep.HitRate)
+	}
+	if len(rep.Replicas) != 2 {
+		t.Fatalf("replica stats %+v", rep.Replicas)
+	}
+	for i, rs := range rep.Replicas {
+		if rs.URL != replicas[i] {
+			t.Fatalf("replica %d url %q", i, rs.URL)
+		}
+		// Each replica's request counter moved by half the plan; runs and L2
+		// hits are constant in the stub so their deltas are zero.
+		if rs.Requests != 12 || rs.Runs != 0 || rs.L2Hits != 0 {
+			t.Fatalf("replica %d stats %+v", i, rs)
+		}
+		if rs.Latency == nil || rs.Latency.Count != 12 || rs.Latency.P50 != 500 {
+			t.Fatalf("replica %d latency %+v", i, rs.Latency)
+		}
+	}
+
+	var text strings.Builder
+	if err := rep.WriteText(&text); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"tiers", "lookups=24", "replicas", replicas[0]} {
+		if !strings.Contains(text.String(), want) {
+			t.Errorf("text report missing %q:\n%s", want, text.String())
+		}
+	}
+}
+
+// TestRunSingleTargetNoReplicaSection pins that plain runs stay plain:
+// no Replicas section, but the tier breakdown still lands.
+func TestRunSingleTargetNoReplicaSection(t *testing.T) {
+	srv, _ := stubServer(t)
+	rep, err := Run(context.Background(), Config{
+		BaseURL: srv.URL,
+		Plan:    PlanConfig{Requests: 10, Rate: 4000, Seed: 3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Replicas) != 0 {
+		t.Fatalf("unexpected replica stats: %+v", rep.Replicas)
+	}
+	if rep.Tiers == nil || rep.Tiers.Lookups == 0 {
+		t.Fatalf("tier breakdown missing: %+v", rep.Tiers)
+	}
+}

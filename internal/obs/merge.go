@@ -1,0 +1,385 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// This file implements parsing and merging of the Prometheus text
+// exposition this registry writes, so a router fronting N replicas can
+// serve one aggregated /metrics view instead of only its own registry.
+//
+// Merging rules:
+//
+//   - counters and gauges: samples with the same series identity (name +
+//     label pairs) are summed;
+//   - histograms (fixed-bucket and HDR): cumulative _bucket series are
+//     merged at the union of all bucket boundaries. This is exact for
+//     every histogram this package emits: fixed-bucket families share
+//     their boundaries by construction, and HDR families draw occupied
+//     buckets from one universal log-linear grid, so a boundary absent
+//     from a source means the source has zero observations there and its
+//     cumulative count at that boundary is its count at the next lower
+//     boundary it does emit;
+//   - exemplars are dropped (an exemplar's trace ID only resolves on the
+//     replica that recorded it);
+//   - HELP and TYPE come from the first exposition mentioning the family.
+
+// Exposition is a parsed text exposition: an ordered set of metric
+// families with their samples. It is a value snapshot — merging or
+// rendering it never touches live metrics.
+type Exposition struct {
+	fams map[string]*expFamily
+}
+
+// expFamily is one parsed metric family.
+type expFamily struct {
+	name, help, typ string
+	// plain holds non-histogram samples (and a histogram family's _sum
+	// and _count series), keyed by the sample's label text (possibly "").
+	plain map[string]float64
+	// hist holds cumulative bucket counts per series (labels minus `le`).
+	hist map[string]*expBuckets
+}
+
+// expBuckets is one histogram series: cumulative counts at its emitted
+// upper bounds. +Inf is represented as math.Inf(1).
+type expBuckets struct {
+	bounds []float64 // sorted
+	cum    map[float64]float64
+}
+
+// cumAt returns the series' cumulative count at bound b: the count at
+// the greatest emitted bound <= b (zero below the first). This is exact
+// when every bound between the two carries no observations, which holds
+// for same-grid histograms (see the file comment).
+func (e *expBuckets) cumAt(b float64) float64 {
+	i := sort.SearchFloat64s(e.bounds, b)
+	if i < len(e.bounds) && e.bounds[i] == b {
+		return e.cum[b]
+	}
+	if i == 0 {
+		return 0
+	}
+	return e.cum[e.bounds[i-1]]
+}
+
+// ParseExposition parses a text exposition produced by WritePrometheus
+// (or any single-label-depth Prometheus text). Unparseable sample lines
+// are an error: the merger must not silently drop replica data.
+func ParseExposition(text string) (*Exposition, error) {
+	exp := &Exposition{fams: map[string]*expFamily{}}
+	types := map[string]string{}
+	for _, line := range strings.Split(text, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			kind, name, rest, ok := parseMetaLine(line)
+			if !ok {
+				continue // unknown comment
+			}
+			f := exp.family(name)
+			switch kind {
+			case "HELP":
+				f.help = rest
+			case "TYPE":
+				f.typ = rest
+				types[name] = rest
+			}
+			continue
+		}
+		name, labels, value, err := parseSampleLine(line)
+		if err != nil {
+			return nil, err
+		}
+		base, suffix := splitHistogramName(name, types)
+		f := exp.family(base)
+		if suffix == "_bucket" {
+			le, restLabels, err := extractLe(labels)
+			if err != nil {
+				return nil, fmt.Errorf("obs: %q: %w", line, err)
+			}
+			f.addBucket(restLabels, le, value)
+			continue
+		}
+		// _sum and _count ride in plain under their full suffixed name so
+		// rendering keeps them adjacent to their buckets.
+		if suffix != "" {
+			f = exp.family(base)
+			f.addPlain(suffix+"\x00"+labels, value)
+			continue
+		}
+		f.addPlain("\x00"+labels, value)
+	}
+	return exp, nil
+}
+
+func (e *Exposition) family(name string) *expFamily {
+	f := e.fams[name]
+	if f == nil {
+		f = &expFamily{name: name, plain: map[string]float64{}, hist: map[string]*expBuckets{}}
+		e.fams[name] = f
+	}
+	return f
+}
+
+func (f *expFamily) addPlain(key string, v float64) { f.plain[key] += v }
+
+func (f *expFamily) addBucket(labels string, le, v float64) {
+	b := f.hist[labels]
+	if b == nil {
+		b = &expBuckets{cum: map[float64]float64{}}
+		f.hist[labels] = b
+	}
+	if _, ok := b.cum[le]; !ok {
+		b.bounds = append(b.bounds, le)
+		sort.Float64s(b.bounds)
+	}
+	b.cum[le] += v
+}
+
+// parseMetaLine parses "# HELP name text" / "# TYPE name type".
+func parseMetaLine(line string) (kind, name, rest string, ok bool) {
+	fields := strings.SplitN(line, " ", 4)
+	if len(fields) < 3 || fields[0] != "#" || (fields[1] != "HELP" && fields[1] != "TYPE") {
+		return "", "", "", false
+	}
+	rest = ""
+	if len(fields) == 4 {
+		rest = fields[3]
+	}
+	return fields[1], fields[2], rest, true
+}
+
+// parseSampleLine splits "name{labels} value [# exemplar]" into its
+// parts. The exemplar suffix, when present, is discarded.
+func parseSampleLine(line string) (name, labels string, value float64, err error) {
+	if i := strings.Index(line, " # "); i >= 0 {
+		line = strings.TrimSpace(line[:i])
+	}
+	sp := strings.LastIndexByte(line, ' ')
+	if sp < 0 {
+		return "", "", 0, fmt.Errorf("obs: malformed sample line %q", line)
+	}
+	series, valText := line[:sp], line[sp+1:]
+	value, err = parseSampleValue(valText)
+	if err != nil {
+		return "", "", 0, fmt.Errorf("obs: bad value in %q: %w", line, err)
+	}
+	if i := strings.IndexByte(series, '{'); i >= 0 {
+		if !strings.HasSuffix(series, "}") {
+			return "", "", 0, fmt.Errorf("obs: malformed labels in %q", line)
+		}
+		return series[:i], series[i+1 : len(series)-1], value, nil
+	}
+	return series, "", value, nil
+}
+
+func parseSampleValue(s string) (float64, error) {
+	switch s {
+	case "+Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+// splitHistogramName maps "fam_bucket"/"fam_sum"/"fam_count" back to its
+// family when fam was TYPEd as a histogram; other names pass through.
+func splitHistogramName(name string, types map[string]string) (base, suffix string) {
+	for _, sfx := range []string{"_bucket", "_sum", "_count"} {
+		b := strings.TrimSuffix(name, sfx)
+		if b != name && types[b] == "histogram" {
+			return b, sfx
+		}
+	}
+	return name, ""
+}
+
+// extractLe removes the le label from a label text and returns its
+// numeric value plus the remaining labels (order preserved).
+func extractLe(labels string) (le float64, rest string, err error) {
+	parts := strings.Split(labels, ",")
+	kept := parts[:0]
+	found := false
+	for _, p := range parts {
+		if v, ok := strings.CutPrefix(p, `le="`); ok {
+			found = true
+			le, err = parseSampleValue(strings.TrimSuffix(v, `"`))
+			if err != nil {
+				return 0, "", fmt.Errorf("bad le: %w", err)
+			}
+			continue
+		}
+		kept = append(kept, p)
+	}
+	if !found {
+		return 0, "", fmt.Errorf("bucket sample without le label")
+	}
+	return le, strings.Join(kept, ","), nil
+}
+
+// MergeExpositions folds any number of parsed expositions into one.
+func MergeExpositions(exps ...*Exposition) *Exposition {
+	out := &Exposition{fams: map[string]*expFamily{}}
+	for _, e := range exps {
+		if e == nil {
+			continue
+		}
+		for name, f := range e.fams {
+			o := out.family(name)
+			if o.help == "" {
+				o.help = f.help
+			}
+			if o.typ == "" {
+				o.typ = f.typ
+			}
+			for k, v := range f.plain {
+				o.plain[k] += v
+			}
+			for labels, b := range f.hist {
+				ob := o.hist[labels]
+				if ob == nil {
+					ob = &expBuckets{cum: map[float64]float64{}}
+					o.hist[labels] = ob
+				}
+				mergeBuckets(ob, b)
+			}
+		}
+	}
+	return out
+}
+
+// mergeBuckets adds src's cumulative distribution into dst at the union
+// of both bound sets.
+func mergeBuckets(dst, src *expBuckets) {
+	union := make([]float64, 0, len(dst.bounds)+len(src.bounds))
+	union = append(union, dst.bounds...)
+	for _, b := range src.bounds {
+		if _, ok := dst.cum[b]; !ok {
+			union = append(union, b)
+		}
+	}
+	sort.Float64s(union)
+	merged := make(map[float64]float64, len(union))
+	for _, b := range union {
+		merged[b] = dst.cumAt(b) + src.cumAt(b)
+	}
+	dst.bounds = union
+	dst.cum = merged
+}
+
+// Value returns the summed value of a plain (counter/gauge) family
+// across all of its series, or 0 when the family is absent.
+func (e *Exposition) Value(name string) float64 {
+	f := e.fams[name]
+	if f == nil {
+		return 0
+	}
+	var total float64
+	for k, v := range f.plain {
+		if strings.HasPrefix(k, "\x00") {
+			total += v
+		}
+	}
+	return total
+}
+
+// HistBucket is one merged histogram bucket: the upper bound and the
+// cumulative count at it.
+type HistBucket struct {
+	Le  float64
+	Cum float64
+}
+
+// Histogram returns a family's cumulative bucket distribution summed
+// across all of its series (e.g. all handler labels), sorted by bound.
+// The result is empty when the family has no bucket samples.
+func (e *Exposition) Histogram(name string) []HistBucket {
+	f := e.fams[name]
+	if f == nil || len(f.hist) == 0 {
+		return nil
+	}
+	agg := &expBuckets{cum: map[float64]float64{}}
+	for _, labels := range sortedKeys(f.hist) {
+		mergeBuckets(agg, f.hist[labels])
+	}
+	out := make([]HistBucket, 0, len(agg.bounds))
+	for _, b := range agg.bounds {
+		out = append(out, HistBucket{Le: b, Cum: agg.cum[b]})
+	}
+	return out
+}
+
+// Render writes the exposition back out in the text format: families
+// sorted by name, series sorted within a family, bucket bounds ascending
+// with +Inf last. Counts that are whole numbers print as integers, so a
+// merged exposition stays readable by the same scrapers.
+func (e *Exposition) Render(w io.Writer) error {
+	var b strings.Builder
+	for _, name := range sortedKeys(e.fams) {
+		f := e.fams[name]
+		if f.help != "" || f.typ != "" {
+			fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s %s\n", f.name, f.help, f.name, f.typ)
+		}
+		// Bare series first, then buckets, then _sum/_count — the shape
+		// WritePrometheus produces.
+		for _, key := range sortedKeys(f.plain) {
+			if strings.HasPrefix(key, "\x00") {
+				writeRawSample(&b, f.name, strings.TrimPrefix(key, "\x00"), f.plain[key])
+			}
+		}
+		for _, labels := range sortedKeys(f.hist) {
+			bk := f.hist[labels]
+			for _, bound := range bk.bounds {
+				writeRawSample(&b, f.name+"_bucket", joinLabels(labels, bound), bk.cum[bound])
+			}
+		}
+		for _, sfx := range []string{"_sum", "_count"} {
+			for _, key := range sortedKeys(f.plain) {
+				if rest, ok := strings.CutPrefix(key, sfx+"\x00"); ok {
+					writeRawSample(&b, f.name+sfx, rest, f.plain[key])
+				}
+			}
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// joinLabels appends the le pair to a (possibly empty) label text.
+func joinLabels(labels string, bound float64) string {
+	le := formatMergedValue(bound)
+	if labels == "" {
+		return `le="` + le + `"`
+	}
+	return labels + `,le="` + le + `"`
+}
+
+func writeRawSample(b *strings.Builder, name, labels string, v float64) {
+	b.WriteString(name)
+	if labels != "" {
+		b.WriteByte('{')
+		b.WriteString(labels)
+		b.WriteByte('}')
+	}
+	b.WriteByte(' ')
+	b.WriteString(formatMergedValue(v))
+	b.WriteByte('\n')
+}
+
+// formatMergedValue prints whole numbers as integers (bucket and counter
+// samples) and everything else in the registry's 'g' format.
+func formatMergedValue(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 && !math.IsInf(v, 0) {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return formatValue(v)
+}

@@ -1,0 +1,218 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func renderRegistry(t *testing.T, r *Registry) string {
+	t.Helper()
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	return b.String()
+}
+
+func parseText(t *testing.T, text string) *Exposition {
+	t.Helper()
+	exp, err := ParseExposition(text)
+	if err != nil {
+		t.Fatalf("ParseExposition: %v\n%s", err, text)
+	}
+	return exp
+}
+
+func TestParseExpositionRoundTripsRegistry(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("hp_m_requests_total", "requests").Add(7)
+	r.Gauge("hp_m_inflight", "inflight").Set(3)
+	r.CounterVec("hp_m_by_code_total", "by code", "code").With("200").Add(5)
+	r.CounterVec("hp_m_by_code_total", "by code", "code").With("500").Add(1)
+	h := r.Histogram("hp_m_seconds", "latency", []float64{0.1, 1, 10})
+	h.Observe(0.05)
+	h.Observe(2)
+	hdr := r.HDR("hp_m_us", "hdr latency")
+	hdr.Record(3)
+	hdr.Record(5000)
+
+	text := renderRegistry(t, r)
+	exp := parseText(t, text)
+	if got := exp.Value("hp_m_requests_total"); got != 7 {
+		t.Fatalf("counter = %v", got)
+	}
+	if got := exp.Value("hp_m_inflight"); got != 3 {
+		t.Fatalf("gauge = %v", got)
+	}
+	if got := exp.Value("hp_m_by_code_total"); got != 6 {
+		t.Fatalf("labelled counter sum = %v", got)
+	}
+	bks := exp.Histogram("hp_m_seconds")
+	if len(bks) == 0 {
+		t.Fatalf("no buckets parsed")
+	}
+	last := bks[len(bks)-1]
+	if !math.IsInf(last.Le, 1) || last.Cum != 2 {
+		t.Fatalf("last bucket = %+v", last)
+	}
+	// Rendering the parse output and re-parsing must be a fixed point.
+	var out strings.Builder
+	if err := exp.Render(&out); err != nil {
+		t.Fatalf("Render: %v", err)
+	}
+	exp2 := parseText(t, out.String())
+	if exp2.Value("hp_m_by_code_total") != 6 || exp2.Value("hp_m_requests_total") != 7 {
+		t.Fatalf("render/reparse changed values:\n%s", out.String())
+	}
+	var out2 strings.Builder
+	if err := exp2.Render(&out2); err != nil {
+		t.Fatalf("Render: %v", err)
+	}
+	if out.String() != out2.String() {
+		t.Fatalf("Render is not a fixed point:\n--- first\n%s\n--- second\n%s", out.String(), out2.String())
+	}
+}
+
+func TestMergeSumsPlainFamilies(t *testing.T) {
+	a := parseText(t, "# HELP hp_x_total x\n# TYPE hp_x_total counter\nhp_x_total 2\nhp_l_total{code=\"200\"} 4\n")
+	b := parseText(t, "hp_x_total 3\nhp_l_total{code=\"200\"} 1\nhp_l_total{code=\"500\"} 9\n")
+	m := MergeExpositions(a, b, nil)
+	if got := m.Value("hp_x_total"); got != 5 {
+		t.Fatalf("merged bare counter = %v", got)
+	}
+	if got := m.Value("hp_l_total"); got != 14 {
+		t.Fatalf("merged labelled counter = %v", got)
+	}
+	var out strings.Builder
+	if err := m.Render(&out); err != nil {
+		t.Fatalf("Render: %v", err)
+	}
+	if !strings.Contains(out.String(), "# TYPE hp_x_total counter") {
+		t.Fatalf("merged render lost TYPE line:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), `hp_l_total{code="200"} 5`) {
+		t.Fatalf("merged render wrong:\n%s", out.String())
+	}
+}
+
+// TestMergeHDRHistogramsExact is the load-bearing property for the
+// router's merged /metrics: merging two HDR expositions at the union of
+// their emitted bucket boundaries must equal recording every observation
+// into one histogram, even when the two sources occupy disjoint buckets.
+func TestMergeHDRHistogramsExact(t *testing.T) {
+	ra, rb, rboth := NewRegistry(), NewRegistry(), NewRegistry()
+	ha := ra.HDR("hp_lat_us", "lat")
+	hb := rb.HDR("hp_lat_us", "lat")
+	hboth := rboth.HDR("hp_lat_us", "lat")
+	// Disjoint ranges: a records small values, b records large ones.
+	for i := int64(1); i <= 100; i++ {
+		ha.Record(i)
+		hboth.Record(i)
+	}
+	for i := int64(0); i < 50; i++ {
+		v := 100000 + i*977
+		hb.Record(v)
+		hboth.Record(v)
+	}
+	merged := MergeExpositions(
+		parseText(t, renderRegistry(t, ra)),
+		parseText(t, renderRegistry(t, rb)),
+	)
+	want := parseText(t, renderRegistry(t, rboth))
+	gotB, wantB := merged.Histogram("hp_lat_us"), want.Histogram("hp_lat_us")
+	if len(gotB) == 0 {
+		t.Fatalf("merged histogram empty")
+	}
+	// Every boundary the single histogram emits must carry the identical
+	// cumulative count in the merge.
+	for _, wb := range wantB {
+		found := false
+		for _, gb := range gotB {
+			if gb.Le == wb.Le {
+				if gb.Cum != wb.Cum {
+					t.Fatalf("cum at le=%v: merged %v, direct %v", wb.Le, gb.Cum, wb.Cum)
+				}
+				found = true
+				break
+			}
+		}
+		if !found && wb.Cum != 0 {
+			t.Fatalf("bound %v missing from merge", wb.Le)
+		}
+	}
+	if last := gotB[len(gotB)-1]; !math.IsInf(last.Le, 1) || last.Cum != 150 {
+		t.Fatalf("merged +Inf bucket = %+v, want cum 150", last)
+	}
+}
+
+func TestMergeDropsExemplars(t *testing.T) {
+	r := NewRegistry()
+	h := r.HDR("hp_e_us", "lat")
+	h.RecordExemplar(42, 0xabcdef)
+	text := renderRegistry(t, r)
+	if !strings.Contains(text, "# {") {
+		t.Fatalf("precondition: registry did not render an exemplar:\n%s", text)
+	}
+	exp := parseText(t, text)
+	var out strings.Builder
+	if err := exp.Render(&out); err != nil {
+		t.Fatalf("Render: %v", err)
+	}
+	if strings.Contains(out.String(), "# {") {
+		t.Fatalf("exemplar survived the merge path:\n%s", out.String())
+	}
+	if got := exp.Histogram("hp_e_us"); len(got) == 0 || got[len(got)-1].Cum != 1 {
+		t.Fatalf("exemplar stripping lost the sample: %+v", got)
+	}
+}
+
+func TestMergeHistogramSumCount(t *testing.T) {
+	ra, rb := NewRegistry(), NewRegistry()
+	ra.Histogram("hp_s_seconds", "s", []float64{1, 5}).Observe(0.5)
+	rb.Histogram("hp_s_seconds", "s", []float64{1, 5}).Observe(3)
+	m := MergeExpositions(parseText(t, renderRegistry(t, ra)), parseText(t, renderRegistry(t, rb)))
+	var out strings.Builder
+	if err := m.Render(&out); err != nil {
+		t.Fatalf("Render: %v", err)
+	}
+	if !strings.Contains(out.String(), "hp_s_seconds_count 2") {
+		t.Fatalf("merged _count wrong:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "hp_s_seconds_sum 3.5") {
+		t.Fatalf("merged _sum wrong:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), `hp_s_seconds_bucket{le="+Inf"} 2`) {
+		t.Fatalf("merged +Inf bucket wrong:\n%s", out.String())
+	}
+}
+
+func TestParseExpositionErrors(t *testing.T) {
+	for _, bad := range []string{
+		"hp_only_name",
+		"hp_x not-a-number",
+		"hp_b{le=\"oops\" 3",
+	} {
+		if _, err := ParseExposition(bad); err == nil {
+			t.Fatalf("ParseExposition(%q) accepted garbage", bad)
+		}
+	}
+	// Unknown comments and blank lines are fine.
+	exp := parseText(t, "\n# EOF\n# HELP hp_ok_total fine\n# TYPE hp_ok_total counter\nhp_ok_total 1\n\n")
+	if exp.Value("hp_ok_total") != 1 {
+		t.Fatalf("tolerant parse failed")
+	}
+}
+
+func TestExpositionAccessorsAbsent(t *testing.T) {
+	exp := parseText(t, "")
+	if exp.Value("nope") != 0 {
+		t.Fatalf("absent Value != 0")
+	}
+	if exp.Histogram("nope") != nil {
+		t.Fatalf("absent Histogram != nil")
+	}
+	if m := MergeExpositions(); m == nil {
+		t.Fatalf("empty merge returned nil")
+	}
+}

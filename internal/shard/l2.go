@@ -1,0 +1,100 @@
+package shard
+
+import (
+	"container/list"
+	"context"
+	"sync"
+
+	"repro/internal/obs"
+	"repro/internal/serve"
+)
+
+// Metric names of the L2 byte store (DESIGN.md §14 catalog).
+const (
+	MetricL2Entries   = "hp_cache_l2_entries"
+	MetricL2Evictions = "hp_cache_l2_evictions_total"
+)
+
+// memEntry is one stored entry in the MemoryL2 LRU list.
+type memEntry struct {
+	key serve.Key
+	val []byte
+}
+
+// MemoryL2 is a bounded in-process LRU byte store: the shared tier for
+// in-process replica clusters and tests, and the local backing store of
+// a PeerL2 node. Values are stored and returned by reference; callers
+// must treat them as immutable (the tiered cache only ever decodes
+// them). The zero value is not usable; call NewMemoryL2.
+type MemoryL2 struct {
+	capacity  int
+	entries   *obs.Gauge
+	evictions *obs.Counter
+
+	mu    sync.Mutex
+	ll    *list.List // front = most recently used; values are *memEntry
+	items map[serve.Key]*list.Element
+}
+
+// NewMemoryL2 returns a store holding at most capacity entries (minimum
+// 1). Metrics are registered in reg, or in a private registry when reg
+// is nil.
+func NewMemoryL2(capacity int, reg *obs.Registry) *MemoryL2 {
+	if capacity < 1 {
+		capacity = 1
+	}
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	return &MemoryL2{
+		capacity: capacity,
+		entries: reg.Gauge(MetricL2Entries,
+			"Entries currently resident in the shared L2 cache tier."),
+		evictions: reg.Counter(MetricL2Evictions,
+			"L2 entries evicted by the LRU capacity bound."),
+		ll:    list.New(),
+		items: make(map[serve.Key]*list.Element),
+	}
+}
+
+// Len returns the number of resident entries.
+func (m *MemoryL2) Len() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.ll.Len()
+}
+
+// Get implements L2.
+func (m *MemoryL2) Get(_ context.Context, k serve.Key) ([]byte, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if el, ok := m.items[k]; ok {
+		m.ll.MoveToFront(el)
+		return el.Value.(*memEntry).val, true
+	}
+	return nil, false
+}
+
+// Put implements L2. Re-putting an existing key keeps the resident bytes
+// (first write wins — both encode the same pure result, and keeping the
+// resident copy preserves byte identity with everything already served
+// from it).
+func (m *MemoryL2) Put(_ context.Context, k serve.Key, v []byte) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if el, ok := m.items[k]; ok {
+		m.ll.MoveToFront(el)
+		return
+	}
+	// The entries gauge moves by deltas, matching the L1 convention, so
+	// stores sharing a registry aggregate instead of stomping each other.
+	m.items[k] = m.ll.PushFront(&memEntry{key: k, val: v})
+	m.entries.Add(1)
+	for m.ll.Len() > m.capacity {
+		oldest := m.ll.Back()
+		m.ll.Remove(oldest)
+		delete(m.items, oldest.Value.(*memEntry).key)
+		m.evictions.Inc()
+		m.entries.Add(-1)
+	}
+}

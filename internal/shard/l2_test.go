@@ -1,0 +1,228 @@
+package shard
+
+import (
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/serve"
+)
+
+func TestMemoryL2LRU(t *testing.T) {
+	reg := obs.NewRegistry()
+	m := NewMemoryL2(2, reg)
+	ctx := context.Background()
+	k1, k2, k3 := keyFromUint(1), keyFromUint(2), keyFromUint(3)
+
+	m.Put(ctx, k1, []byte("one"))
+	m.Put(ctx, k2, []byte("two"))
+	if v, ok := m.Get(ctx, k1); !ok || string(v) != "one" {
+		t.Fatalf("Get(k1) = %q, %v", v, ok)
+	}
+	// k1 was just used; inserting k3 must evict k2.
+	m.Put(ctx, k3, []byte("three"))
+	if _, ok := m.Get(ctx, k2); ok {
+		t.Fatalf("k2 survived eviction; LRU order wrong")
+	}
+	if _, ok := m.Get(ctx, k1); !ok {
+		t.Fatalf("k1 evicted despite recent use")
+	}
+	if m.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", m.Len())
+	}
+	if got := metric(t, reg, MetricL2Evictions); got != 1 {
+		t.Fatalf("%s = %v, want 1", MetricL2Evictions, got)
+	}
+	if got := metric(t, reg, MetricL2Entries); got != 2 {
+		t.Fatalf("%s = %v, want 2", MetricL2Entries, got)
+	}
+}
+
+func TestMemoryL2FirstWriteWins(t *testing.T) {
+	m := NewMemoryL2(8, nil)
+	ctx := context.Background()
+	k := keyFromUint(9)
+	m.Put(ctx, k, []byte("first"))
+	m.Put(ctx, k, []byte("second"))
+	if v, _ := m.Get(ctx, k); string(v) != "first" {
+		t.Fatalf("re-put replaced resident bytes: %q", v)
+	}
+	if m.Len() != 1 {
+		t.Fatalf("Len = %d", m.Len())
+	}
+}
+
+func TestMemoryL2MinimumCapacity(t *testing.T) {
+	m := NewMemoryL2(0, nil)
+	ctx := context.Background()
+	m.Put(ctx, keyFromUint(1), []byte("a"))
+	m.Put(ctx, keyFromUint(2), []byte("b"))
+	if m.Len() != 1 {
+		t.Fatalf("capacity floor broken: Len = %d", m.Len())
+	}
+}
+
+// newL2Server serves a MemoryL2 at L2Path the way a replica does.
+func newL2Server(store *MemoryL2) *httptest.Server {
+	mux := http.NewServeMux()
+	mux.Handle(L2Path+"{key}", L2Handler(store))
+	return httptest.NewServer(mux)
+}
+
+func TestPeerL2HomePlacement(t *testing.T) {
+	storeA, storeB := NewMemoryL2(64, nil), NewMemoryL2(64, nil)
+	srvA, srvB := newL2Server(storeA), newL2Server(storeB)
+	defer srvA.Close()
+	defer srvB.Close()
+	peers := []string{srvA.URL, srvB.URL}
+	reg := obs.NewRegistry()
+	pa, err := NewPeerL2(peers, srvA.URL, 16, storeA, nil, reg)
+	if err != nil {
+		t.Fatalf("NewPeerL2: %v", err)
+	}
+	pb, err := NewPeerL2(peers, srvB.URL, 16, storeB, nil, obs.NewRegistry())
+	if err != nil {
+		t.Fatalf("NewPeerL2: %v", err)
+	}
+	ring := NewRing(peers, 16)
+
+	// One key homed on each replica.
+	var homeA, homeB serve.Key
+	foundA, foundB := false, false
+	for i := 0; !(foundA && foundB); i++ {
+		k := sha256.Sum256([]byte(fmt.Sprintf("peer-%d", i)))
+		if ring.Lookup(k) == 0 && !foundA {
+			homeA, foundA = k, true
+		}
+		if ring.Lookup(k) == 1 && !foundB {
+			homeB, foundB = k, true
+		}
+	}
+	ctx := context.Background()
+
+	// Put from the non-home replica travels to the home's store.
+	pb.Put(ctx, homeA, []byte("on-a"))
+	if v, ok := storeA.Get(ctx, homeA); !ok || string(v) != "on-a" {
+		t.Fatalf("remote put did not land on home store: %q %v", v, ok)
+	}
+	if storeB.Len() != 0 {
+		t.Fatalf("remote put also stored locally")
+	}
+	// Get from the non-home replica fetches from the home.
+	if v, ok := pa.Get(ctx, homeB); ok {
+		t.Fatalf("unexpected hit for unstored key: %q", v)
+	}
+	pa.Put(ctx, homeB, []byte("on-b"))
+	if v, ok := pa.Get(ctx, homeB); !ok || string(v) != "on-b" {
+		t.Fatalf("cross-replica get = %q, %v", v, ok)
+	}
+	// Home-local operations never touch the network.
+	pa.Put(ctx, homeA, []byte("re-put")) // first write wins: still "on-a"
+	if v, ok := pa.Get(ctx, homeA); !ok || string(v) != "on-a" {
+		t.Fatalf("local get = %q, %v", v, ok)
+	}
+	if got := metric(t, reg, MetricL2PeerErrors); got != 0 {
+		t.Fatalf("%s = %v on a healthy cluster", MetricL2PeerErrors, got)
+	}
+	if pa.Local() != storeA {
+		t.Fatalf("Local() returned the wrong store")
+	}
+}
+
+func TestPeerL2DeadPeerDegradesToMiss(t *testing.T) {
+	storeA, storeB := NewMemoryL2(64, nil), NewMemoryL2(64, nil)
+	srvA, srvB := newL2Server(storeA), newL2Server(storeB)
+	defer srvA.Close()
+	peers := []string{srvA.URL, srvB.URL}
+	reg := obs.NewRegistry()
+	pa, err := NewPeerL2(peers, srvA.URL, 16, storeA, nil, reg)
+	if err != nil {
+		t.Fatalf("NewPeerL2: %v", err)
+	}
+	ring := NewRing(peers, 16)
+	var homeB serve.Key
+	for i := 0; ; i++ {
+		if k := sha256.Sum256([]byte(fmt.Sprintf("dead-%d", i))); ring.Lookup(k) == 1 {
+			homeB = k
+			break
+		}
+	}
+	srvB.Close() // the home replica dies
+	ctx := context.Background()
+	if _, ok := pa.Get(ctx, homeB); ok {
+		t.Fatalf("dead peer produced a hit")
+	}
+	pa.Put(ctx, homeB, []byte("lost")) // must not panic or error out
+	if got := metric(t, reg, MetricL2PeerErrors); got < 2 {
+		t.Fatalf("%s = %v, want >= 2", MetricL2PeerErrors, got)
+	}
+}
+
+func TestPeerL2ConstructorValidation(t *testing.T) {
+	store := NewMemoryL2(4, nil)
+	if _, err := NewPeerL2([]string{"http://a"}, "http://missing", 8, store, nil, nil); err == nil {
+		t.Fatalf("self outside peer list accepted")
+	}
+	if _, err := NewPeerL2([]string{"http://a"}, "http://a", 8, nil, nil, nil); err == nil {
+		t.Fatalf("nil local store accepted")
+	}
+}
+
+func TestL2HandlerProtocol(t *testing.T) {
+	store := NewMemoryL2(8, nil)
+	srv := newL2Server(store)
+	defer srv.Close()
+	k := keyFromUint(5)
+	url := srv.URL + L2Path + fmt.Sprintf("%x", k[:])
+
+	// GET before any put: 404.
+	resp, err := http.Get(url)
+	if err != nil || resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("get before put: %v %v", resp.Status, err)
+	}
+	resp.Body.Close()
+	// PUT stores; GET round-trips the bytes.
+	req, _ := http.NewRequest(http.MethodPut, url, bytes.NewReader([]byte("payload")))
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil || resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("put: %v %v", resp.Status, err)
+	}
+	resp.Body.Close()
+	resp, err = http.Get(url)
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("get after put: %v %v", resp.Status, err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if string(body) != "payload" {
+		t.Fatalf("round trip = %q", body)
+	}
+	// Malformed key: 400.
+	resp, err = http.Get(srv.URL + L2Path + "zz")
+	if err != nil || resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad key: %v %v", resp.Status, err)
+	}
+	resp.Body.Close()
+	// Oversized entry: 413.
+	big := strings.NewReader(strings.Repeat("x", maxL2EntryBytes+1))
+	req, _ = http.NewRequest(http.MethodPut, url, big)
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil || resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized put: %v %v", resp.Status, err)
+	}
+	resp.Body.Close()
+	// Unsupported method: 405.
+	req, _ = http.NewRequest(http.MethodDelete, url, nil)
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil || resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("delete: %v %v", resp.Status, err)
+	}
+	resp.Body.Close()
+}

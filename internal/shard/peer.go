@@ -1,0 +1,188 @@
+package shard
+
+import (
+	"context"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/serve"
+)
+
+// Metric names of the HTTP peer-fill tier (DESIGN.md §14 catalog).
+const (
+	MetricL2PeerErrors = "hp_cache_l2_peer_errors_total"
+)
+
+// L2Path is the internal endpoint prefix replicas serve their local L2
+// store under; an entry's URL is L2Path + hex(key).
+const L2Path = "/internal/l2/"
+
+// PeerL2 shards the L2 tier across replica processes by the same
+// consistent-hash placement the router uses: every key has one home
+// replica, whose local MemoryL2 holds the bytes; Get and Put from any
+// other replica travel over HTTP to the home's L2Path endpoint. Because
+// placement is a pure function of the shared peer list and the key,
+// every replica independently agrees where each entry lives — no
+// directory, no invalidation (entries are content-addressed by the
+// canonical request key, so they can never be stale).
+//
+// All failures degrade to misses: L2 is an optimization, and a dead peer
+// must never take the serving path down with it.
+type PeerL2 struct {
+	ring   *Ring
+	self   int
+	local  *MemoryL2
+	client *http.Client
+	errors *obs.Counter
+}
+
+// NewPeerL2 builds the peer tier for one replica. peers is the full
+// replica URL list — identical, in the same order, on every replica —
+// and self must be one of its entries (this process). vnodes must also
+// agree across replicas (0 selects DefaultVNodes). local holds this
+// replica's share of the tier and is what Handler serves to peers.
+func NewPeerL2(peers []string, self string, vnodes int, local *MemoryL2, client *http.Client, reg *obs.Registry) (*PeerL2, error) {
+	selfIdx := -1
+	for i, p := range peers {
+		if p == self {
+			selfIdx = i
+			break
+		}
+	}
+	if selfIdx < 0 {
+		return nil, fmt.Errorf("shard: self %q is not in the peer list %v", self, peers)
+	}
+	if local == nil {
+		return nil, fmt.Errorf("shard: peer tier needs a local store")
+	}
+	if client == nil {
+		client = &http.Client{Timeout: 2 * time.Second}
+	}
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	return &PeerL2{
+		ring:   NewRing(peers, vnodes),
+		self:   selfIdx,
+		local:  local,
+		client: client,
+		errors: reg.Counter(MetricL2PeerErrors,
+			"L2 peer-fill round trips that failed (network or non-2xx); each degrades to a tier miss."),
+	}, nil
+}
+
+// Local returns this replica's local share of the tier.
+func (p *PeerL2) Local() *MemoryL2 { return p.local }
+
+// Get implements L2: a local lookup when this replica is the key's home,
+// an HTTP GET to the home replica otherwise.
+func (p *PeerL2) Get(ctx context.Context, k serve.Key) ([]byte, bool) {
+	home := p.ring.Lookup(k)
+	if home == p.self {
+		return p.local.Get(ctx, k)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, p.entryURL(home, k), nil)
+	if err != nil {
+		p.errors.Inc()
+		return nil, false
+	}
+	resp, err := p.client.Do(req)
+	if err != nil {
+		p.errors.Inc()
+		return nil, false
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusNotFound {
+		return nil, false
+	}
+	if resp.StatusCode != http.StatusOK {
+		_, _ = io.Copy(io.Discard, resp.Body)
+		p.errors.Inc()
+		return nil, false
+	}
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		p.errors.Inc()
+		return nil, false
+	}
+	return raw, true
+}
+
+// Put implements L2: a local store when this replica is the key's home,
+// an HTTP PUT to the home replica otherwise. Failures are dropped — the
+// entry simply stays uncached and the next miss recomputes it.
+func (p *PeerL2) Put(ctx context.Context, k serve.Key, v []byte) {
+	home := p.ring.Lookup(k)
+	if home == p.self {
+		p.local.Put(ctx, k, v)
+		return
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPut, p.entryURL(home, k), strings.NewReader(string(v)))
+	if err != nil {
+		p.errors.Inc()
+		return
+	}
+	resp, err := p.client.Do(req)
+	if err != nil {
+		p.errors.Inc()
+		return
+	}
+	defer resp.Body.Close()
+	_, _ = io.Copy(io.Discard, resp.Body)
+	if resp.StatusCode/100 != 2 {
+		p.errors.Inc()
+	}
+}
+
+func (p *PeerL2) entryURL(home int, k serve.Key) string {
+	return strings.TrimSuffix(p.ring.Replicas()[home], "/") + L2Path + hex.EncodeToString(k[:])
+}
+
+// L2Handler serves a local store at L2Path for peers: GET returns the
+// bytes (200) or 404, PUT stores the body (204). The route pattern to
+// register it under is L2Path + "{key}".
+func L2Handler(store *MemoryL2) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		raw, err := hex.DecodeString(r.PathValue("key"))
+		if err != nil || len(raw) != len(serve.Key{}) {
+			http.Error(w, "malformed l2 key", http.StatusBadRequest)
+			return
+		}
+		var k serve.Key
+		copy(k[:], raw)
+		switch r.Method {
+		case http.MethodGet:
+			v, ok := store.Get(r.Context(), k)
+			if !ok {
+				http.NotFound(w, r)
+				return
+			}
+			w.Header().Set("Content-Type", "application/octet-stream")
+			_, _ = w.Write(v)
+		case http.MethodPut:
+			body, err := io.ReadAll(io.LimitReader(r.Body, maxL2EntryBytes+1))
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusBadRequest)
+				return
+			}
+			if len(body) > maxL2EntryBytes {
+				http.Error(w, "l2 entry too large", http.StatusRequestEntityTooLarge)
+				return
+			}
+			store.Put(r.Context(), k, body)
+			w.WriteHeader(http.StatusNoContent)
+		default:
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		}
+	})
+}
+
+// maxL2EntryBytes bounds one peer-filled entry; a rendered schedule page
+// stays well under it, and the cap keeps a confused peer from wedging a
+// store.
+const maxL2EntryBytes = 4 << 20

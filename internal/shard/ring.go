@@ -1,0 +1,154 @@
+// Package shard scales the serving front end horizontally: a consistent-
+// hash ring places canonical request keys on replicas (ring.go), a thin
+// HTTP router fans requests across them with retry-on-replica-death
+// (router.go), and a two-tier cache layers a shared L2 over each
+// replica's L1 LRU so a result computed on any replica is a hit on all
+// of them (tiered.go, l2.go, peer.go).
+//
+// Everything is deterministic by construction: ring placement is a pure
+// function of the replica name list and the request's SHA-256 key, so
+// every router and every replica derives the same placement without
+// coordination, and a cached value crosses tiers as opaque bytes — the
+// bytes the first computation produced are the bytes every later hit
+// returns, whichever replica serves it.
+package shard
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"sort"
+	"strconv"
+
+	"repro/internal/serve"
+)
+
+// ringPoint is one virtual node: a position on the 64-bit ring owned by
+// a replica.
+type ringPoint struct {
+	hash    uint64
+	replica int
+}
+
+// Ring is a consistent-hash ring over a fixed replica list. Placement is
+// deterministic: the same names (order matters — it fixes replica
+// indices) and vnode count produce the same ring everywhere. The zero
+// value is not usable; call NewRing. A Ring is immutable after
+// construction and therefore safe for concurrent use.
+type Ring struct {
+	names  []string
+	points []ringPoint // sorted by (hash, replica)
+	vnodes int
+}
+
+// DefaultVNodes balances placement smoothness against ring size: at 64
+// virtual nodes per replica the max/mean key-share imbalance stays
+// within ~30% for small clusters.
+const DefaultVNodes = 64
+
+// NewRing builds a ring with vnodes virtual nodes per replica (minimum
+// 1; 0 or negative selects DefaultVNodes). names must be non-empty and
+// are copied.
+func NewRing(names []string, vnodes int) *Ring {
+	if len(names) == 0 {
+		panic("shard: ring needs at least one replica")
+	}
+	if vnodes <= 0 {
+		vnodes = DefaultVNodes
+	}
+	r := &Ring{
+		names:  append([]string(nil), names...),
+		points: make([]ringPoint, 0, len(names)*vnodes),
+		vnodes: vnodes,
+	}
+	for i, name := range r.names {
+		for v := 0; v < vnodes; v++ {
+			r.points = append(r.points, ringPoint{hash: vnodeHash(name, v), replica: i})
+		}
+	}
+	sort.Slice(r.points, func(a, b int) bool {
+		if r.points[a].hash != r.points[b].hash {
+			return r.points[a].hash < r.points[b].hash
+		}
+		return r.points[a].replica < r.points[b].replica
+	})
+	return r
+}
+
+// vnodeHash positions one virtual node: the first 8 bytes of
+// SHA-256("name#v"), the same hash family as the request keys, so vnode
+// positions and key points draw from one uniform distribution.
+func vnodeHash(name string, v int) uint64 {
+	h := sha256.New()
+	h.Write([]byte(name))
+	h.Write([]byte("#"))
+	h.Write([]byte(strconv.Itoa(v)))
+	var sum [sha256.Size]byte
+	h.Sum(sum[:0])
+	return binary.BigEndian.Uint64(sum[:8])
+}
+
+// Replicas returns the replica names in index order. Callers must not
+// mutate the returned slice.
+func (r *Ring) Replicas() []string { return r.names }
+
+// Size returns the number of replicas.
+func (r *Ring) Size() int { return len(r.names) }
+
+// Point maps a canonical request key onto the ring: its first 8 bytes
+// as a big-endian word. SHA-256 output is uniform, so key points spread
+// evenly regardless of the request distribution.
+func Point(k serve.Key) uint64 { return binary.BigEndian.Uint64(k[:8]) }
+
+// Lookup returns the replica index owning key k: the replica of the
+// first virtual node at or clockwise after the key's point (wrapping).
+// It performs no allocations.
+func (r *Ring) Lookup(k serve.Key) int { return r.LookupPoint(Point(k)) }
+
+// LookupPoint is Lookup for a precomputed ring point.
+func (r *Ring) LookupPoint(p uint64) int {
+	// Manual binary search: first point with hash >= p.
+	lo, hi := 0, len(r.points)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if r.points[mid].hash < p {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo == len(r.points) {
+		lo = 0 // wrap past the last vnode
+	}
+	return r.points[lo].replica
+}
+
+// Successors appends to buf[:0] the distinct replica indices in ring
+// order starting at the key's owner — the retry order when the owner is
+// dead. Every replica appears exactly once. With cap(buf) >= Size() the
+// call performs no allocations.
+func (r *Ring) Successors(p uint64, buf []int) []int {
+	buf = buf[:0]
+	lo, hi := 0, len(r.points)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if r.points[mid].hash < p {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	for i := 0; i < len(r.points) && len(buf) < len(r.names); i++ {
+		rep := r.points[(lo+i)%len(r.points)].replica
+		seen := false
+		for _, b := range buf {
+			if b == rep {
+				seen = true
+				break
+			}
+		}
+		if !seen {
+			buf = append(buf, rep)
+		}
+	}
+	return buf
+}

@@ -1,0 +1,182 @@
+package shard
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"testing"
+
+	"repro/internal/serve"
+)
+
+func keyFromUint(u uint64) serve.Key {
+	var k serve.Key
+	binary.BigEndian.PutUint64(k[:8], u)
+	return k
+}
+
+func TestRingDeterministicPlacement(t *testing.T) {
+	names := []string{"http://a:1", "http://b:2", "http://c:3"}
+	r1 := NewRing(names, 64)
+	r2 := NewRing(names, 64)
+	for i := 0; i < 10000; i++ {
+		k := sha256.Sum256([]byte(fmt.Sprintf("key-%d", i)))
+		if r1.Lookup(k) != r2.Lookup(k) {
+			t.Fatalf("rings built from the same names disagree on key %d", i)
+		}
+	}
+}
+
+func TestRingLookupMatchesLinearScan(t *testing.T) {
+	r := NewRing([]string{"a", "b", "c", "d"}, 16)
+	// Reference implementation: scan all points for the first hash >= p.
+	ref := func(p uint64) int {
+		best := -1
+		var bestHash uint64
+		for _, pt := range r.points {
+			if pt.hash >= p && (best == -1 || pt.hash < bestHash) {
+				best, bestHash = pt.replica, pt.hash
+			}
+		}
+		if best == -1 { // wrap: smallest hash overall
+			for i, pt := range r.points {
+				if i == 0 || pt.hash < bestHash {
+					best, bestHash = pt.replica, pt.hash
+				}
+			}
+		}
+		return best
+	}
+	for i := 0; i < 5000; i++ {
+		k := sha256.Sum256([]byte(fmt.Sprintf("probe-%d", i)))
+		p := Point(k)
+		if got, want := r.LookupPoint(p), ref(p); got != want {
+			t.Fatalf("LookupPoint(%x) = %d, linear scan says %d", p, got, want)
+		}
+	}
+	// Exact boundary: a point equal to a vnode hash lands on that vnode.
+	pt := r.points[len(r.points)/2]
+	if got := r.LookupPoint(pt.hash); got != ref(pt.hash) {
+		t.Fatalf("boundary point %x: got %d want %d", pt.hash, got, ref(pt.hash))
+	}
+	// Wrap: a point past the last vnode lands on the first.
+	last := r.points[len(r.points)-1].hash
+	if last != ^uint64(0) {
+		if got, want := r.LookupPoint(last+1), r.points[0].replica; got != want {
+			t.Fatalf("wrap lookup = %d, want first vnode's replica %d", got, want)
+		}
+	}
+}
+
+func TestRingBalance(t *testing.T) {
+	names := make([]string, 4)
+	for i := range names {
+		names[i] = fmt.Sprintf("http://replica-%d:8080", i)
+	}
+	r := NewRing(names, DefaultVNodes)
+	counts := make([]int, len(names))
+	const n = 100000
+	for i := 0; i < n; i++ {
+		k := sha256.Sum256([]byte(fmt.Sprintf("bal-%d", i)))
+		counts[r.Lookup(k)]++
+	}
+	mean := float64(n) / float64(len(names))
+	for i, c := range counts {
+		dev := float64(c)/mean - 1
+		if dev < -0.5 || dev > 0.5 {
+			t.Fatalf("replica %d owns %d of %d keys (%.0f%% of mean) — ring badly unbalanced: %v",
+				i, c, n, 100*float64(c)/mean, counts)
+		}
+	}
+}
+
+func TestRingMinimalDisruption(t *testing.T) {
+	// Consistent hashing's point: adding a replica moves only the keys the
+	// new replica captures (~1/k of them), nothing shuffles between
+	// survivors.
+	small := NewRing([]string{"a", "b", "c"}, DefaultVNodes)
+	big := NewRing([]string{"a", "b", "c", "d"}, DefaultVNodes)
+	const n = 20000
+	moved, movedElsewhere := 0, 0
+	for i := 0; i < n; i++ {
+		k := sha256.Sum256([]byte(fmt.Sprintf("mv-%d", i)))
+		before, after := small.Lookup(k), big.Lookup(k)
+		if before != after {
+			moved++
+			if after != 3 { // not captured by the new replica
+				movedElsewhere++
+			}
+		}
+	}
+	if movedElsewhere != 0 {
+		t.Fatalf("%d keys moved between surviving replicas; consistent hashing must only move keys to the new replica", movedElsewhere)
+	}
+	frac := float64(moved) / n
+	if frac < 0.10 || frac > 0.45 {
+		t.Fatalf("adding 4th replica moved %.1f%% of keys; expected ~25%%", 100*frac)
+	}
+}
+
+func TestRingSuccessorsDistinctAndComplete(t *testing.T) {
+	r := NewRing([]string{"a", "b", "c", "d", "e"}, 32)
+	buf := make([]int, 0, r.Size())
+	for i := 0; i < 2000; i++ {
+		k := sha256.Sum256([]byte(fmt.Sprintf("succ-%d", i)))
+		p := Point(k)
+		got := r.Successors(p, buf)
+		if len(got) != r.Size() {
+			t.Fatalf("Successors returned %d replicas, want %d", len(got), r.Size())
+		}
+		seen := map[int]bool{}
+		for _, rep := range got {
+			if rep < 0 || rep >= r.Size() || seen[rep] {
+				t.Fatalf("Successors(%x) = %v: duplicate or out-of-range replica", p, got)
+			}
+			seen[rep] = true
+		}
+		if got[0] != r.LookupPoint(p) {
+			t.Fatalf("Successors(%x)[0] = %d, but Lookup says %d", p, got[0], r.LookupPoint(p))
+		}
+	}
+}
+
+func TestRingSingleReplica(t *testing.T) {
+	r := NewRing([]string{"only"}, 0) // 0 selects DefaultVNodes
+	if r.vnodes != DefaultVNodes {
+		t.Fatalf("vnodes = %d, want default %d", r.vnodes, DefaultVNodes)
+	}
+	for i := 0; i < 100; i++ {
+		k := sha256.Sum256([]byte(fmt.Sprintf("s-%d", i)))
+		if r.Lookup(k) != 0 {
+			t.Fatalf("single-replica ring sent key %d elsewhere", i)
+		}
+	}
+	if got := r.Successors(0, nil); len(got) != 1 || got[0] != 0 {
+		t.Fatalf("Successors on single-replica ring = %v", got)
+	}
+}
+
+func TestRingPanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("NewRing(nil) did not panic")
+		}
+	}()
+	NewRing(nil, 8)
+}
+
+func TestRingNamesCopied(t *testing.T) {
+	names := []string{"a", "b"}
+	r := NewRing(names, 8)
+	names[0] = "mutated"
+	if r.Replicas()[0] != "a" {
+		t.Fatalf("ring aliased the caller's name slice")
+	}
+}
+
+func TestPointUsesKeyPrefix(t *testing.T) {
+	k := keyFromUint(0xdeadbeefcafef00d)
+	if Point(k) != 0xdeadbeefcafef00d {
+		t.Fatalf("Point = %x", Point(k))
+	}
+}

@@ -1,0 +1,495 @@
+package shard
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/obs"
+	"repro/internal/serve"
+)
+
+// Metric names of the replica router (DESIGN.md §14 catalog).
+const (
+	MetricShardRequests  = "hp_shard_requests_total"
+	MetricShardRetries   = "hp_shard_retries_total"
+	MetricShardErrors    = "hp_shard_errors_total"
+	MetricShardReplicaUp = "hp_shard_replica_up"
+	MetricShardInflight  = "hp_shard_inflight"
+	MetricShardForward   = "hp_shard_forward_us"
+)
+
+// KeyFunc derives the canonical request key a request routes by. It must
+// be a pure function of the request (every router instance and every
+// replica must agree), and should return an error for malformed requests
+// (mapped to HTTP 400 without touching any replica).
+type KeyFunc func(*http.Request) (serve.Key, error)
+
+// RouterConfig assembles a Router.
+type RouterConfig struct {
+	// Backends are the replica base URLs; order fixes replica indices and
+	// must match across routers for deterministic placement.
+	Backends []string
+	// VNodes is the virtual-node count per replica (0 = DefaultVNodes).
+	VNodes int
+	// Key routes requests on the paths listed in KeyedPaths.
+	Key KeyFunc
+	// Client issues the forwarded requests; nil gets a 10s-timeout client.
+	Client *http.Client
+	// Clock drives the failure cooldown; nil means the wall clock.
+	Clock clock.Clock
+	// Cooldown is how long a replica stays skipped after a transport
+	// failure before a request probes it again (0 = 1s).
+	Cooldown time.Duration
+	// Registry receives the hp_shard_* metric families (nil = private).
+	Registry *obs.Registry
+	// TraceEntries bounds the router's ring of finished routing traces
+	// (0 = 256).
+	TraceEntries int
+	// Logger receives per-hop debug and failure lines; nil discards.
+	Logger *slog.Logger
+}
+
+// KeyedPaths are the request paths routed by consistent hash of their
+// canonical key; everything else is forwarded to the lowest-index
+// available replica (dashboard affinity).
+var KeyedPaths = []string{"/schedule", "/compare", "/trace"}
+
+// Router fans requests across replicas by consistent hash of their
+// canonical request keys. A replica that fails at the transport level is
+// marked down and skipped for a cooldown; its keys fail over to the next
+// replica on the ring (where the shared L2 tier usually turns the
+// recomputation into a byte-identical cache fill). The router serves a
+// merged view of every replica's /metrics plus its own hp_shard_*
+// families, and keeps routing traces with per-hop annotations.
+type Router struct {
+	ring     *Ring
+	key      KeyFunc
+	client   *http.Client
+	clk      clock.Clock
+	cooldown time.Duration
+	log      *slog.Logger
+	reg      *obs.Registry
+	tracer   *obs.Tracer
+	mux      *http.ServeMux
+
+	reqs     *obs.CounterVec
+	retries  *obs.Counter
+	failures *obs.Counter
+	up       *obs.GaugeVec
+	inflight *obs.GaugeVec
+	fwd      *obs.HDRVec
+
+	mu sync.Mutex
+	// downUntil[i] non-zero means replica i failed recently and is
+	// skipped until the instant passes (then the next request probes it).
+	downUntil []time.Time
+}
+
+// NewRouter validates cfg and builds the router.
+func NewRouter(cfg RouterConfig) (*Router, error) {
+	if len(cfg.Backends) == 0 {
+		return nil, fmt.Errorf("shard: router needs at least one backend")
+	}
+	if cfg.Key == nil {
+		return nil, fmt.Errorf("shard: router needs a key function")
+	}
+	for _, b := range cfg.Backends {
+		if !strings.HasPrefix(b, "http://") && !strings.HasPrefix(b, "https://") {
+			return nil, fmt.Errorf("shard: backend %q is not an http(s) URL", b)
+		}
+	}
+	client := cfg.Client
+	if client == nil {
+		// The default transport keeps only 2 idle connections per host,
+		// which makes every forward past the second concurrent request
+		// open a fresh TCP connection — the router would spend its time
+		// in connection churn, not proxying. Size the idle pool for a
+		// proxy's fan-in instead.
+		tr := http.DefaultTransport.(*http.Transport).Clone()
+		tr.MaxIdleConns = 512
+		tr.MaxIdleConnsPerHost = 256
+		client = &http.Client{Timeout: 10 * time.Second, Transport: tr}
+	}
+	clk := cfg.Clock
+	if clk == nil {
+		clk = clock.Wall{}
+	}
+	cooldown := cfg.Cooldown
+	if cooldown <= 0 {
+		cooldown = time.Second
+	}
+	reg := cfg.Registry
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	traceEntries := cfg.TraceEntries
+	if traceEntries <= 0 {
+		traceEntries = 256
+	}
+	logger := cfg.Logger
+	if logger == nil {
+		logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+	names := make([]string, len(cfg.Backends))
+	for i, b := range cfg.Backends {
+		names[i] = strings.TrimSuffix(b, "/")
+	}
+	rt := &Router{
+		ring:     NewRing(names, cfg.VNodes),
+		key:      cfg.Key,
+		client:   client,
+		clk:      clk,
+		cooldown: cooldown,
+		log:      logger,
+		reg:      reg,
+		tracer:   obs.NewTracer(traceEntries),
+		mux:      http.NewServeMux(),
+		reqs: reg.CounterVec(MetricShardRequests,
+			"Requests forwarded to each replica (successful transport, any HTTP status).", "replica"),
+		retries: reg.Counter(MetricShardRetries,
+			"Forward attempts retried on another replica after a transport failure."),
+		failures: reg.Counter(MetricShardErrors,
+			"Requests that failed on every candidate replica (returned 502)."),
+		up: reg.GaugeVec(MetricShardReplicaUp,
+			"1 when the replica's last forward succeeded at the transport level, 0 while it is in failure cooldown.", "replica"),
+		inflight: reg.GaugeVec(MetricShardInflight,
+			"Requests currently being forwarded to each replica.", "replica"),
+		fwd: reg.HDRVec(MetricShardForward,
+			"Per-replica forward latency in microseconds (HDR): transport round trip of routed requests.", "replica"),
+		downUntil: make([]time.Time, len(names)),
+	}
+	for _, n := range names { // pre-seed so every replica scrapes from the start
+		rt.reqs.With(n)
+		rt.inflight.With(n)
+		rt.up.With(n).Set(1)
+	}
+	for _, p := range KeyedPaths {
+		rt.mux.HandleFunc(p, rt.handleKeyed)
+	}
+	rt.mux.HandleFunc("/metrics", rt.handleMetrics)
+	rt.mux.HandleFunc("/replicas", rt.handleReplicas)
+	rt.mux.HandleFunc("/traces", rt.handleTraces)
+	rt.mux.HandleFunc("/trace/{id}", rt.handleTraceTree)
+	rt.mux.HandleFunc("/", rt.handleDefault)
+	return rt, nil
+}
+
+// Ring returns the router's placement ring.
+func (rt *Router) Ring() *Ring { return rt.ring }
+
+func (rt *Router) ServeHTTP(w http.ResponseWriter, r *http.Request) { rt.mux.ServeHTTP(w, r) }
+
+// available reports whether replica i should be attempted: up, or down
+// with its cooldown expired (the request doubles as the health probe).
+func (rt *Router) available(i int, now time.Time) bool {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return rt.downUntil[i].IsZero() || !now.Before(rt.downUntil[i])
+}
+
+// markDown puts replica i into failure cooldown.
+func (rt *Router) markDown(i int, now time.Time) {
+	rt.mu.Lock()
+	rt.downUntil[i] = now.Add(rt.cooldown)
+	rt.mu.Unlock()
+	rt.up.With(rt.ring.names[i]).Set(0)
+}
+
+// markUp clears replica i's cooldown after a successful forward.
+func (rt *Router) markUp(i int) {
+	rt.mu.Lock()
+	wasDown := !rt.downUntil[i].IsZero()
+	rt.downUntil[i] = time.Time{}
+	rt.mu.Unlock()
+	if wasDown {
+		rt.up.With(rt.ring.names[i]).Set(1)
+	}
+}
+
+// Candidates fills buf[:0] with the attempt order for a ring point: the
+// key's ring successors, with replicas in failure cooldown moved to the
+// back (still present — when everything is down, the request probes them
+// anyway rather than failing without trying). With cap(buf) >= Size()
+// the call performs no allocations; this is the router's per-request hot
+// path, pinned at 0 allocs/op by BenchmarkRouterCandidates.
+func (rt *Router) Candidates(point uint64, buf []int) []int {
+	buf = rt.ring.Successors(point, buf)
+	now := rt.clk.Now()
+	// Stable in-place partition: available replicas keep ring order up
+	// front, cooling-down ones keep ring order at the back.
+	placed := 0
+	for i := 0; i < len(buf); i++ {
+		if !rt.available(buf[i], now) {
+			continue
+		}
+		rep := buf[i]
+		copy(buf[placed+1:i+1], buf[placed:i])
+		buf[placed] = rep
+		placed++
+	}
+	return buf
+}
+
+// handleKeyed routes one keyed request: derive the canonical key, walk
+// the candidate replicas, forward to the first that answers. Transport
+// failures mark the replica down, count a retry, and move on; exhausting
+// every candidate returns 502.
+func (rt *Router) handleKeyed(w http.ResponseWriter, r *http.Request) {
+	sp := rt.tracer.StartTrace("route")
+	defer sp.End()
+	sp.Annotate("path", r.URL.Path)
+	w.Header().Set("X-Shard-Trace-Id", obs.FormatID(sp.TraceID()))
+	k, err := rt.key(r)
+	if err != nil {
+		sp.Annotate("outcome", "bad_request")
+		jsonError(w, err, http.StatusBadRequest)
+		return
+	}
+	cands := rt.Candidates(Point(k), make([]int, 0, rt.ring.Size()))
+	for attempt, rep := range cands {
+		if attempt > 0 {
+			rt.retries.Inc()
+		}
+		if rt.forward(w, r, rep, attempt, sp) {
+			return
+		}
+	}
+	rt.failures.Inc()
+	sp.Annotate("outcome", "exhausted")
+	jsonError(w, fmt.Errorf("shard: no replica reachable for %s", r.URL.Path), http.StatusBadGateway)
+}
+
+// forward proxies r to replica rep and reports whether a response was
+// written. A transport failure (no HTTP response at all) marks the
+// replica down and returns false so the caller can fail over; any HTTP
+// response — including a 4xx/5xx the replica chose to send — is the
+// answer and is relayed as-is.
+func (rt *Router) forward(w http.ResponseWriter, r *http.Request, rep, attempt int, sp *obs.Span) bool {
+	name := rt.ring.names[rep]
+	var fsp *obs.Span
+	if sp != nil {
+		fsp = sp.StartChild("forward")
+	}
+	if fsp != nil {
+		fsp.Annotate("replica", name)
+		fsp.AnnotateInt("attempt", int64(attempt))
+	}
+	req, err := http.NewRequestWithContext(r.Context(), r.Method, name+r.URL.RequestURI(), nil)
+	if err != nil {
+		if fsp != nil {
+			fsp.Annotate("outcome", "bad_url")
+			fsp.End()
+		}
+		return false
+	}
+	req.Header.Set("X-Forwarded-By", "hpserve-router")
+	g := rt.inflight.With(name)
+	g.Add(1)
+	start := rt.clk.Now()
+	resp, err := rt.client.Do(req)
+	g.Add(-1)
+	if err != nil {
+		rt.markDown(rep, rt.clk.Now())
+		rt.log.Warn("replica forward failed", "replica", name, "path", r.URL.Path, "err", err)
+		if fsp != nil {
+			fsp.Annotate("outcome", "transport_error")
+			fsp.End()
+		}
+		return false
+	}
+	defer resp.Body.Close()
+	rt.fwd.With(name).Record(int64(rt.clk.Since(start) / time.Microsecond))
+	rt.markUp(rep)
+	rt.reqs.With(name).Inc()
+	hdr := w.Header()
+	for key, vals := range resp.Header {
+		for _, v := range vals {
+			hdr.Add(key, v)
+		}
+	}
+	hdr.Set("X-Shard-Replica", name)
+	w.WriteHeader(resp.StatusCode)
+	if _, err := io.Copy(w, resp.Body); err != nil {
+		// The response is already committed; all we can do is log.
+		rt.log.Warn("response relay interrupted", "replica", name, "err", err)
+	}
+	if fsp != nil {
+		fsp.AnnotateInt("status", int64(resp.StatusCode))
+		fsp.End()
+	}
+	return true
+}
+
+// handleDefault forwards unkeyed paths (the dashboard page, /runs, ...)
+// to the lowest-index available replica, so the router address serves
+// the whole UI.
+func (rt *Router) handleDefault(w http.ResponseWriter, r *http.Request) {
+	sp := rt.tracer.StartTrace("route")
+	defer sp.End()
+	sp.Annotate("path", r.URL.Path)
+	now := rt.clk.Now()
+	for rep := range rt.ring.names {
+		if !rt.available(rep, now) {
+			continue
+		}
+		if rt.forward(w, r, rep, 0, sp) {
+			return
+		}
+	}
+	for rep := range rt.ring.names {
+		if rt.available(rep, rt.clk.Now()) {
+			continue
+		}
+		rt.retries.Inc()
+		if rt.forward(w, r, rep, 1, sp) {
+			return
+		}
+	}
+	rt.failures.Inc()
+	jsonError(w, fmt.Errorf("shard: no replica reachable"), http.StatusBadGateway)
+}
+
+// handleMetrics serves the merged metrics view: the router's own
+// registry plus every reachable replica's /metrics, summed family by
+// family (HDR and fixed-bucket histograms merge at bucket granularity;
+// see obs.MergeExpositions). Unreachable replicas are skipped — the
+// merged view degrades instead of failing, mirroring the serving path.
+func (rt *Router) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	var own strings.Builder
+	_ = rt.reg.WritePrometheus(&own)
+	exps := make([]*obs.Exposition, 0, rt.ring.Size()+1)
+	if e, err := obs.ParseExposition(own.String()); err == nil {
+		exps = append(exps, e)
+	}
+	for _, name := range rt.ring.names {
+		req, err := http.NewRequestWithContext(r.Context(), http.MethodGet, name+"/metrics", nil)
+		if err != nil {
+			continue
+		}
+		resp, err := rt.client.Do(req)
+		if err != nil {
+			rt.log.Warn("metrics scrape failed", "replica", name, "err", err)
+			continue
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil || resp.StatusCode != http.StatusOK {
+			continue
+		}
+		e, err := obs.ParseExposition(string(body))
+		if err != nil {
+			rt.log.Warn("metrics parse failed", "replica", name, "err", err)
+			continue
+		}
+		exps = append(exps, e)
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = obs.MergeExpositions(exps...).Render(w)
+}
+
+// replicaStatus is one row of the /replicas listing.
+type replicaStatus struct {
+	Index   int    `json:"index"`
+	URL     string `json:"url"`
+	Healthy bool   `json:"healthy"`
+}
+
+// handleReplicas serves the replica table as JSON — hpload's -replicas
+// auto discovery endpoint.
+func (rt *Router) handleReplicas(w http.ResponseWriter, _ *http.Request) {
+	now := rt.clk.Now()
+	rows := make([]replicaStatus, rt.ring.Size())
+	for i, name := range rt.ring.names {
+		rows[i] = replicaStatus{Index: i, URL: name, Healthy: rt.available(i, now)}
+	}
+	writeJSON(w, struct {
+		VNodes   int             `json:"vnodes"`
+		Replicas []replicaStatus `json:"replicas"`
+	}{VNodes: rt.ring.vnodes, Replicas: rows})
+}
+
+// routeListEntry is one row of the router's /traces listing.
+type routeListEntry struct {
+	TraceID    string `json:"trace_id"`
+	Name       string `json:"name"`
+	DurationUS int64  `json:"duration_us"`
+	Spans      int    `json:"spans"`
+}
+
+// handleTraces lists retained routing traces slowest-first.
+func (rt *Router) handleTraces(w http.ResponseWriter, _ *http.Request) {
+	rec := rt.tracer.Recent()
+	rows := make([]routeListEntry, 0, len(rec))
+	for _, td := range rec {
+		rows = append(rows, routeListEntry{
+			TraceID:    obs.FormatID(td.ID),
+			Name:       td.Name,
+			DurationUS: int64(td.Duration() / time.Microsecond),
+			Spans:      len(td.Spans()),
+		})
+	}
+	sort.SliceStable(rows, func(i, j int) bool { return rows[i].DurationUS > rows[j].DurationUS })
+	writeJSON(w, struct {
+		Traces []routeListEntry `json:"traces"`
+	}{Traces: rows})
+}
+
+// handleTraceTree serves one trace: the router's own routing trace when
+// the ID is in its ring, otherwise scattered to the replicas so a trace
+// ID handed out by any replica resolves through the router too.
+func (rt *Router) handleTraceTree(w http.ResponseWriter, r *http.Request) {
+	if id, ok := obs.ParseID(r.PathValue("id")); ok {
+		if td := rt.tracer.Trace(id); td != nil {
+			writeJSON(w, td.Tree())
+			return
+		}
+	}
+	now := rt.clk.Now()
+	for rep, name := range rt.ring.names {
+		if !rt.available(rep, now) {
+			continue
+		}
+		req, err := http.NewRequestWithContext(r.Context(), http.MethodGet, name+r.URL.RequestURI(), nil)
+		if err != nil {
+			continue
+		}
+		resp, err := rt.client.Do(req)
+		if err != nil {
+			continue
+		}
+		if resp.StatusCode == http.StatusOK {
+			w.Header().Set("Content-Type", resp.Header.Get("Content-Type"))
+			w.Header().Set("X-Shard-Replica", name)
+			_, _ = io.Copy(w, resp.Body)
+			resp.Body.Close()
+			return
+		}
+		_, _ = io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+	jsonError(w, fmt.Errorf("trace %s not found on any replica", r.PathValue("id")), http.StatusNotFound)
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	body, err := json.MarshalIndent(v, "", " ")
+	if err != nil {
+		jsonError(w, err, http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_, _ = w.Write(body)
+}
+
+func jsonError(w http.ResponseWriter, err error, status int) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}

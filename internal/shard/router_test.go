@@ -1,0 +1,329 @@
+package shard
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/obs"
+	"repro/internal/serve"
+)
+
+// testKeyFunc keys a request by its "name" query parameter.
+func testKeyFunc(r *http.Request) (serve.Key, error) {
+	name := r.URL.Query().Get("name")
+	if name == "" {
+		return serve.Key{}, fmt.Errorf("missing name")
+	}
+	return sha256.Sum256([]byte(name)), nil
+}
+
+// newTestCluster starts n replica servers whose /schedule handler echoes
+// "replica-<i>" plus the request's name, with a per-replica metrics
+// registry.
+func newTestCluster(t *testing.T, n int) (urls []string, srvs []*httptest.Server, regs []*obs.Registry) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		reg := obs.NewRegistry()
+		mux := http.NewServeMux()
+		idx := i
+		mux.HandleFunc("/schedule", func(w http.ResponseWriter, r *http.Request) {
+			fmt.Fprintf(w, "replica-%d:%s", idx, r.URL.Query().Get("name"))
+		})
+		mux.HandleFunc("/runs", func(w http.ResponseWriter, _ *http.Request) {
+			fmt.Fprintf(w, "runs-from-%d", idx)
+		})
+		mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+			_ = reg.WritePrometheus(w)
+		})
+		mux.HandleFunc("/trace/{id}", func(w http.ResponseWriter, r *http.Request) {
+			if r.PathValue("id") == "feed" && idx == n-1 {
+				fmt.Fprintf(w, "trace-body-%d", idx)
+				return
+			}
+			http.NotFound(w, r)
+		})
+		srv := httptest.NewServer(mux)
+		t.Cleanup(srv.Close)
+		urls = append(urls, srv.URL)
+		srvs = append(srvs, srv)
+		regs = append(regs, reg)
+	}
+	return urls, srvs, regs
+}
+
+func newTestRouter(t *testing.T, urls []string, clk clock.Clock, reg *obs.Registry) *Router {
+	t.Helper()
+	rt, err := NewRouter(RouterConfig{
+		Backends: urls,
+		VNodes:   16,
+		Key:      testKeyFunc,
+		Clock:    clk,
+		Cooldown: 50 * time.Millisecond,
+		Registry: reg,
+	})
+	if err != nil {
+		t.Fatalf("NewRouter: %v", err)
+	}
+	return rt
+}
+
+func get(t *testing.T, h http.Handler, path string) (*httptest.ResponseRecorder, string) {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, path, nil))
+	body, _ := io.ReadAll(rec.Result().Body)
+	return rec, string(body)
+}
+
+func TestRouterDeterministicPlacement(t *testing.T) {
+	urls, _, _ := newTestCluster(t, 3)
+	rt := newTestRouter(t, urls, nil, obs.NewRegistry())
+	hits := map[string]int{}
+	for i := 0; i < 60; i++ {
+		name := fmt.Sprintf("req-%d", i)
+		rec, body := get(t, rt, "/schedule?name="+name)
+		if rec.Code != http.StatusOK {
+			t.Fatalf("status %d for %s", rec.Code, name)
+		}
+		if !strings.HasSuffix(body, ":"+name) {
+			t.Fatalf("replica echoed %q for %s", body, name)
+		}
+		replica := rec.Header().Get("X-Shard-Replica")
+		if replica == "" {
+			t.Fatalf("missing X-Shard-Replica header")
+		}
+		hits[strings.SplitN(body, ":", 2)[0]]++
+		// Same key again: same replica.
+		_, body2 := get(t, rt, "/schedule?name="+name)
+		if body2 != body {
+			t.Fatalf("key %s moved: %q then %q", name, body, body2)
+		}
+	}
+	if len(hits) != 3 {
+		t.Fatalf("60 keys landed on %d of 3 replicas: %v", len(hits), hits)
+	}
+	// Placement matches the ring directly.
+	k, _ := testKeyFunc(httptest.NewRequest(http.MethodGet, "/schedule?name=req-0", nil))
+	_, body := get(t, rt, "/schedule?name=req-0")
+	want := fmt.Sprintf("replica-%d", rt.Ring().Lookup(k))
+	if !strings.HasPrefix(body, want) {
+		t.Fatalf("ring says %s, router picked %q", want, body)
+	}
+}
+
+func TestRouterFailoverAndCooldown(t *testing.T) {
+	urls, srvs, _ := newTestCluster(t, 3)
+	clk := clock.NewManual(time.Unix(1000, 0))
+	reg := obs.NewRegistry()
+	rt := newTestRouter(t, urls, clk, reg)
+
+	// Find a key homed on replica 0 and kill that replica.
+	name := ""
+	for i := 0; ; i++ {
+		cand := fmt.Sprintf("fo-%d", i)
+		k := sha256.Sum256([]byte(cand))
+		if rt.Ring().Lookup(k) == 0 {
+			name = cand
+			break
+		}
+	}
+	srvs[0].Close()
+	rec, body := get(t, rt, "/schedule?name="+name)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("failover status %d", rec.Code)
+	}
+	if strings.HasPrefix(body, "replica-0") {
+		t.Fatalf("dead replica served the request")
+	}
+	if got := metric(t, reg, MetricShardRetries); got < 1 {
+		t.Fatalf("%s = %v, want >= 1", MetricShardRetries, got)
+	}
+	// The dead replica is now in cooldown: /replicas reports it unhealthy
+	// and further requests for its keys go straight to the successor
+	// (no retry increment).
+	_, repBody := get(t, rt, "/replicas")
+	var listing struct {
+		Replicas []struct {
+			URL     string `json:"url"`
+			Healthy bool   `json:"healthy"`
+		} `json:"replicas"`
+	}
+	if err := json.Unmarshal([]byte(repBody), &listing); err != nil {
+		t.Fatalf("bad /replicas JSON: %v", err)
+	}
+	if len(listing.Replicas) != 3 || listing.Replicas[0].Healthy || !listing.Replicas[1].Healthy {
+		t.Fatalf("replica listing wrong: %+v", listing.Replicas)
+	}
+	before := metric(t, reg, MetricShardRetries)
+	_, body2 := get(t, rt, "/schedule?name="+name)
+	if body2 != body {
+		t.Fatalf("failover placement unstable: %q then %q", body, body2)
+	}
+	if got := metric(t, reg, MetricShardRetries); got != before {
+		t.Fatalf("in-cooldown request still counted a retry (%v -> %v)", before, got)
+	}
+	// After the cooldown the request probes replica 0 again (still dead:
+	// one retry, same successor answer).
+	clk.Advance(time.Second)
+	before = metric(t, reg, MetricShardRetries)
+	_, body3 := get(t, rt, "/schedule?name="+name)
+	if body3 != body {
+		t.Fatalf("post-cooldown placement unstable: %q", body3)
+	}
+	if got := metric(t, reg, MetricShardRetries); got != before+1 {
+		t.Fatalf("post-cooldown probe did not retry (%v -> %v)", before, got)
+	}
+}
+
+func TestRouterAllReplicasDown(t *testing.T) {
+	urls, srvs, _ := newTestCluster(t, 2)
+	reg := obs.NewRegistry()
+	rt := newTestRouter(t, urls, nil, reg)
+	srvs[0].Close()
+	srvs[1].Close()
+	rec, _ := get(t, rt, "/schedule?name=x")
+	if rec.Code != http.StatusBadGateway {
+		t.Fatalf("status %d, want 502", rec.Code)
+	}
+	if got := metric(t, reg, MetricShardErrors); got != 1 {
+		t.Fatalf("%s = %v, want 1", MetricShardErrors, got)
+	}
+}
+
+func TestRouterBadKeyIsLocal400(t *testing.T) {
+	urls, _, _ := newTestCluster(t, 2)
+	reg := obs.NewRegistry()
+	rt := newTestRouter(t, urls, nil, reg)
+	rec, body := get(t, rt, "/schedule") // no name parameter
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("status %d, want 400", rec.Code)
+	}
+	if !strings.Contains(body, "missing name") {
+		t.Fatalf("body %q", body)
+	}
+	if got := metric(t, reg, MetricShardRequests); got != 0 {
+		t.Fatalf("a 400 reached a replica (%s = %v)", MetricShardRequests, got)
+	}
+}
+
+func TestRouterMergedMetrics(t *testing.T) {
+	urls, _, regs := newTestCluster(t, 2)
+	regs[0].Counter("hp_test_requests_total", "test").Add(2)
+	regs[1].Counter("hp_test_requests_total", "test").Add(3)
+	routerReg := obs.NewRegistry()
+	rt := newTestRouter(t, urls, nil, routerReg)
+	// Route one request so the router's own families have samples.
+	get(t, rt, "/schedule?name=m")
+
+	rec, body := get(t, rt, "/metrics")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d", rec.Code)
+	}
+	exp, err := obs.ParseExposition(body)
+	if err != nil {
+		t.Fatalf("merged exposition does not parse: %v", err)
+	}
+	if got := exp.Value("hp_test_requests_total"); got != 5 {
+		t.Fatalf("merged replica counter = %v, want 5", got)
+	}
+	if got := exp.Value(MetricShardRequests); got != 1 {
+		t.Fatalf("router family missing from merged view: %v", got)
+	}
+}
+
+func TestRouterDefaultPathAffinity(t *testing.T) {
+	urls, srvs, _ := newTestCluster(t, 3)
+	rt := newTestRouter(t, urls, nil, obs.NewRegistry())
+	_, body := get(t, rt, "/runs")
+	if body != "runs-from-0" {
+		t.Fatalf("unkeyed path went to %q, want replica 0", body)
+	}
+	srvs[0].Close()
+	rec, body := get(t, rt, "/runs")
+	if rec.Code != http.StatusOK || body != "runs-from-1" {
+		t.Fatalf("unkeyed failover: %d %q", rec.Code, body)
+	}
+}
+
+func TestRouterTraceScatter(t *testing.T) {
+	urls, _, _ := newTestCluster(t, 3)
+	rt := newTestRouter(t, urls, nil, obs.NewRegistry())
+	// Only the last replica knows trace "feed"; the router scatters until
+	// it finds it.
+	rec, body := get(t, rt, "/trace/feed")
+	if rec.Code != http.StatusOK || body != "trace-body-2" {
+		t.Fatalf("scatter: %d %q", rec.Code, body)
+	}
+	rec, _ = get(t, rt, "/trace/0123456789abcdef")
+	if rec.Code != http.StatusNotFound {
+		t.Fatalf("unknown trace: %d, want 404", rec.Code)
+	}
+}
+
+func TestRouterOwnTraces(t *testing.T) {
+	urls, _, _ := newTestCluster(t, 2)
+	rt := newTestRouter(t, urls, nil, obs.NewRegistry())
+	rec, _ := get(t, rt, "/schedule?name=tr")
+	id := rec.Header().Get("X-Shard-Trace-Id")
+	if id == "" {
+		t.Fatalf("routed response missing X-Shard-Trace-Id")
+	}
+	_, listing := get(t, rt, "/traces")
+	if !strings.Contains(listing, id) {
+		t.Fatalf("/traces does not list routing trace %s: %s", id, listing)
+	}
+	rec, tree := get(t, rt, "/trace/"+id)
+	if rec.Code != http.StatusOK || !strings.Contains(tree, `"route"`) {
+		t.Fatalf("routing trace tree: %d %q", rec.Code, tree)
+	}
+	if !strings.Contains(tree, `"forward"`) {
+		t.Fatalf("routing trace has no forward span: %s", tree)
+	}
+}
+
+func TestRouterCandidatesOrdering(t *testing.T) {
+	urls, _, _ := newTestCluster(t, 4)
+	clk := clock.NewManual(time.Unix(0, 0))
+	rt := newTestRouter(t, urls, clk, obs.NewRegistry())
+	buf := make([]int, 0, rt.Ring().Size())
+	base := rt.Candidates(12345, buf)
+	baseCopy := append([]int(nil), base...)
+	// Mark the ring owner down: it must move to the back, everyone else
+	// keeps relative order.
+	rt.markDown(baseCopy[0], clk.Now())
+	got := rt.Candidates(12345, buf)
+	want := append(append([]int(nil), baseCopy[1:]...), baseCopy[0])
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("candidates after markDown = %v, want %v", got, want)
+		}
+	}
+	// Cooldown expiry restores ring order.
+	clk.Advance(time.Second)
+	got = rt.Candidates(12345, buf)
+	for i := range baseCopy {
+		if got[i] != baseCopy[i] {
+			t.Fatalf("candidates after cooldown = %v, want %v", got, baseCopy)
+		}
+	}
+}
+
+func TestRouterConfigValidation(t *testing.T) {
+	if _, err := NewRouter(RouterConfig{Key: testKeyFunc}); err == nil {
+		t.Fatalf("empty backend list accepted")
+	}
+	if _, err := NewRouter(RouterConfig{Backends: []string{"http://a"}}); err == nil {
+		t.Fatalf("nil key func accepted")
+	}
+	if _, err := NewRouter(RouterConfig{Backends: []string{"not-a-url"}, Key: testKeyFunc}); err == nil {
+		t.Fatalf("non-http backend accepted")
+	}
+}

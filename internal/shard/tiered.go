@@ -1,0 +1,159 @@
+package shard
+
+import (
+	"context"
+
+	"repro/internal/obs"
+	"repro/internal/serve"
+)
+
+// Metric names of the shared L2 cache tier (DESIGN.md §14 catalog).
+const (
+	MetricL2Hits   = "hp_cache_l2_hits_total"
+	MetricL2Misses = "hp_cache_l2_misses_total"
+	MetricL2Fills  = "hp_cache_l2_fills_total"
+)
+
+// L2 is the shared second cache tier: an opaque byte store keyed by the
+// canonical request key. Implementations must be safe for concurrent
+// use. Get returns the stored bytes (callers must treat them as
+// immutable); a miss, a lost entry or a peer failure all read as
+// (nil, false) — L2 is an optimization, never an authority. Put is
+// best-effort for the same reason.
+type L2 interface {
+	Get(ctx context.Context, k serve.Key) ([]byte, bool)
+	Put(ctx context.Context, k serve.Key, v []byte)
+}
+
+// Outcome says how a Tiered.DoCtx call was served.
+type Outcome int
+
+const (
+	// Computed: every tier missed; this call ran compute.
+	Computed Outcome = iota
+	// HitL1: served from the local LRU.
+	HitL1
+	// HitL2: the local tier missed but the shared tier had the bytes; the
+	// decoded value was promoted into L1.
+	HitL2
+	// CoalescedTier: an identical call was already in flight on this
+	// replica; this call shared its result (whatever tier produced it).
+	CoalescedTier
+)
+
+// String implements fmt.Stringer for test failure messages.
+func (o Outcome) String() string {
+	switch o {
+	case Computed:
+		return "computed"
+	case HitL1:
+		return "hit_l1"
+	case HitL2:
+		return "hit_l2"
+	case CoalescedTier:
+		return "coalesced"
+	default:
+		return "unknown"
+	}
+}
+
+// Tiered layers the shared L2 tier under a replica's L1 serve.Cache:
+//
+//	L1 hit                    -> return (HitL1)
+//	L1 in-flight              -> coalesce onto it (CoalescedTier)
+//	L1 miss -> L2 hit         -> decode, populate L1, return (HitL2)
+//	L1 miss -> L2 miss        -> compute, fill L2 + L1 (Computed)
+//
+// The L2 consult runs inside L1's single-flight window, so concurrent
+// identical requests still cost at most one L2 round trip plus at most
+// one compute, and errors are never cached in either tier (L1 refuses
+// them, and the L2 fill only happens after a successful compute). With a
+// nil L2 a Tiered degrades to the plain L1 cache.
+type Tiered[V any] struct {
+	l1     *serve.Cache[V]
+	l2     L2
+	encode func(V) ([]byte, error)
+	decode func([]byte) (V, error)
+
+	l2hits   *obs.Counter
+	l2misses *obs.Counter
+	l2fills  *obs.Counter
+}
+
+// NewTiered builds a two-tier cache over an existing L1. encode/decode
+// translate values to the opaque bytes L2 stores; a decode failure on an
+// L2 hit degrades to a miss (the entry is recomputed, never trusted).
+// Metrics are registered in reg, or in a private registry when reg is
+// nil. l2 may be nil.
+func NewTiered[V any](l1 *serve.Cache[V], l2 L2, encode func(V) ([]byte, error), decode func([]byte) (V, error), reg *obs.Registry) *Tiered[V] {
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	return &Tiered[V]{
+		l1:     l1,
+		l2:     l2,
+		encode: encode,
+		decode: decode,
+		l2hits: reg.Counter(MetricL2Hits,
+			"L1 misses served from the shared L2 cache tier."),
+		l2misses: reg.Counter(MetricL2Misses,
+			"L1 misses that also missed the shared L2 tier and ran compute."),
+		l2fills: reg.Counter(MetricL2Fills,
+			"Computed results written into the shared L2 tier."),
+	}
+}
+
+// L1 returns the underlying local cache.
+func (t *Tiered[V]) L1() *serve.Cache[V] { return t.l1 }
+
+// DoCtx returns the value for k, consulting L1, then L2, then compute.
+// Context and tracing semantics match serve.Cache.DoCtx; on a traced
+// request the cache span additionally carries an "l2" annotation (hit /
+// miss) when the shared tier was consulted.
+func (t *Tiered[V]) DoCtx(ctx context.Context, k serve.Key, compute func(context.Context) (V, error)) (V, Outcome, error) {
+	// fromL2 is written only by the single-flight winner's closure, which
+	// runs synchronously in this goroutine exactly when the L1 outcome is
+	// Miss — the only case the value is read.
+	fromL2 := false
+	v, out, err := t.l1.DoCtx(ctx, k, func(cctx context.Context) (V, error) {
+		if t.l2 != nil {
+			if raw, ok := t.l2.Get(cctx, k); ok {
+				dv, derr := t.decode(raw)
+				if derr == nil {
+					t.l2hits.Inc()
+					fromL2 = true
+					if sp := obs.SpanFromContext(cctx); sp != nil {
+						sp.Annotate("l2", "hit")
+					}
+					return dv, nil
+				}
+				// Undecodable bytes: treat as a miss and recompute.
+			}
+			t.l2misses.Inc()
+			if sp := obs.SpanFromContext(cctx); sp != nil {
+				sp.Annotate("l2", "miss")
+			}
+		}
+		cv, cerr := compute(cctx)
+		if cerr == nil && t.l2 != nil {
+			if raw, eerr := t.encode(cv); eerr == nil {
+				t.l2.Put(cctx, k, raw)
+				t.l2fills.Inc()
+			}
+		}
+		return cv, cerr
+	})
+	switch out {
+	case serve.Hit:
+		return v, HitL1, err
+	case serve.Coalesced:
+		return v, CoalescedTier, err
+	}
+	if err == nil && fromL2 {
+		return v, HitL2, nil
+	}
+	return v, Computed, err
+}
+
+// Get returns the L1-cached value without consulting L2 or computing.
+func (t *Tiered[V]) Get(k serve.Key) (V, bool) { return t.l1.Get(k) }

@@ -1,0 +1,227 @@
+package shard
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/serve"
+)
+
+func intCodec() (func(int) ([]byte, error), func([]byte) (int, error)) {
+	enc := func(v int) ([]byte, error) { return []byte(strconv.Itoa(v)), nil }
+	dec := func(b []byte) (int, error) { return strconv.Atoi(string(b)) }
+	return enc, dec
+}
+
+func newIntTiered(l2 L2, reg *obs.Registry) *Tiered[int] {
+	enc, dec := intCodec()
+	return NewTiered(serve.NewCache[int](16, reg), l2, enc, dec, reg)
+}
+
+func metric(t *testing.T, reg *obs.Registry, name string) float64 {
+	t.Helper()
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	exp, err := obs.ParseExposition(b.String())
+	if err != nil {
+		t.Fatalf("ParseExposition: %v", err)
+	}
+	return exp.Value(name)
+}
+
+func TestTieredComputeThenL1ThenL2(t *testing.T) {
+	reg := obs.NewRegistry()
+	shared := NewMemoryL2(32, reg)
+	a := newIntTiered(shared, reg)
+	k := keyFromUint(42)
+	computes := 0
+	compute := func(context.Context) (int, error) { computes++; return 99, nil }
+
+	v, out, err := a.DoCtx(context.Background(), k, compute)
+	if err != nil || v != 99 || out != Computed {
+		t.Fatalf("first call: v=%d out=%v err=%v", v, out, err)
+	}
+	v, out, err = a.DoCtx(context.Background(), k, compute)
+	if err != nil || v != 99 || out != HitL1 {
+		t.Fatalf("second call: v=%d out=%v err=%v", v, out, err)
+	}
+	// A different replica (fresh L1) sharing the same L2 hits the shared tier.
+	b := newIntTiered(shared, obs.NewRegistry())
+	v, out, err = b.DoCtx(context.Background(), k, func(context.Context) (int, error) {
+		t.Fatalf("compute ran despite L2 entry")
+		return 0, nil
+	})
+	if err != nil || v != 99 || out != HitL2 {
+		t.Fatalf("cross-replica call: v=%d out=%v err=%v", v, out, err)
+	}
+	// ...and promoted it into its own L1.
+	if _, out, _ = b.DoCtx(context.Background(), k, compute); out != HitL1 {
+		t.Fatalf("post-promotion call: out=%v", out)
+	}
+	if computes != 1 {
+		t.Fatalf("compute ran %d times, want 1", computes)
+	}
+	if got := metric(t, reg, MetricL2Fills); got != 1 {
+		t.Fatalf("%s = %v, want 1", MetricL2Fills, got)
+	}
+	if got := metric(t, reg, MetricL2Misses); got != 1 {
+		t.Fatalf("%s = %v, want 1", MetricL2Misses, got)
+	}
+}
+
+func TestTieredErrorsNeverCached(t *testing.T) {
+	reg := obs.NewRegistry()
+	shared := NewMemoryL2(32, reg)
+	tc := newIntTiered(shared, reg)
+	k := keyFromUint(7)
+	boom := errors.New("boom")
+	calls := 0
+	fail := func(context.Context) (int, error) { calls++; return 0, boom }
+
+	if _, out, err := tc.DoCtx(context.Background(), k, fail); !errors.Is(err, boom) || out != Computed {
+		t.Fatalf("error call: out=%v err=%v", out, err)
+	}
+	if shared.Len() != 0 {
+		t.Fatalf("error was written into L2")
+	}
+	if _, out, err := tc.DoCtx(context.Background(), k, fail); !errors.Is(err, boom) || out != Computed {
+		t.Fatalf("retry call: out=%v err=%v", out, err)
+	}
+	if calls != 2 {
+		t.Fatalf("failed compute cached somewhere: ran %d times, want 2", calls)
+	}
+}
+
+func TestTieredCoalescing(t *testing.T) {
+	shared := NewMemoryL2(32, nil)
+	tc := newIntTiered(shared, obs.NewRegistry())
+	k := keyFromUint(11)
+	started := make(chan struct{})
+	release := make(chan struct{})
+	var computes int32
+	var wg sync.WaitGroup
+	outcomes := make([]Outcome, 8)
+	wg.Add(len(outcomes))
+	for i := range outcomes {
+		go func(i int) {
+			defer wg.Done()
+			if i == 0 {
+				v, out, err := tc.DoCtx(context.Background(), k, func(context.Context) (int, error) {
+					close(started)
+					<-release
+					computes++
+					return 5, nil
+				})
+				if err != nil || v != 5 {
+					t.Errorf("winner: v=%d err=%v", v, err)
+				}
+				outcomes[0] = out
+				return
+			}
+			<-started
+			v, out, err := tc.DoCtx(context.Background(), k, func(context.Context) (int, error) {
+				t.Errorf("loser %d ran compute", i)
+				return 0, nil
+			})
+			if err != nil || v != 5 {
+				t.Errorf("loser %d: v=%d err=%v", i, v, err)
+			}
+			outcomes[i] = out
+		}(i)
+	}
+	<-started
+	close(release)
+	wg.Wait()
+	if computes != 1 {
+		t.Fatalf("compute ran %d times", computes)
+	}
+	if outcomes[0] != Computed {
+		t.Fatalf("winner outcome = %v", outcomes[0])
+	}
+	for i, out := range outcomes[1:] {
+		if out != CoalescedTier && out != HitL1 {
+			t.Fatalf("waiter %d outcome = %v", i+1, out)
+		}
+	}
+}
+
+func TestTieredUndecodableEntryRecomputes(t *testing.T) {
+	reg := obs.NewRegistry()
+	shared := NewMemoryL2(32, reg)
+	k := keyFromUint(3)
+	shared.Put(context.Background(), k, []byte("not-an-int"))
+	tc := newIntTiered(shared, reg)
+	v, out, err := tc.DoCtx(context.Background(), k, func(context.Context) (int, error) { return 8, nil })
+	if err != nil || v != 8 || out != Computed {
+		t.Fatalf("v=%d out=%v err=%v", v, out, err)
+	}
+	if got := metric(t, reg, MetricL2Hits); got != 0 {
+		t.Fatalf("undecodable entry counted as an L2 hit")
+	}
+}
+
+func TestTieredNilL2DegradesToL1(t *testing.T) {
+	tc := newIntTiered(nil, obs.NewRegistry())
+	k := keyFromUint(21)
+	if _, out, err := tc.DoCtx(context.Background(), k, func(context.Context) (int, error) { return 1, nil }); err != nil || out != Computed {
+		t.Fatalf("out=%v err=%v", out, err)
+	}
+	if _, out, _ := tc.DoCtx(context.Background(), k, nil); out != HitL1 {
+		t.Fatalf("out=%v", out)
+	}
+	if v, ok := tc.Get(k); !ok || v != 1 {
+		t.Fatalf("Get = %d, %v", v, ok)
+	}
+	if tc.L1() == nil {
+		t.Fatalf("L1 accessor returned nil")
+	}
+}
+
+func TestTieredSpanAnnotations(t *testing.T) {
+	tr := obs.NewTracer(8)
+	shared := NewMemoryL2(32, nil)
+	tc := newIntTiered(shared, obs.NewRegistry())
+	k := keyFromUint(77)
+
+	run := func(want string) {
+		sp := tr.StartTrace("req")
+		ctx := obs.ContextWithSpan(context.Background(), sp)
+		_, _, _ = tc.DoCtx(ctx, k, func(context.Context) (int, error) { return 4, nil })
+		sp.End()
+		td := tr.Recent()[0]
+		found := ""
+		for _, sd := range td.Spans() {
+			for _, a := range sd.Annots[:sd.NAnn] {
+				if a.Key == "l2" {
+					found = fmt.Sprint(a.Value())
+				}
+			}
+		}
+		if found != want {
+			t.Fatalf("l2 annotation = %q, want %q", found, want)
+		}
+	}
+	run("miss")
+	// Fresh L1, same L2: traced request annotates the hit.
+	tc = newIntTiered(shared, obs.NewRegistry())
+	run("hit")
+}
+
+func TestOutcomeString(t *testing.T) {
+	for out, want := range map[Outcome]string{
+		Computed: "computed", HitL1: "hit_l1", HitL2: "hit_l2",
+		CoalescedTier: "coalesced", Outcome(99): "unknown",
+	} {
+		if out.String() != want {
+			t.Fatalf("Outcome(%d).String() = %q, want %q", int(out), out.String(), want)
+		}
+	}
+}
