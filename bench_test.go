@@ -17,6 +17,7 @@ import (
 	"repro/internal/sched"
 	"repro/internal/serve"
 	"repro/internal/shard"
+	"repro/internal/sim"
 	"repro/internal/workloads"
 )
 
@@ -282,6 +283,34 @@ func BenchmarkScheduleIndependent(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if _, err := core.ScheduleIndependent(in, pl, opt); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkScheduleIndependentZoo measures the two cheapest competitor
+// schedulers (DESIGN.md §15) on the same 1000-task instance as
+// BenchmarkScheduleIndependent: both are a sort plus an O(n log m)
+// placement loop, so they belong in the benchgate alongside HeteroPrio —
+// a regression here means the zoo's shared plumbing got slower, not that
+// an LP or a simulation grew.
+func BenchmarkScheduleIndependentZoo(b *testing.B) {
+	pl := expr.PaperPlatform()
+	rng := rand.New(rand.NewSource(3))
+	in := workloads.UniformInstance(1000, 1, 100, 0.2, 40, rng)
+	for _, bc := range []struct {
+		name string
+		run  func(platform.Instance, platform.Platform) (*sim.Schedule, error)
+	}{
+		{"erls", sched.ERLSIndependent},
+		{"clb2c", sched.CLB2CIndependent},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := bc.run(in, pl); err != nil {
 					b.Fatal(err)
 				}
 			}

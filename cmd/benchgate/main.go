@@ -27,7 +27,7 @@ import (
 // gatedBenchmarks is the -bench regexp for the gate: the scheduler fast
 // paths, the area bound, the DAG path, the pool scaling bench, and the
 // shard-routing hot paths (ring lookup and candidate ordering).
-const gatedBenchmarks = "^(BenchmarkScheduleIndependent|BenchmarkScheduleIndependentScaling|BenchmarkAreaBound|BenchmarkScheduleDAGCholesky|BenchmarkHDRRecord|BenchmarkSpanStartEnd|BenchmarkRingLookup|BenchmarkRouterCandidates)$"
+const gatedBenchmarks = "^(BenchmarkScheduleIndependent|BenchmarkScheduleIndependentZoo|BenchmarkScheduleIndependentScaling|BenchmarkAreaBound|BenchmarkScheduleDAGCholesky|BenchmarkHDRRecord|BenchmarkSpanStartEnd|BenchmarkRingLookup|BenchmarkRouterCandidates)$"
 
 func main() {
 	var (

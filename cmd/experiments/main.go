@@ -31,7 +31,7 @@ var logger = obs.NewLogger(nil, false)
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment: all, table1, table2, fig6, fig7, fig8, fig9, ablation, shape, bounds, kernelmix, distribution, adversary, transfer, robustness")
+		exp     = flag.String("exp", "all", "experiment: all, table1, table2, fig6, fig7, fig8, fig9, ablation, shape, bounds, kernelmix, distribution, adversary, transfer, robustness, tournament")
 		out     = flag.String("out", "results", "output directory for CSV files")
 		quick   = flag.Bool("quick", false, "reduced N sweep (fast)")
 		workers = flag.Int("workers", 0, "parallel sweep workers (0 = GOMAXPROCS); results are identical for any value")
@@ -282,6 +282,28 @@ func run(exp, out string, quick bool, workers int) error {
 		}
 		fmt.Printf("robustness computed in %v\n", time.Since(start).Round(time.Millisecond))
 		if err := emit("robustness", expr.RobustnessTable(all)); err != nil {
+			return err
+		}
+	}
+	if want("tournament") {
+		ran = true
+		cfg := expr.DefaultTournament()
+		if quick {
+			cfg = expr.QuickTournament()
+		}
+		start := time.Now()
+		rows, err := expr.TournamentPool(ctx, pool, cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("tournament computed in %v\n", time.Since(start).Round(time.Millisecond))
+		if err := emit("tournament", expr.TournamentTable(rows)); err != nil {
+			return err
+		}
+		if err := emit("tournament_wins", expr.TournamentWinsTable(rows)); err != nil {
+			return err
+		}
+		if err := emitCharts(expr.TournamentCharts(rows)); err != nil {
 			return err
 		}
 	}

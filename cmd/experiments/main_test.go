@@ -38,3 +38,24 @@ func TestRunUnknownExperiment(t *testing.T) {
 		t.Error("unknown experiment accepted")
 	}
 }
+
+func TestRunTournament(t *testing.T) {
+	dir := t.TempDir()
+	if err := run("tournament", dir, true, 2); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"tournament.csv", "tournament_wins.csv"} {
+		raw, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		for _, alg := range []string{"HeteroPrio", "ERLS", "HLP", "CLB2C", "PriorityAware", "Affinity"} {
+			if !strings.Contains(string(raw), alg) {
+				t.Errorf("%s: missing column for %s", name, alg)
+			}
+		}
+	}
+	if _, err := os.Stat(filepath.Join(dir, "tournament_8c2g.svg")); err != nil {
+		t.Errorf("tournament chart not written: %v", err)
+	}
+}

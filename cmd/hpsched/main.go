@@ -36,7 +36,7 @@ var logger = obs.NewLogger(nil, false)
 
 func main() {
 	var (
-		alg         = flag.String("alg", "HeteroPrio-min", "algorithm, comma-separated list, or \"all\": DAG mode accepts "+fmt.Sprint(expr.DAGAlgorithms())+"; independent mode accepts "+fmt.Sprint(expr.IndepAlgorithms()))
+		alg         = flag.String("alg", "HeteroPrio-min", "algorithm, comma-separated list, or \"all\": DAG mode accepts "+fmt.Sprint(expr.AllDAGAlgorithms())+"; independent mode accepts "+fmt.Sprint(expr.AllIndepAlgorithms()))
 		workload    = flag.String("workload", "cholesky", "workload: cholesky, qr, lu, wavefront, chains or uniform")
 		n           = flag.Int("n", 8, "workload size parameter (tiles, grid side, chain count, task count)")
 		cpus        = flag.Int("cpus", 20, "number of CPU workers")
@@ -66,9 +66,9 @@ func main() {
 func parseAlgs(spec string, independent bool) []string {
 	if spec == "all" {
 		if independent {
-			return expr.IndepAlgorithms()
+			return expr.AllIndepAlgorithms()
 		}
-		return expr.DAGAlgorithms()
+		return expr.AllDAGAlgorithms()
 	}
 	var algs []string
 	for _, a := range strings.Split(spec, ",") {

@@ -1,0 +1,77 @@
+package analysis
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestZooFilesInAnalyzerScope pins the hplint scope contract the
+// competitor zoo relies on: purity (no in-place instance mutation) and
+// simdeterminism (no wall clock or global randomness in the simulation
+// path) are package-scoped on internal/sched, so every scheduler file —
+// including each zoo file added for DESIGN.md §15 — is analyzed without
+// needing per-file registration. The test fails if the scopes drop the
+// package, or if a zoo file disappears without this roster being updated.
+func TestZooFilesInAnalyzerScope(t *testing.T) {
+	inScope := func(a *Analyzer) bool {
+		for _, p := range a.Packages {
+			if p == "internal/sched" {
+				return true
+			}
+		}
+		return false
+	}
+	if !inScope(Purity) {
+		t.Errorf("purity no longer covers internal/sched: %v", Purity.Packages)
+	}
+	if !inScope(SimDeterminism) {
+		t.Errorf("simdeterminism no longer covers internal/sched: %v", SimDeterminism.Packages)
+	}
+
+	// Package scope means "every non-test file in the directory": verify
+	// the zoo roster is actually on disk, and that the loader hands the
+	// analyzers every non-test file (nothing is skipped by build tags or
+	// naming).
+	dir := filepath.Join("..", "sched")
+	zoo := []string{"zoo.go", "erls.go", "hlp.go", "clb2c.go", "priaware.go", "affinity.go"}
+	onDisk := map[string]bool{}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), ".go") && !strings.HasSuffix(e.Name(), "_test.go") {
+			onDisk[e.Name()] = true
+		}
+	}
+	for _, f := range zoo {
+		if !onDisk[f] {
+			t.Errorf("zoo file %s missing from internal/sched", f)
+		}
+	}
+
+	l, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := l.LoadDir(dir, "internal/sched")
+	if err != nil {
+		t.Fatal(err)
+	}
+	loaded := map[string]bool{}
+	for _, p := range pkgs {
+		if p.TestOnly {
+			continue
+		}
+		for _, f := range p.Files {
+			loaded[filepath.Base(p.Fset.Position(f.Pos()).Filename)] = true
+		}
+	}
+	for name := range onDisk {
+		if !loaded[name] {
+			t.Errorf("%s is on disk but not loaded for analysis", name)
+		}
+	}
+}

@@ -1,9 +1,10 @@
-package bounds
+package bounds_test
 
 import (
 	"math/rand"
 	"testing"
 
+	"repro/internal/bounds"
 	"repro/internal/dag"
 	"repro/internal/platform"
 	"repro/internal/sched"
@@ -24,11 +25,11 @@ func TestDAGLowerRefinedAtLeastBase(t *testing.T) {
 	for trial := 0; trial < 40; trial++ {
 		g := dag.RandomLayered(dag.DefaultRandomLayeredConfig(), rng)
 		pl := platform.NewPlatform(1+rng.Intn(4), 1+rng.Intn(3))
-		base, err := DAGLower(g, pl)
+		base, err := bounds.DAGLower(g, pl)
 		if err != nil {
 			t.Fatal(err)
 		}
-		refined, err := DAGLowerRefined(g, pl)
+		refined, err := bounds.DAGLowerRefined(g, pl)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -59,11 +60,11 @@ func TestDAGLowerRefinedStrictlyStronger(t *testing.T) {
 		g.AddEdge(prev, id)
 	}
 	pl := platform.NewPlatform(2, 2)
-	base, err := DAGLower(g, pl)
+	base, err := bounds.DAGLower(g, pl)
 	if err != nil {
 		t.Fatal(err)
 	}
-	refined, err := DAGLowerRefined(g, pl)
+	refined, err := bounds.DAGLowerRefined(g, pl)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -99,7 +100,7 @@ func TestDAGLowerRefinedBackwardSweep(t *testing.T) {
 		prev = id
 	}
 	pl := platform.NewPlatform(2, 2)
-	refined, err := DAGLowerRefined(g, pl)
+	refined, err := bounds.DAGLowerRefined(g, pl)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -115,7 +116,7 @@ func TestDAGLowerRefinedIsLowerBound(t *testing.T) {
 	for trial := 0; trial < 30; trial++ {
 		g := dag.RandomLayered(dag.DefaultRandomLayeredConfig(), rng)
 		pl := platform.NewPlatform(1+rng.Intn(4), 1+rng.Intn(3))
-		refined, err := DAGLowerRefined(g, pl)
+		refined, err := bounds.DAGLowerRefined(g, pl)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -135,7 +136,7 @@ func TestDAGLowerRefinedCycleError(t *testing.T) {
 	b := g.AddTask(platform.Task{CPUTime: 1, GPUTime: 1})
 	g.AddEdge(a, b)
 	g.AddEdge(b, a)
-	if _, err := DAGLowerRefined(g, platform.NewPlatform(1, 1)); err == nil {
+	if _, err := bounds.DAGLowerRefined(g, platform.NewPlatform(1, 1)); err == nil {
 		t.Error("cycle accepted")
 	}
 }

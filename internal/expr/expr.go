@@ -47,6 +47,21 @@ func SmallNs() []int { return []int{4, 8, 12, 16} }
 // IndepAlgorithms lists the independent-task schedulers of Figure 6.
 func IndepAlgorithms() []string { return []string{"HeteroPrio", "DualHP", "HEFT"} }
 
+// ZooIndepAlgorithms lists the related-work competitors (DESIGN.md §15).
+// They are kept out of IndepAlgorithms so the paper figures keep their
+// original algorithm set (and their sweep cost: HLP solves an LP per
+// instance).
+func ZooIndepAlgorithms() []string {
+	return []string{"ERLS", "HLP", "CLB2C", "PriorityAware", "Affinity"}
+}
+
+// AllIndepAlgorithms lists every independent-task scheduler: the paper's
+// plus the zoo. This is the set hpsched's -alg all and the tournament
+// sweep use.
+func AllIndepAlgorithms() []string {
+	return append(IndepAlgorithms(), ZooIndepAlgorithms()...)
+}
+
 // RunIndependent executes the named independent-task scheduler.
 func RunIndependent(name string, in platform.Instance, pl platform.Platform) (*sim.Schedule, error) {
 	return RunIndependentObserved(name, in, pl, nil)
@@ -68,6 +83,16 @@ func RunIndependentObserved(name string, in platform.Instance, pl platform.Platf
 		return sched.DualHPIndependent(in, pl)
 	case "HEFT":
 		return sched.HEFTIndependent(in, pl, dag.WeightAvg)
+	case "ERLS":
+		return sched.ERLSIndependent(in, pl)
+	case "HLP":
+		return sched.HLPIndependent(in, pl)
+	case "CLB2C":
+		return sched.CLB2CIndependent(in, pl)
+	case "PriorityAware":
+		return sched.PriorityAwareIndependent(in, pl)
+	case "Affinity":
+		return sched.AffinityIndependent(in, pl)
 	default:
 		return nil, fmt.Errorf("expr: unknown independent algorithm %q", name)
 	}
@@ -81,6 +106,22 @@ func DAGAlgorithms() []string {
 		"DualHP-min", "DualHP-avg", "DualHP-fifo",
 		"HEFT-min", "HEFT-avg",
 	}
+}
+
+// ZooDAGAlgorithms lists the DAG entry points of the zoo competitors.
+func ZooDAGAlgorithms() []string {
+	return []string{
+		"ERLS-min", "ERLS-avg",
+		"HLP-min",
+		"CLB2C",
+		"PriorityAware-min",
+		"Affinity",
+	}
+}
+
+// AllDAGAlgorithms lists every DAG scheduler: the paper's plus the zoo.
+func AllDAGAlgorithms() []string {
+	return append(DAGAlgorithms(), ZooDAGAlgorithms()...)
 }
 
 // RunDAG executes the named DAG scheduler on a copy of the graph's
@@ -124,6 +165,18 @@ func RunDAGObserved(name string, g *dag.Graph, pl platform.Platform, o obs.Obser
 		return sched.HEFT(g, pl, dag.WeightMin)
 	case "HEFT-avg":
 		return sched.HEFT(g, pl, dag.WeightAvg)
+	case "ERLS-min":
+		return sched.ERLSDAGWithPriorities(g, pl, dag.WeightMin)
+	case "ERLS-avg":
+		return sched.ERLSDAGWithPriorities(g, pl, dag.WeightAvg)
+	case "HLP-min":
+		return sched.HLPDAGWithPriorities(g, pl, dag.WeightMin)
+	case "CLB2C":
+		return sched.CLB2CDAG(g, pl)
+	case "PriorityAware-min":
+		return sched.PriorityAwareDAGWithPriorities(g, pl, dag.WeightMin)
+	case "Affinity":
+		return sched.AffinityDAG(g, pl)
 	default:
 		return nil, fmt.Errorf("expr: unknown DAG algorithm %q", name)
 	}

@@ -2,6 +2,7 @@ package expr
 
 import (
 	"math"
+	"math/rand"
 	"strings"
 	"testing"
 
@@ -156,5 +157,60 @@ func TestAblationSmall(t *testing.T) {
 	}
 	if md := AblationTable(rows).Markdown(); !strings.Contains(md, "no spoliation") {
 		t.Error("ablation table rendering")
+	}
+}
+
+// TestAlgorithmCatalog pins the registry contract of the zoo (DESIGN.md
+// §15): the catalog lists are disjoint unions, and every listed name —
+// paper set and zoo alike — runs and validates on a small workload. A
+// name in the catalog that RunIndependent/RunDAG cannot dispatch, or a
+// scheduler that emits an invalid schedule, fails here before it can
+// break the tournament sweep or hpsched -alg all.
+func TestAlgorithmCatalog(t *testing.T) {
+	if got, want := len(AllIndepAlgorithms()), len(IndepAlgorithms())+len(ZooIndepAlgorithms()); got != want {
+		t.Fatalf("AllIndepAlgorithms has %d entries, want %d", got, want)
+	}
+	if got, want := len(AllDAGAlgorithms()), len(DAGAlgorithms())+len(ZooDAGAlgorithms()); got != want {
+		t.Fatalf("AllDAGAlgorithms has %d entries, want %d", got, want)
+	}
+	pl := platform.NewPlatform(4, 2)
+	// Names are deduplicated per mode: CLB2C and Affinity keep their bare
+	// name in both catalogs because their DAG entry has no ranking
+	// variants, and hpsched dispatches by mode.
+	seen := map[string]bool{}
+	rng := rand.New(rand.NewSource(42))
+	in := workloads.UniformInstance(24, 1, 20, 0.5, 10, rng)
+	for _, alg := range AllIndepAlgorithms() {
+		if seen[alg] {
+			t.Errorf("duplicate independent algorithm %q", alg)
+		}
+		seen[alg] = true
+		s, err := RunIndependent(alg, in, pl)
+		if err != nil {
+			t.Errorf("%s: %v", alg, err)
+			continue
+		}
+		if err := s.Validate(in, nil); err != nil {
+			t.Errorf("%s: invalid schedule: %v", alg, err)
+		}
+	}
+	seen = map[string]bool{}
+	for _, alg := range AllDAGAlgorithms() {
+		if seen[alg] {
+			t.Errorf("duplicate DAG algorithm %q", alg)
+		}
+		seen[alg] = true
+		g, err := workloads.Build(workloads.FactCholesky, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := RunDAG(alg, g, pl)
+		if err != nil {
+			t.Errorf("%s: %v", alg, err)
+			continue
+		}
+		if err := s.Validate(g.Tasks(), g); err != nil {
+			t.Errorf("%s: invalid schedule: %v", alg, err)
+		}
 	}
 }

@@ -53,4 +53,7 @@ func TestPoolDriversMatchSequential(t *testing.T) {
 		return RobustnessPool(ctx, p, workloads.FactCholesky, 8, []float64{0, 0.2}, 3, pl)
 	})
 	check("adversary", func(p *engine.Pool) (any, error) { return AdversaryPool(ctx, p, 60, 7) })
+	check("tournament", func(p *engine.Pool) (any, error) {
+		return TournamentPool(ctx, p, QuickTournament())
+	})
 }

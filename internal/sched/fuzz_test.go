@@ -1,0 +1,145 @@
+package sched
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/bounds"
+	"repro/internal/dag"
+	"repro/internal/platform"
+	"repro/internal/sim"
+)
+
+// Fuzzing for the competitor zoo, extending the FuzzHeteroPrioInvariants
+// pattern of internal/core: arbitrary byte strings decode into instances
+// (and layered DAGs) and every zoo scheduler must produce a structurally
+// valid schedule sandwiched between the combined lower bound and the
+// fully-serialized upper bound. Unlike the core decoder, this one also
+// emits single-class platforms (0 CPUs or 0 GPUs) to drive each
+// algorithm's degenerate-class failover, and it assigns one of three
+// kernel names per task so Affinity's window-scan path actually fires.
+
+// checkScheduleInvariants is the shared harness: structural validity
+// against the instance (and graph when scheduling a DAG), plus the
+// universal makespan envelope lower <= makespan <= sum of max(p, q).
+func checkScheduleInvariants(t *testing.T, alg string, in platform.Instance, pl platform.Platform, g *dag.Graph, s *sim.Schedule) {
+	t.Helper()
+	if err := s.Validate(in, g); err != nil {
+		t.Fatalf("%s: invalid schedule: %v", alg, err)
+	}
+	lower, err := bounds.Lower(in, pl)
+	if err != nil {
+		t.Fatalf("%s: lower bound: %v", alg, err)
+	}
+	serial := 0.0
+	for _, tk := range in {
+		serial += math.Max(tk.CPUTime, tk.GPUTime)
+	}
+	ms := s.Makespan()
+	if ms < lower-1e-6*math.Max(1, lower) {
+		t.Fatalf("%s: makespan %v beats the lower bound %v", alg, ms, lower)
+	}
+	if ms > serial+1e-6*math.Max(1, serial) {
+		t.Fatalf("%s: makespan %v exceeds the serial envelope %v", alg, ms, serial)
+	}
+}
+
+// zooFuzzDecode turns fuzz bytes into an instance, a platform and a
+// layered DAG over the same tasks. Header: CPU count (0..6) and GPU count
+// (0..4), at least one nonzero. Body: two bytes per task — CPU time and
+// an acceleration bucket whose low bits also pick the kernel name and the
+// task's incoming edges (previous task, and one three-back fan-in).
+func zooFuzzDecode(data []byte) (platform.Instance, platform.Platform, *dag.Graph, bool) {
+	if len(data) < 4 {
+		return nil, platform.Platform{}, nil, false
+	}
+	m := int(data[0]) % 7
+	n := int(data[1]) % 5
+	if m+n == 0 {
+		m = 1
+	}
+	data = data[2:]
+	var in platform.Instance
+	g := dag.New()
+	for i := 0; i+1 < len(data) && len(in) < 32; i += 2 {
+		p := 0.1 + float64(data[i])/8
+		accel := math.Exp((float64(data[i+1])/255)*6 - 2) // ~[0.14, 55]
+		tk := platform.Task{
+			ID:      len(in),
+			Name:    string(rune('a' + data[i+1]%3)),
+			CPUTime: p,
+			GPUTime: p / accel,
+		}
+		in = append(in, tk)
+		id := g.AddTask(tk)
+		if id > 0 && data[i+1]&4 != 0 {
+			g.AddEdge(id-1, id)
+		}
+		if id > 2 && data[i]&3 == 0 {
+			g.AddEdge(id-3, id)
+		}
+	}
+	if len(in) == 0 {
+		return nil, platform.Platform{}, nil, false
+	}
+	return in, platform.NewPlatform(m, n), g, true
+}
+
+// FuzzZooInvariants runs every zoo scheduler — independent and DAG entry
+// points — through checkScheduleInvariants on decoded instances.
+func FuzzZooInvariants(f *testing.F) {
+	// Tie-breaking: four tasks with identical acceleration factor, name
+	// and priority — deque order and seq tie-breaks decide everything.
+	f.Add([]byte{2, 1, 16, 128, 16, 128, 16, 128, 16, 128})
+	// Failover: CPU-only and GPU-only platforms force every algorithm
+	// through its empty-class fallback (ER-LS's degenerate kind rule,
+	// classPlacer's Other() fallback, CLB2C's one-sided candidates).
+	f.Add([]byte{3, 0, 100, 200, 50, 10, 30, 128})
+	f.Add([]byte{0, 2, 100, 200, 50, 10, 30, 128})
+	// Affinity window: alternating kernel names (accel buckets 0,1,2)
+	// with enough tasks that the window scan skips past the deque ends.
+	f.Add([]byte{1, 1, 40, 30, 40, 31, 40, 32, 40, 30, 40, 31, 40, 32, 40, 30, 40, 31})
+	// Spread of shapes, sizes and accel buckets plus DAG edge bits set.
+	f.Add([]byte{5, 3, 12, 255, 200, 4, 7, 133, 90, 64, 3, 247, 60, 12})
+
+	indep := []struct {
+		name string
+		run  indepScheduler
+	}{
+		{"ERLS", ERLSIndependent},
+		{"HLP", HLPIndependent},
+		{"CLB2C", CLB2CIndependent},
+		{"PriorityAware", PriorityAwareIndependent},
+		{"Affinity", AffinityIndependent},
+	}
+	dagRuns := []struct {
+		name string
+		run  func(*dag.Graph, platform.Platform) (*sim.Schedule, error)
+	}{
+		{"ERLSDAG", ERLSDAG},
+		{"HLPDAG", HLPDAG},
+		{"CLB2CDAG", CLB2CDAG},
+		{"PriorityAwareDAG", PriorityAwareDAG},
+		{"AffinityDAG", AffinityDAG},
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		in, pl, g, ok := zooFuzzDecode(data)
+		if !ok {
+			t.Skip()
+		}
+		for _, alg := range indep {
+			s, err := alg.run(in, pl)
+			if err != nil {
+				t.Fatalf("%s: %v", alg.name, err)
+			}
+			checkScheduleInvariants(t, alg.name, in, pl, nil, s)
+		}
+		for _, alg := range dagRuns {
+			s, err := alg.run(g, pl)
+			if err != nil {
+				t.Fatalf("%s: %v", alg.name, err)
+			}
+			checkScheduleInvariants(t, alg.name, g.Tasks(), pl, g, s)
+		}
+	})
+}

@@ -1,0 +1,150 @@
+package sched
+
+// Shared plumbing for the competitor zoo (DESIGN.md §15): the related-work
+// schedulers (ER-LS, HLP, CLB2C, PriorityAware, Affinity) all decompose
+// into "pick a class for the next task, put it on the least-loaded worker
+// of that class" (independent instances) or "hand each idle worker the
+// next task its class's queue offers" (DAG instances). The helpers below
+// factor those two skeletons out so each algorithm file only contains its
+// allocation rule and queue discipline, and all of them inherit the same
+// deterministic tie-breaking (worker index via loadHeap, task arrival
+// sequence via classQueue).
+
+import (
+	"fmt"
+
+	"repro/internal/dag"
+	"repro/internal/platform"
+	"repro/internal/sim"
+)
+
+// classPlacer builds an independent-task schedule by placing each task on
+// the least-loaded worker of a chosen class (ties to the smallest worker
+// index). It is the offline counterpart of the online event loop: with
+// independent tasks, "least-loaded worker" is exactly the worker that
+// would idle first.
+type classPlacer struct {
+	pl    platform.Platform
+	heaps [platform.NumKinds]loadHeap
+	s     *sim.Schedule
+}
+
+func newClassPlacer(pl platform.Platform) *classPlacer {
+	cp := &classPlacer{pl: pl, s: &sim.Schedule{Platform: pl}}
+	for w := 0; w < pl.Workers(); w++ {
+		cp.heaps[pl.KindOf(w)].push(loadEntry{worker: w})
+	}
+	return cp
+}
+
+// has reports whether the platform has any worker of class k.
+func (cp *classPlacer) has(k platform.Kind) bool { return cp.heaps[k].len() > 0 }
+
+// end returns the completion time t would have if placed now on class k,
+// which must be non-empty.
+func (cp *classPlacer) end(t platform.Task, k platform.Kind) float64 {
+	return cp.heaps[k].min().load + t.Time(k)
+}
+
+// place puts t on the least-loaded worker of class k. If the platform has
+// no worker of class k, the task falls back to the other class (callers
+// that care about failover semantics check has() first).
+func (cp *classPlacer) place(t platform.Task, k platform.Kind) {
+	if !cp.has(k) {
+		k = k.Other()
+	}
+	h := &cp.heaps[k]
+	e := h.min()
+	d := t.Time(k)
+	cp.s.Entries = append(cp.s.Entries, sim.Entry{
+		TaskID: t.ID, Worker: e.worker, Kind: k,
+		Start: e.load, End: e.load + d,
+	})
+	h.increaseMin(d)
+}
+
+// schedule returns the accumulated schedule.
+func (cp *classPlacer) schedule() *sim.Schedule { return cp.s }
+
+// zooTaskEntry is one pending task in a classQueue, tagged with its
+// arrival sequence number for deterministic tie-breaking.
+type zooTaskEntry struct {
+	t   platform.Task
+	seq int
+}
+
+// classQueue is a pending pool picking tasks by decreasing priority, with
+// arrival order breaking ties — the queue discipline shared by the zoo's
+// priority-list DAG schedulers.
+type classQueue struct {
+	pending []zooTaskEntry
+}
+
+func (q *classQueue) add(t platform.Task, seq int) {
+	q.pending = append(q.pending, zooTaskEntry{t, seq})
+}
+
+func (q *classQueue) empty() bool { return len(q.pending) == 0 }
+
+// pop removes and returns the highest-priority pending task (earliest
+// arrival on ties); ok is false when the queue is empty.
+func (q *classQueue) pop() (platform.Task, bool) {
+	best := -1
+	for i, p := range q.pending {
+		if best < 0 {
+			best = i
+			continue
+		}
+		b := q.pending[best]
+		if p.t.Priority > b.t.Priority ||
+			//hplint:allow floateq priorities are copied inputs; == only routes equal-priority pairs to the stable seq tie-break
+			(p.t.Priority == b.t.Priority && p.seq < b.seq) {
+			best = i
+		}
+	}
+	if best < 0 {
+		return platform.Task{}, false
+	}
+	t := q.pending[best].t
+	q.pending = append(q.pending[:best], q.pending[best+1:]...)
+	return t, true
+}
+
+// runOnlineList drives the shared online list-scheduling event loop: admit
+// receives the IDs of tasks that just became ready, pick hands idle worker
+// w of class kind its next task (ok=false when nothing is available for
+// that class). GPUs are served before CPUs at each decision point, like
+// every other event loop in this package.
+func runOnlineList(g *dag.Graph, pl platform.Platform,
+	admit func(ids []int), pick func(w int, kind platform.Kind) (platform.Task, bool)) (*sim.Schedule, error) {
+	if err := pl.Validate(); err != nil {
+		return nil, err
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	k := sim.NewKernel(pl)
+	rt := dag.NewReadyTracker(g)
+	admit(rt.Drain())
+	for {
+		for _, kind := range []platform.Kind{platform.GPU, platform.CPU} {
+			for _, w := range k.IdleWorkers(kind) {
+				t, ok := pick(w, kind)
+				if !ok {
+					break
+				}
+				k.Start(w, t, false)
+			}
+		}
+		run, ok := k.CompleteNext()
+		if !ok {
+			break
+		}
+		rt.Complete(run.Task.ID)
+		admit(rt.Drain())
+	}
+	if !rt.Done() {
+		return nil, fmt.Errorf("sched: online list scheduler finished with %d tasks remaining", rt.Remaining())
+	}
+	return k.Schedule(), nil
+}
